@@ -1,0 +1,33 @@
+package repro
+
+import (
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tiles"
+)
+
+// mixedPlan tesselates every layer at the technology boundary of a
+// workload-generated mixed board (TTL part columns on the left).
+func mixedPlan(bd *board.Board, d *netlist.Design) *tiles.Plan {
+	boundary := 0
+	for _, p := range d.Parts {
+		if p.Tech == netlist.TTL {
+			right := bd.Cfg.GridOf(p.At.Add(geom.Pt(12, 0))).X
+			if right > boundary {
+				boundary = right
+			}
+		}
+	}
+	plan := &tiles.Plan{}
+	for li := 0; li < bd.NumLayers(); li++ {
+		plan.Add(li, geom.R(0, 0, boundary, bd.Cfg.Height-1), "TTL")
+		plan.Add(li, geom.R(boundary+1, 0, bd.Cfg.Width-1, bd.Cfg.Height-1), "ECL")
+	}
+	return plan
+}
+
+func routeMixed(bd *board.Board, conns []core.Connection, plan *tiles.Plan) ([]tiles.PassResult, error) {
+	return tiles.RouteMixed(bd, conns, core.DefaultOptions(), plan)
+}

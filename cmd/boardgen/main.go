@@ -1,0 +1,69 @@
+// Command boardgen generates synthetic routing problems in the style of
+// the paper's Table 1 boards and writes them in the .brd text format.
+//
+// Usage:
+//
+//	boardgen -board coproc -o coproc.brd
+//	boardgen -board kdj11-2L -scale 2 -o small.brd
+//	boardgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/boardio"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name  = flag.String("board", "coproc", "Table 1 board name")
+		scale = flag.Int("scale", 1, "shrink the board by this integer factor")
+		seed  = flag.Int64("seed", 0, "override the preset PRNG seed (0 keeps the preset)")
+		out   = flag.String("o", "", "output file (default stdout)")
+		list  = flag.Bool("list", false, "list available boards and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("board      via grid   layers  target connections")
+		for _, s := range workload.Table1Specs() {
+			fmt.Printf("%-10s %3dx%-4d   %d       %d\n", s.Name, s.ViaCols, s.ViaRows, s.Layers, s.TargetConns)
+		}
+		return
+	}
+
+	spec, ok := workload.Table1Spec(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "boardgen: unknown board %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+	spec = spec.Scale(*scale)
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	d, err := workload.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boardgen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "boardgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := boardio.WriteDesign(w, d); err != nil {
+		fmt.Fprintln(os.Stderr, "boardgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "boardgen: %s: %d parts, %d nets, %.1f pins/in²\n",
+		d.Name, len(d.Parts), len(d.Nets), d.PinDensity())
+}

@@ -1,0 +1,239 @@
+// Command grr is the greedy printed circuit board router of the paper.
+// It routes a board design (stringing it on the fly, or taking a
+// pre-strung .con file), prints a Table 1-style result row, and can emit
+// the routed result and SVG figures.
+//
+// Usage:
+//
+//	grr -design coproc.brd -routes coproc.rte -svg-dir figs/
+//	grr -design coproc.brd -conns coproc.con
+//	grr -table1            # regenerate the paper's Table 1 end to end
+//	grr -table1 -scale 2   # quick, reduced-size variant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/boardio"
+	"repro/internal/core"
+	"repro/internal/drc"
+	"repro/internal/experiment"
+	"repro/internal/grid"
+	"repro/internal/photoplot"
+	"repro/internal/render"
+	"repro/internal/stats"
+	"repro/internal/stringer"
+	"repro/internal/timing"
+	"repro/internal/tuning"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		design = flag.String("design", "", "input .brd design")
+		connsF = flag.String("conns", "", "pre-strung .con connection list (default: string the design's nets)")
+		routes = flag.String("routes", "", "write routed output (.rte) here")
+		svgDir = flag.String("svg-dir", "", "write figure SVGs (placement, problem, layers, routes) here")
+		table1 = flag.Bool("table1", false, "route every Table 1 board and print the table")
+		scale  = flag.Int("scale", 1, "with -table1: shrink boards by this factor")
+		check  = flag.Bool("check", true, "verify connectivity of every routed connection")
+		report = flag.Bool("report", false, "print the timing report and the 5 most critical nets")
+		runDRC = flag.Bool("drc", false, "run the design-rule checker on the routed board")
+		gerber = flag.String("gerber-dir", "", "write RS-274X photoplots and the drill file here")
+		trees  = flag.Bool("trees", false, "string TTL nets as minimum spanning trees instead of chains")
+		congst = flag.Bool("congestion", false, "print the channel-occupancy heatmap after routing")
+
+		radius = flag.Int("radius", 1, "orthogonal movement allowance in via units (Section 8.1)")
+		sort   = flag.Bool("sort", true, "sort connections before routing (Section 6)")
+		cost   = flag.String("cost", "dist*hops", "Lee cost function: dist*hops, plus-one, distance")
+		bidi   = flag.Bool("bidirectional", true, "spread Lee wavefronts from both ends")
+	)
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.Radius = *radius
+	opts.Sort = *sort
+	opts.Bidirectional = *bidi
+	switch *cost {
+	case "dist*hops":
+		opts.Cost = core.CostDistTimesHops
+	case "plus-one":
+		opts.Cost = core.CostPlusOne
+	case "distance":
+		opts.Cost = core.CostDistance
+	default:
+		fatal(fmt.Errorf("unknown cost function %q", *cost))
+	}
+
+	if *table1 {
+		rows, err := experiment.Table1(*scale, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(stats.FormatTable(rows))
+		return
+	}
+
+	if *design == "" {
+		fmt.Fprintln(os.Stderr, "grr: -design or -table1 is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*design)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := boardio.ReadDesign(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		fatal(err)
+	}
+
+	var conns []core.Connection
+	if *connsF != "" {
+		cf, err := os.Open(*connsF)
+		if err != nil {
+			fatal(err)
+		}
+		conns, err = boardio.ReadConnections(cf)
+		cf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		sr, err := stringer.String(d, stringer.Options{Trees: *trees})
+		if err != nil {
+			fatal(err)
+		}
+		conns = sr.Conns
+	}
+
+	r, err := core.New(b, conns, opts)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res := r.Route()
+	elapsed := time.Since(start)
+
+	row := stats.NewRow(d, b, conns, res, elapsed)
+	fmt.Println(stats.Header())
+	fmt.Println(row.Format())
+	if !res.Complete() {
+		fmt.Printf("unrouted: %d connections\n", len(res.FailedConns))
+	}
+
+	if *check {
+		if err := verify.Routed(b, r); err != nil {
+			fatal(fmt.Errorf("verification failed: %w", err))
+		}
+		fmt.Println("connectivity verified")
+	}
+
+	if *report {
+		model := tuning.DefaultSpeeds(b.NumLayers())
+		reports := timing.Analyze(b, r, model)
+		fmt.Println("\ncritical paths:")
+		fmt.Print(timing.Format(timing.CriticalPaths(reports, 5)))
+		if viol := timing.Violations(reports, 100); len(viol) > 0 {
+			fmt.Printf("%d timed nets miss their targets by more than 100 ps\n", len(viol))
+		}
+	}
+
+	if *congst {
+		fmt.Println("\nchannel occupancy (8x8 via-unit regions):")
+		fmt.Print(stats.MeasureCongestion(b, 8).Heatmap())
+	}
+
+	if *runDRC {
+		violations := drc.Check(b, grid.DefaultProcess)
+		if len(violations) == 0 {
+			fmt.Println("drc clean")
+		} else {
+			for _, v := range violations {
+				fmt.Println("drc:", v)
+			}
+		}
+	}
+
+	if *gerber != "" {
+		if err := os.MkdirAll(*gerber, 0o755); err != nil {
+			fatal(err)
+		}
+		for li := range b.Layers {
+			path := filepath.Join(*gerber, fmt.Sprintf("layer%d.gbr", li))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := photoplot.WriteLayer(f, b, r, li); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Println("wrote", path)
+		}
+		drillPath := filepath.Join(*gerber, "board.drl")
+		f, err := os.Create(drillPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := photoplot.WriteDrill(f, b); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Println("wrote", drillPath)
+	}
+
+	if *routes != "" {
+		rf, err := os.Create(*routes)
+		if err != nil {
+			fatal(err)
+		}
+		if err := boardio.WriteRoutes(rf, r); err != nil {
+			fatal(err)
+		}
+		rf.Close()
+	}
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fatal(err)
+		}
+		emit := func(name string, draw func(w *os.File) error) {
+			path := filepath.Join(*svgDir, name)
+			file, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := draw(file); err != nil {
+				fatal(err)
+			}
+			file.Close()
+			fmt.Println("wrote", path)
+		}
+		emit("placement.svg", func(w *os.File) error { return render.Placement(w, d) })
+		emit("problem.svg", func(w *os.File) error { return render.Problem(w, b, conns) })
+		for li := range b.Layers {
+			li := li
+			emit(fmt.Sprintf("layer%d.svg", li), func(w *os.File) error { return render.SignalLayer(w, b, li) })
+		}
+		emit("routes.svg", func(w *os.File) error { return render.Routes(w, b, r) })
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grr:", err)
+	os.Exit(1)
+}

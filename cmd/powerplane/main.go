@@ -1,0 +1,118 @@
+// Command powerplane generates power-plane etching patterns after routing
+// (Section 13, Figure 22): the design is routed, then each power net's
+// plane — antipads around foreign holes, thermal reliefs on its own pins
+// — is written as an SVG negative.
+//
+// Usage:
+//
+//	powerplane -design coproc.brd -out-dir planes/
+//	powerplane -design coproc.brd -net VEE -o vee.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/board"
+	"repro/internal/boardio"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/render"
+	"repro/internal/stringer"
+)
+
+func main() {
+	var (
+		design = flag.String("design", "", "input .brd design (required)")
+		net    = flag.String("net", "", "generate only this power net")
+		out    = flag.String("o", "", "with -net: output SVG file (default stdout)")
+		outDir = flag.String("out-dir", "planes", "without -net: directory for one SVG per power net")
+		route  = flag.Bool("route", true, "route the design first so signal vias receive antipads")
+	)
+	flag.Parse()
+	if *design == "" {
+		fmt.Fprintln(os.Stderr, "powerplane: -design is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*design)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := boardio.ReadDesign(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		fatal(err)
+	}
+	if *route {
+		sr, err := stringer.String(d, stringer.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		r, err := core.New(b, sr.Conns, core.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		res := r.Route()
+		fmt.Fprintf(os.Stderr, "powerplane: routed %d/%d connections\n", res.Metrics.Routed, res.Metrics.Connections)
+	}
+
+	opts := power.Options{}
+	if *net != "" {
+		p, err := power.Generate(b, d, nil, *net, opts)
+		if err != nil {
+			fatal(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			file, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer file.Close()
+			w = file
+		}
+		if err := render.Plane(w, b, p); err != nil {
+			fatal(err)
+		}
+		a, t, c := p.Counts()
+		fmt.Fprintf(os.Stderr, "powerplane: %s: %d antipads, %d thermals, %d clearances\n", p.Net, a, t, c)
+		return
+	}
+
+	planes, err := power.GenerateAll(b, d, nil, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, p := range planes {
+		path := filepath.Join(*outDir, strings.ToLower(p.Net)+".svg")
+		file, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := render.Plane(file, b, p); err != nil {
+			fatal(err)
+		}
+		file.Close()
+		a, t, c := p.Counts()
+		fmt.Printf("wrote %s (%d antipads, %d thermals, %d clearances)\n", path, a, t, c)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powerplane:", err)
+	os.Exit(1)
+}

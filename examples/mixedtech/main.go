@@ -1,0 +1,87 @@
+// Mixedtech: the ECL/TTL separation of Section 10.2. A board carries ECL
+// logic on the left and TTL memory parts on the right; each signal layer
+// is tesselated into technology tiles and the board is routed as two
+// superimposed problems — TTL tiles are filled with blocking metal while
+// ECL routes, and vice versa — so no ECL trace ever runs beside a noisy
+// 5V TTL trace.
+//
+//	go run ./examples/mixedtech
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/stringer"
+	"repro/internal/tiles"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func main() {
+	spec := workload.Spec{
+		Name: "mixed", ViaCols: 70, ViaRows: 45, Layers: 4,
+		TargetConns: 220, NetSizeMin: 2, NetSizeMax: 3,
+		Locality: 24, MarginX: 2, MarginY: 2,
+		TTLFraction: 0.4, // the left 40% of part columns are TTL
+		Seed:        5,
+	}
+	d, err := workload.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		log.Fatal(err)
+	}
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tesselate: every layer splits at the technology boundary. The
+	// workload generator assigns TTL to the leftmost part columns, so
+	// the tile edge follows the rightmost TTL part.
+	boundary := 0
+	for _, p := range d.Parts {
+		if p.Tech.String() == "TTL" {
+			right := b.Cfg.GridOf(p.At.Add(geom.Pt(12, 0))).X
+			if right > boundary {
+				boundary = right
+			}
+		}
+	}
+	plan := &tiles.Plan{}
+	for li := 0; li < b.NumLayers(); li++ {
+		plan.Add(li, geom.R(0, 0, boundary, b.Cfg.Height-1), "TTL")
+		plan.Add(li, geom.R(boundary+1, 0, b.Cfg.Width-1, b.Cfg.Height-1), "ECL")
+	}
+	fmt.Printf("tesselation: TTL tiles x<=%d, ECL tiles x>%d on all %d layers\n",
+		boundary, boundary, b.NumLayers())
+
+	passes, err := tiles.RouteMixed(b, sr.Conns, core.DefaultOptions(), plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range passes {
+		m := p.Result.Metrics
+		fmt.Printf("%-4s pass: %s\n", p.Class, p.Result)
+		if !p.Result.Complete() {
+			log.Fatalf("%s pass left %d connections unrouted", p.Class, m.Failed)
+		}
+		if err := verify.Routed(b, p.Router); err != nil {
+			log.Fatal("verification failed: ", err)
+		}
+	}
+	if err := b.Audit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("both technology passes complete; board audit clean")
+}

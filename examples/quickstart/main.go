@@ -1,0 +1,96 @@
+// Quickstart: build a small board by hand, string its nets, route it, and
+// verify the result — the minimal end-to-end tour of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/render"
+	"repro/internal/stringer"
+	"repro/internal/verify"
+)
+
+func main() {
+	// A 3×2 inch board: two DIP24 logic parts and a resistor pack.
+	dip := netlist.DIP(24, 3)
+	sip := netlist.SIP(12, true)
+	u1 := &netlist.Part{Name: "U1", Pkg: dip, At: geom.Pt(2, 2), Tech: netlist.ECL}
+	u2 := &netlist.Part{Name: "U2", Pkg: dip, At: geom.Pt(16, 10), Tech: netlist.ECL}
+	rt := &netlist.Part{Name: "RT1", Pkg: sip, At: geom.Pt(2, 16), Tech: netlist.ECL}
+
+	d := &netlist.Design{
+		Name: "quickstart", ViaCols: 30, ViaRows: 20, Layers: 4,
+		Parts: []*netlist.Part{u1, u2, rt},
+	}
+	pin := func(p *netlist.Part, n int, f netlist.PinFunc) netlist.NetPin {
+		return netlist.NetPin{Ref: netlist.PinRef{Part: p, Pin: n}, Func: f}
+	}
+	// Four ECL nets from U1 outputs to U2 inputs; the stringer will add
+	// a terminating resistor to each.
+	for i := 0; i < 4; i++ {
+		d.Nets = append(d.Nets, &netlist.Net{
+			Name: fmt.Sprintf("DATA%d", i), Tech: netlist.ECL,
+			Pins: []netlist.NetPin{pin(u1, 1+i, netlist.Output), pin(u2, 5+i, netlist.Input)},
+		})
+	}
+	if err := d.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Board setup: drill every part pin through all signal layers.
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stringing (Section 3): nets become ordered pin-to-pin connections.
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stringer: %d nets -> %d connections\n", len(d.Nets), len(sr.Conns))
+	for net, term := range sr.TermAssignments {
+		fmt.Printf("  net %s terminates at %s\n", net, term)
+	}
+
+	// Routing (Sections 5-8).
+	r, err := core.New(b, sr.Conns, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := r.Route()
+	fmt.Println("router:", res)
+
+	// Independent connectivity audit.
+	if err := verify.Routed(b, r); err != nil {
+		log.Fatal("verification failed: ", err)
+	}
+	fmt.Println("all connections verified electrically continuous")
+
+	// Figure 3's routing-grid unit cell, and the routed board.
+	for name, draw := range map[string]func(*os.File) error{
+		"grid.svg":   func(f *os.File) error { return render.GridCell(f, 3, 3) },
+		"routes.svg": func(f *os.File) error { return render.Routes(f, b, r) },
+	} {
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := draw(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Println("wrote", name)
+	}
+}

@@ -1,0 +1,72 @@
+// Smt: surface-mount parts via dispersion patterns (Section 11). A
+// fine-pitch QFP's pads contact only the top routing layer, breaking
+// grr's every-pin-reaches-every-layer assumption; the smd package
+// automates the "hand-designed dispersion pattern" the original flow
+// used — a short top-layer trace from each pad to a dedicated via, which
+// then serves as the routable endpoint. The routed board is checked with
+// the DRC afterwards.
+//
+//	go run ./examples/smt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/smd"
+	"repro/internal/verify"
+)
+
+func main() {
+	cfg := grid.NewConfig(40, 30, 3, 4)
+	b, err := board.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 24-pad QFP at 2-grid (66 mil) pad pitch — finer than the 100-mil
+	// via grid — in the middle-left of the board.
+	qfp := smd.QFP("U1", geom.Pt(24, 36), 6, 2)
+	disp, err := smd.Place(b, qfp, smd.Options{SearchRadius: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dispersed %d pads of %s to vias\n", len(disp.ViaOf), qfp.Name)
+
+	// Through-hole logic on the right to wire the QFP to.
+	var conns []core.Connection
+	for i := 0; i < 8; i++ {
+		pin := cfg.GridOf(geom.Pt(30, 4+3*i))
+		if err := b.PlacePin(pin); err != nil {
+			log.Fatal(err)
+		}
+		conns = append(conns, core.Connection{
+			A: disp.ViaOf[i], B: pin, Net: fmt.Sprintf("SIG%d", i),
+		})
+	}
+
+	r, err := core.New(b, conns, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := r.Route()
+	fmt.Println("router:", res)
+	if !res.Complete() {
+		log.Fatalf("unrouted: %v", res.FailedConns)
+	}
+	if err := verify.Routed(b, r); err != nil {
+		log.Fatal("verification failed: ", err)
+	}
+	if violations := drc.Check(b, grid.DefaultProcess); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Println("drc:", v)
+		}
+		log.Fatal("design rules violated")
+	}
+	fmt.Println("routed from dispersed SMD pads; DRC clean")
+}

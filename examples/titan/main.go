@@ -1,0 +1,68 @@
+// Titan: regenerate the paper's appendix figures for a synthetic stand-in
+// of the Titan floating-point coprocessor board (coproc in Table 1):
+// the placement (Figure 19), the routing problem (Figure 20), a routed
+// signal layer (Figure 21) and a generated power plane (Figure 22).
+//
+//	go run ./examples/titan            # full-size board, ~seconds
+//	go run ./examples/titan -scale 2   # quick reduced-size run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/power"
+	"repro/internal/render"
+	"repro/internal/stats"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "shrink the board by this factor")
+	flag.Parse()
+
+	spec, _ := workload.Table1Spec("coproc")
+	spec = spec.Scale(*scale)
+
+	start := time.Now()
+	run, err := experiment.RouteSpec(spec, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(stats.Header())
+	fmt.Println(run.Row().Format())
+	fmt.Printf("total pipeline time %v\n", time.Since(start))
+
+	if err := verify.Routed(run.Board, run.Router); err != nil {
+		log.Fatal("verification failed: ", err)
+	}
+
+	emit := func(name string, draw func(*os.File) error) {
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := draw(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Println("wrote", name)
+	}
+	emit("fig19-placement.svg", func(f *os.File) error { return render.Placement(f, run.Design) })
+	emit("fig20-problem.svg", func(f *os.File) error { return render.Problem(f, run.Board, run.Strung.Conns) })
+	emit("fig21-layer0.svg", func(f *os.File) error { return render.SignalLayer(f, run.Board, 0) })
+
+	plane, err := power.Generate(run.Board, run.Design, nil, "VEE", power.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit("fig22-vee-plane.svg", func(f *os.File) error { return render.Plane(f, run.Board, plane) })
+	a, t, _ := plane.Counts()
+	fmt.Printf("VEE plane: %d antipads, %d thermal reliefs\n", a, t)
+}

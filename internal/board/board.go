@@ -1,0 +1,243 @@
+// Package board ties the per-layer channel structures and the via map
+// together into one mutable routing surface. Every segment addition and
+// removal flows through this package so the via map can never drift out
+// of sync with the channels (Section 4: the map is "updated each time
+// segments are added and deleted from a layer").
+package board
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+	"repro/internal/viamap"
+)
+
+// Board is the mutable routing state for one printed circuit board.
+type Board struct {
+	Cfg    grid.Config
+	Layers []*layer.Layer
+	Vias   *viamap.Map
+
+	// UseViaMap selects between the paper's via map (true, the default)
+	// and direct per-layer probing (false) for via-availability checks.
+	// The slow path exists only for the E-VMAP ablation.
+	UseViaMap bool
+
+	// OffGridHoles lists plated-through holes drilled off the via grid
+	// (Section 11's off-grid pins extension). The via map cannot track
+	// them — it is indexed by via coordinates — so the power-plane
+	// generator consults this list separately.
+	OffGridHoles []geom.Point
+}
+
+// New builds an empty board for the given configuration.
+func New(cfg grid.Config) (*Board, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Board{
+		Cfg:       cfg,
+		Layers:    make([]*layer.Layer, len(cfg.Layers)),
+		Vias:      viamap.New(cfg.ViaCols(), cfg.ViaRows()),
+		UseViaMap: true,
+	}
+	for i, o := range cfg.Layers {
+		b.Layers[i] = layer.NewLayer(o, i, cfg.ChannelCount(o), cfg.ChannelLength(o))
+	}
+	return b, nil
+}
+
+// MustNew is New for configurations known valid at compile time (tests,
+// examples); it panics on error.
+func MustNew(cfg grid.Config) *Board {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// NumLayers returns the number of signal layers.
+func (b *Board) NumLayers() int { return len(b.Layers) }
+
+// AddSegment places a segment on layer li covering [lo, hi] of channel ch
+// and updates the via map for every via site the segment covers. It
+// returns nil if the space is not free.
+func (b *Board) AddSegment(li, ch, lo, hi int, owner layer.ConnID) *layer.Segment {
+	s := b.Layers[li].Add(ch, lo, hi, owner)
+	if s != nil {
+		b.bumpVias(li, ch, lo, hi, +1)
+	}
+	return s
+}
+
+// RemoveSegment removes a segment previously added to layer li and
+// updates the via map.
+func (b *Board) RemoveSegment(li int, s *layer.Segment) {
+	ch, lo, hi := s.Channel(), s.Lo, s.Hi
+	b.Layers[li].Remove(s)
+	b.bumpVias(li, ch, lo, hi, -1)
+}
+
+// bumpVias adjusts the via-map counts for every via site covered by the
+// channel interval.
+func (b *Board) bumpVias(li, ch, lo, hi, delta int) {
+	pitch := b.Cfg.Pitch
+	if ch%pitch != 0 {
+		return // the whole channel misses the via grid
+	}
+	first := lo
+	if r := first % pitch; r != 0 {
+		first += pitch - r
+	}
+	orient := b.Layers[li].Orient
+	for pos := first; pos <= hi; pos += pitch {
+		v := b.Cfg.ViaOf(b.Cfg.PointAt(orient, ch, pos))
+		if delta > 0 {
+			b.Vias.Inc(v)
+		} else {
+			b.Vias.Dec(v)
+		}
+	}
+}
+
+// ViaFree reports whether a via may be drilled at grid point p (which
+// must be a via site): no layer may have any metal there. With UseViaMap
+// unset it probes every layer's channel structure instead, the behaviour
+// the paper's via map was introduced to avoid.
+func (b *Board) ViaFree(p geom.Point) bool {
+	if b.UseViaMap {
+		// Direct division rather than Cfg.ViaOf: this is the hottest
+		// probe in the router and p is always a via site here.
+		return b.Vias.Free(geom.Pt(p.X/b.Cfg.Pitch, p.Y/b.Cfg.Pitch))
+	}
+	for _, l := range b.Layers {
+		ch, pos := b.Cfg.ChanPos(l.Orient, p)
+		b.Vias.Probes++ // count slow probes too, for the E-VMAP ratio
+		if !l.Chan(ch).Free(pos) {
+			return false
+		}
+	}
+	return true
+}
+
+// PlacedVia records the per-layer segments of one drilled via (or pin) so
+// it can be removed again.
+type PlacedVia struct {
+	At   geom.Point // grid coordinates
+	Segs []*layer.Segment
+}
+
+// PlaceVia drills a via at grid point p owned by owner: a unit segment on
+// every signal layer, since a hole potentially connects all layers. It
+// returns false without side effects if any layer is blocked at p.
+func (b *Board) PlaceVia(p geom.Point, owner layer.ConnID) (PlacedVia, bool) {
+	pv := PlacedVia{At: p, Segs: make([]*layer.Segment, 0, len(b.Layers))}
+	for li, l := range b.Layers {
+		ch, pos := b.Cfg.ChanPos(l.Orient, p)
+		s := b.AddSegment(li, ch, pos, pos, owner)
+		if s == nil {
+			b.RemoveVia(pv)
+			return PlacedVia{}, false
+		}
+		pv.Segs = append(pv.Segs, s)
+	}
+	return pv, true
+}
+
+// RemoveVia removes a previously placed via.
+func (b *Board) RemoveVia(pv PlacedVia) {
+	for li, s := range pv.Segs {
+		if s != nil {
+			b.RemoveSegment(li, s)
+		}
+	}
+}
+
+// PlacePin marks a component pin at grid point p: like a via (pins are
+// plated through-holes contacting every layer) but owned by PinOwner so
+// the router never rips it up. Pins must lie on the via grid (Section 11
+// lists off-grid pins as a limitation of the original system; see
+// PlacePinOffGrid for the extension lifting it).
+func (b *Board) PlacePin(p geom.Point) error {
+	if !b.Cfg.IsViaSite(p) {
+		return fmt.Errorf("board: pin at %v is off the via grid (pitch %d)", p, b.Cfg.Pitch)
+	}
+	if _, ok := b.PlaceVia(p, layer.PinOwner); !ok {
+		return fmt.Errorf("board: pin site %v already occupied", p)
+	}
+	return nil
+}
+
+// PlacePinOffGrid drills a plated-through pin at an arbitrary grid point
+// — the extension Section 11 recommends ("this restriction can (and
+// should) be removed by generalizing Trace to connect arbitrary grid
+// points"). The hole contacts every layer like any pin; because it lies
+// off the via grid it is recorded in OffGridHoles for the power planes.
+func (b *Board) PlacePinOffGrid(p geom.Point) error {
+	if b.Cfg.IsViaSite(p) {
+		return b.PlacePin(p)
+	}
+	if _, ok := b.PlaceVia(p, layer.PinOwner); !ok {
+		return fmt.Errorf("board: pin site %v already occupied", p)
+	}
+	b.OffGridHoles = append(b.OffGridHoles, p)
+	return nil
+}
+
+// OwnerAt returns the owner of the metal at grid point p on layer li, or
+// layer.NoConn if the point is free.
+func (b *Board) OwnerAt(li int, p geom.Point) layer.ConnID {
+	l := b.Layers[li]
+	ch, pos := b.Cfg.ChanPos(l.Orient, p)
+	if s := l.Chan(ch).SegmentAt(pos); s != nil {
+		return s.Owner
+	}
+	return layer.NoConn
+}
+
+// FreeAt reports whether grid point p is free on layer li.
+func (b *Board) FreeAt(li int, p geom.Point) bool {
+	return b.OwnerAt(li, p) == layer.NoConn
+}
+
+// Audit cross-checks every layer's channel invariants and recomputes the
+// via map from scratch, returning an error describing the first
+// inconsistency. Integration tests call it after routing.
+func (b *Board) Audit() error {
+	for _, l := range b.Layers {
+		if err := l.Audit(); err != nil {
+			return err
+		}
+	}
+	want := viamap.New(b.Cfg.ViaCols(), b.Cfg.ViaRows())
+	for _, l := range b.Layers {
+		for ci := 0; ci < l.NumChannels(); ci++ {
+			if ci%b.Cfg.Pitch != 0 {
+				continue
+			}
+			l.Chan(ci).VisitUsed(geom.Iv(0, l.ChannelLength()-1), func(s *layer.Segment) bool {
+				first := s.Lo
+				if r := first % b.Cfg.Pitch; r != 0 {
+					first += b.Cfg.Pitch - r
+				}
+				for pos := first; pos <= s.Hi; pos += b.Cfg.Pitch {
+					want.Inc(b.Cfg.ViaOf(b.Cfg.PointAt(l.Orient, ci, pos)))
+				}
+				return true
+			})
+		}
+	}
+	for vy := 0; vy < b.Vias.Rows(); vy++ {
+		for vx := 0; vx < b.Vias.Cols(); vx++ {
+			v := geom.Pt(vx, vy)
+			if want.Count(v) != b.Vias.Count(v) {
+				return fmt.Errorf("board: via map drift at via %v: recorded %d, actual %d",
+					v, b.Vias.Count(v), want.Count(v))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package board
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+)
+
+func testBoard(t *testing.T, viaCols, viaRows, layers int) *Board {
+	t.Helper()
+	b, err := New(grid.NewConfig(viaCols, viaRows, 3, layers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(grid.Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := New(grid.Config{Width: 5, Height: 5, Pitch: 3,
+		Layers: []grid.Orientation{grid.Vertical, grid.Vertical}}); err == nil {
+		t.Error("single-orientation stack accepted")
+	}
+}
+
+func TestAddSegmentUpdatesViaMap(t *testing.T) {
+	b := testBoard(t, 5, 5, 2)
+	// Layer 0 is vertical: channel index = x. A segment in channel 3
+	// (not a via column) must not touch the map.
+	s := b.AddSegment(0, 1, 0, 11, 1)
+	if s == nil {
+		t.Fatal("add failed")
+	}
+	for vy := 0; vy < 5; vy++ {
+		if !b.Vias.Free(geom.Pt(0, vy)) {
+			t.Error("non-via-column segment changed via map")
+		}
+	}
+	// Channel 3 = via column 1: covers via rows 0..3 of column 1 when
+	// spanning grid rows 0..11.
+	s2 := b.AddSegment(0, 3, 0, 11, 1)
+	if s2 == nil {
+		t.Fatal("add failed")
+	}
+	for vy := 0; vy <= 3; vy++ {
+		if c := b.Vias.Count(geom.Pt(1, vy)); c != 1 {
+			t.Errorf("via (1,%d) count = %d, want 1", vy, c)
+		}
+	}
+	if c := b.Vias.Count(geom.Pt(1, 4)); c != 0 {
+		t.Errorf("via (1,4) count = %d, want 0", c)
+	}
+	b.RemoveSegment(0, s2)
+	for vy := 0; vy <= 4; vy++ {
+		if !b.Vias.Free(geom.Pt(1, vy)) {
+			t.Error("remove did not restore via map")
+		}
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialViaCoverage(t *testing.T) {
+	b := testBoard(t, 5, 5, 2)
+	// Segment covering grid rows 4..8 of via column 0 touches via rows
+	// 2 only (grid row 6).
+	b.AddSegment(0, 0, 4, 8, 1)
+	for vy := 0; vy < 5; vy++ {
+		want := vy == 2
+		if got := !b.Vias.Free(geom.Pt(0, vy)); got != want {
+			t.Errorf("via (0,%d) occupied=%v want %v", vy, got, want)
+		}
+	}
+}
+
+func TestPlaceVia(t *testing.T) {
+	b := testBoard(t, 4, 4, 3)
+	p := geom.Pt(3, 6)
+	pv, ok := b.PlaceVia(p, 7)
+	if !ok {
+		t.Fatal("PlaceVia failed")
+	}
+	if got := b.Vias.Count(geom.Pt(1, 2)); got != 3 {
+		t.Errorf("via count = %d, want layers=3", got)
+	}
+	if b.ViaFree(p) {
+		t.Error("drilled site still free")
+	}
+	for li := range b.Layers {
+		if b.OwnerAt(li, p) != 7 {
+			t.Errorf("layer %d owner = %d", li, b.OwnerAt(li, p))
+		}
+	}
+	// A second via at the same spot must fail without side effects.
+	if _, ok := b.PlaceVia(p, 8); ok {
+		t.Error("double drill accepted")
+	}
+	if got := b.Vias.Count(geom.Pt(1, 2)); got != 3 {
+		t.Errorf("failed drill disturbed the map: count=%d", got)
+	}
+	b.RemoveVia(pv)
+	if !b.ViaFree(p) {
+		t.Error("RemoveVia did not free the site")
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceViaPartialBlockRollsBack(t *testing.T) {
+	b := testBoard(t, 4, 4, 3)
+	p := geom.Pt(3, 3)
+	// Block only layer 1 (horizontal: channel y=3) at the point.
+	if b.AddSegment(1, 3, 3, 3, 9) == nil {
+		t.Fatal("setup add failed")
+	}
+	if _, ok := b.PlaceVia(p, 7); ok {
+		t.Fatal("PlaceVia should fail on a blocked layer")
+	}
+	// Layers 0 and 2 must be untouched.
+	if b.OwnerAt(0, p) != layer.NoConn || b.OwnerAt(2, p) != layer.NoConn {
+		t.Error("failed PlaceVia left segments behind")
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacePin(t *testing.T) {
+	b := testBoard(t, 4, 4, 2)
+	if err := b.PlacePin(geom.Pt(1, 0)); err == nil {
+		t.Error("off-grid pin accepted")
+	}
+	if err := b.PlacePin(geom.Pt(3, 3)); err != nil {
+		t.Fatalf("PlacePin: %v", err)
+	}
+	if err := b.PlacePin(geom.Pt(3, 3)); err == nil {
+		t.Error("duplicate pin accepted")
+	}
+	for li := range b.Layers {
+		if b.OwnerAt(li, geom.Pt(3, 3)) != layer.PinOwner {
+			t.Errorf("layer %d pin owner = %d", li, b.OwnerAt(li, geom.Pt(3, 3)))
+		}
+	}
+}
+
+func TestViaFreeSlowPathAgrees(t *testing.T) {
+	b := testBoard(t, 6, 6, 4)
+	rng := rand.New(rand.NewSource(3))
+	// Scatter random metal.
+	for i := 0; i < 60; i++ {
+		li := rng.Intn(4)
+		ch := rng.Intn(b.Layers[li].NumChannels())
+		lo := rng.Intn(b.Layers[li].ChannelLength())
+		hi := min(b.Layers[li].ChannelLength()-1, lo+rng.Intn(5))
+		b.AddSegment(li, ch, lo, hi, layer.ConnID(i))
+	}
+	for vx := 0; vx < 6; vx++ {
+		for vy := 0; vy < 6; vy++ {
+			p := b.Cfg.GridOf(geom.Pt(vx, vy))
+			b.UseViaMap = true
+			fast := b.ViaFree(p)
+			b.UseViaMap = false
+			slow := b.ViaFree(p)
+			if fast != slow {
+				t.Errorf("via %v: map says %v, probing says %v", p, fast, slow)
+			}
+		}
+	}
+	b.UseViaMap = true
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditDetectsDrift(t *testing.T) {
+	b := testBoard(t, 4, 4, 2)
+	// Corrupt the via map behind the board's back.
+	b.Vias.Inc(geom.Pt(2, 2))
+	if err := b.Audit(); err == nil {
+		t.Error("Audit missed via-map drift")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid config")
+		}
+	}()
+	MustNew(grid.Config{})
+}

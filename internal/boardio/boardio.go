@@ -1,0 +1,419 @@
+// Package boardio reads and writes the line-oriented text formats that
+// connect the command-line tools: board designs (.brd), stringer output
+// (.con) and routed results (.rte). The formats are deliberately plain —
+// whitespace-separated fields, '#' comments — in the spirit of the
+// original toolchain's stringer→router pipeline.
+package boardio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/layer"
+	"repro/internal/netlist"
+)
+
+// WriteDesign serializes a design:
+//
+//	board <name> <viaCols> <viaRows> <layers> <pitch>
+//	package <name> <terminator 0|1> <x,y> <x,y> ...
+//	part <name> <package> <x> <y> <tech>
+//	net <name> <tech> <delayps> <part.pin/func> ...
+func WriteDesign(w io.Writer, d *netlist.Design) error {
+	bw := bufio.NewWriter(w)
+	pitch := d.Pitch
+	if pitch == 0 {
+		pitch = 3
+	}
+	fmt.Fprintf(bw, "board %s %d %d %d %d\n", nameOr(d.Name, "unnamed"), d.ViaCols, d.ViaRows, d.Layers, pitch)
+
+	pkgs := map[*netlist.Package]bool{}
+	for _, p := range d.Parts {
+		if !pkgs[p.Pkg] {
+			pkgs[p.Pkg] = true
+			term := 0
+			if p.Pkg.Terminator {
+				term = 1
+			}
+			fmt.Fprintf(bw, "package %s %d", p.Pkg.Name, term)
+			for _, o := range p.Pkg.Offsets {
+				fmt.Fprintf(bw, " %d,%d", o.X, o.Y)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	for _, p := range d.Parts {
+		fmt.Fprintf(bw, "part %s %s %d %d %s\n", p.Name, p.Pkg.Name, p.At.X, p.At.Y, p.Tech)
+	}
+	for _, n := range d.Nets {
+		fmt.Fprintf(bw, "net %s %s %g", n.Name, n.Tech, n.TargetDelayPs)
+		for _, np := range n.Pins {
+			fmt.Fprintf(bw, " %s.%d/%s", np.Ref.Part.Name, np.Ref.Pin, np.Func)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadDesign parses the WriteDesign format.
+func ReadDesign(r io.Reader) (*netlist.Design, error) {
+	d := &netlist.Design{}
+	pkgs := map[string]*netlist.Package{}
+	parts := map[string]*netlist.Part{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(why string) error {
+			return fmt.Errorf("boardio: line %d: %s: %q", lineNo, why, line)
+		}
+		switch f[0] {
+		case "board":
+			if len(f) != 6 {
+				return nil, fail("board needs name cols rows layers pitch")
+			}
+			d.Name = f[1]
+			var err error
+			if d.ViaCols, err = strconv.Atoi(f[2]); err != nil {
+				return nil, fail(err.Error())
+			}
+			if d.ViaRows, err = strconv.Atoi(f[3]); err != nil {
+				return nil, fail(err.Error())
+			}
+			if d.Layers, err = strconv.Atoi(f[4]); err != nil {
+				return nil, fail(err.Error())
+			}
+			if d.Pitch, err = strconv.Atoi(f[5]); err != nil {
+				return nil, fail(err.Error())
+			}
+		case "package":
+			if len(f) < 4 {
+				return nil, fail("package needs name terminator offsets...")
+			}
+			p := &netlist.Package{Name: f[1], Terminator: f[2] == "1"}
+			for _, of := range f[3:] {
+				var x, y int
+				if _, err := fmt.Sscanf(of, "%d,%d", &x, &y); err != nil {
+					return nil, fail("bad offset " + of)
+				}
+				p.Offsets = append(p.Offsets, geom.Pt(x, y))
+			}
+			pkgs[p.Name] = p
+		case "part":
+			if len(f) != 6 {
+				return nil, fail("part needs name package x y tech")
+			}
+			pkg := pkgs[f[2]]
+			if pkg == nil {
+				return nil, fail("unknown package " + f[2])
+			}
+			x, err1 := strconv.Atoi(f[3])
+			y, err2 := strconv.Atoi(f[4])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad coordinates")
+			}
+			tech, err := parseTech(f[5])
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			part := &netlist.Part{Name: f[1], Pkg: pkg, At: geom.Pt(x, y), Tech: tech}
+			if parts[part.Name] != nil {
+				return nil, fail("duplicate part " + part.Name)
+			}
+			parts[part.Name] = part
+			d.Parts = append(d.Parts, part)
+		case "net":
+			if len(f) < 5 {
+				return nil, fail("net needs name tech delay pins...")
+			}
+			tech, err := parseTech(f[2])
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			delay, err := strconv.ParseFloat(f[3], 64)
+			if err != nil {
+				return nil, fail("bad delay")
+			}
+			n := &netlist.Net{Name: f[1], Tech: tech, TargetDelayPs: delay}
+			for _, ps := range f[4:] {
+				np, err := parseNetPin(ps, parts)
+				if err != nil {
+					return nil, fail(err.Error())
+				}
+				n.Pins = append(n.Pins, np)
+			}
+			d.Nets = append(d.Nets, n)
+		default:
+			return nil, fail("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d.ViaCols == 0 {
+		return nil, fmt.Errorf("boardio: no board line")
+	}
+	return d, d.Validate()
+}
+
+func parseTech(s string) (netlist.Tech, error) {
+	switch s {
+	case "ECL":
+		return netlist.ECL, nil
+	case "TTL":
+		return netlist.TTL, nil
+	}
+	return 0, fmt.Errorf("unknown tech %q", s)
+}
+
+func parseNetPin(s string, parts map[string]*netlist.Part) (netlist.NetPin, error) {
+	var np netlist.NetPin
+	slash := strings.LastIndexByte(s, '/')
+	if slash < 0 {
+		return np, fmt.Errorf("pin %q lacks /func", s)
+	}
+	switch s[slash+1:] {
+	case "out":
+		np.Func = netlist.Output
+	case "in":
+		np.Func = netlist.Input
+	case "term":
+		np.Func = netlist.Termination
+	default:
+		return np, fmt.Errorf("unknown pin func %q", s[slash+1:])
+	}
+	dot := strings.LastIndexByte(s[:slash], '.')
+	if dot < 0 {
+		return np, fmt.Errorf("pin %q lacks part.pin", s)
+	}
+	part := parts[s[:dot]]
+	if part == nil {
+		return np, fmt.Errorf("unknown part %q", s[:dot])
+	}
+	pin, err := strconv.Atoi(s[dot+1 : slash])
+	if err != nil {
+		return np, fmt.Errorf("bad pin number in %q", s)
+	}
+	np.Ref = netlist.PinRef{Part: part, Pin: pin}
+	return np, nil
+}
+
+// WriteConnections serializes a connection list (grid coordinates):
+//
+//	conn <ax> <ay> <bx> <by> <net> <class> <delayps>
+func WriteConnections(w io.Writer, conns []core.Connection) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range conns {
+		fmt.Fprintf(bw, "conn %d %d %d %d %s %s %g\n",
+			c.A.X, c.A.Y, c.B.X, c.B.Y, nameOr(c.Net, "-"), nameOr(c.Class, "-"), c.TargetDelayPs)
+	}
+	return bw.Flush()
+}
+
+// ReadConnections parses the WriteConnections format.
+func ReadConnections(r io.Reader) ([]core.Connection, error) {
+	var out []core.Connection
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if f[0] != "conn" || len(f) != 8 {
+			return nil, fmt.Errorf("boardio: line %d: want \"conn ax ay bx by net class delay\": %q", lineNo, line)
+		}
+		var c core.Connection
+		coords := make([]int, 4)
+		for i := 0; i < 4; i++ {
+			v, err := strconv.Atoi(f[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("boardio: line %d: bad coordinate %q", lineNo, f[i+1])
+			}
+			coords[i] = v
+		}
+		c.A, c.B = geom.Pt(coords[0], coords[1]), geom.Pt(coords[2], coords[3])
+		if f[5] != "-" {
+			c.Net = f[5]
+		}
+		if f[6] != "-" {
+			c.Class = f[6]
+		}
+		delay, err := strconv.ParseFloat(f[7], 64)
+		if err != nil {
+			return nil, fmt.Errorf("boardio: line %d: bad delay %q", lineNo, f[7])
+		}
+		c.TargetDelayPs = delay
+		out = append(out, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteRoutes serializes routing results:
+//
+//	route <index> <method> <net>
+//	seg <layer> <x1> <y1> <x2> <y2>
+//	via <x> <y>
+func WriteRoutes(w io.Writer, r *core.Router) error {
+	bw := bufio.NewWriter(w)
+	for i := range r.Conns {
+		rt := r.RouteOf(i)
+		fmt.Fprintf(bw, "route %d %s %s\n", i, rt.Method, nameOr(r.Conns[i].Net, "-"))
+		for _, ps := range rt.Segs {
+			o := r.B.Layers[ps.Layer].Orient
+			a := r.B.Cfg.PointAt(o, ps.Seg.Channel(), ps.Seg.Lo)
+			z := r.B.Cfg.PointAt(o, ps.Seg.Channel(), ps.Seg.Hi)
+			fmt.Fprintf(bw, "seg %d %d %d %d %d\n", ps.Layer, a.X, a.Y, z.X, z.Y)
+		}
+		for _, pv := range rt.Vias {
+			fmt.Fprintf(bw, "via %d %d\n", pv.At.X, pv.At.Y)
+		}
+	}
+	return bw.Flush()
+}
+
+func nameOr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// RouteRecord is one parsed route from a .rte file.
+type RouteRecord struct {
+	Index  int
+	Method string
+	Net    string
+	Segs   []SegRecord
+	Vias   []geom.Point
+}
+
+// SegRecord is one trace segment: a straight run on one layer between two
+// grid points (axis-aligned along the layer's channel direction).
+type SegRecord struct {
+	Layer int
+	A, B  geom.Point
+}
+
+// ReadRoutes parses the WriteRoutes format.
+func ReadRoutes(r io.Reader) ([]RouteRecord, error) {
+	var out []RouteRecord
+	var cur *RouteRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(why string) error {
+			return fmt.Errorf("boardio: line %d: %s: %q", lineNo, why, line)
+		}
+		switch f[0] {
+		case "route":
+			if len(f) != 4 {
+				return nil, fail("route needs index method net")
+			}
+			idx, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fail("bad index")
+			}
+			out = append(out, RouteRecord{Index: idx, Method: f[2], Net: f[3]})
+			cur = &out[len(out)-1]
+		case "seg":
+			if cur == nil {
+				return nil, fail("seg before route")
+			}
+			if len(f) != 6 {
+				return nil, fail("seg needs layer x1 y1 x2 y2")
+			}
+			var vals [5]int
+			for i := range vals {
+				v, err := strconv.Atoi(f[i+1])
+				if err != nil {
+					return nil, fail("bad number " + f[i+1])
+				}
+				vals[i] = v
+			}
+			cur.Segs = append(cur.Segs, SegRecord{
+				Layer: vals[0],
+				A:     geom.Pt(vals[1], vals[2]),
+				B:     geom.Pt(vals[3], vals[4]),
+			})
+		case "via":
+			if cur == nil {
+				return nil, fail("via before route")
+			}
+			if len(f) != 3 {
+				return nil, fail("via needs x y")
+			}
+			x, err1 := strconv.Atoi(f[1])
+			y, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad coordinates")
+			}
+			cur.Vias = append(cur.Vias, geom.Pt(x, y))
+		default:
+			return nil, fail("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyRoutes re-creates recorded routes on a board whose pins are
+// already placed: vias first, then segments, each owned by the record's
+// index plus idBase. A collision (the board differs from the one the
+// routes were saved from) aborts with an error; partially applied records
+// are left in place for inspection.
+func ApplyRoutes(b *board.Board, recs []RouteRecord, idBase int) error {
+	for _, rec := range recs {
+		id := layer.ConnID(rec.Index + idBase)
+		for _, v := range rec.Vias {
+			if _, ok := b.PlaceVia(v, id); !ok {
+				return fmt.Errorf("boardio: route %d: via %v collides", rec.Index, v)
+			}
+		}
+		for _, sr := range rec.Segs {
+			if sr.Layer < 0 || sr.Layer >= b.NumLayers() {
+				return fmt.Errorf("boardio: route %d: layer %d out of range", rec.Index, sr.Layer)
+			}
+			l := b.Layers[sr.Layer]
+			chA, posA := b.Cfg.ChanPos(l.Orient, sr.A)
+			chB, posB := b.Cfg.ChanPos(l.Orient, sr.B)
+			if chA != chB {
+				return fmt.Errorf("boardio: route %d: segment %v-%v not along layer %d channels",
+					rec.Index, sr.A, sr.B, sr.Layer)
+			}
+			lo, hi := min(posA, posB), max(posA, posB)
+			if b.AddSegment(sr.Layer, chA, lo, hi, id) == nil {
+				return fmt.Errorf("boardio: route %d: segment %v-%v collides", rec.Index, sr.A, sr.B)
+			}
+		}
+	}
+	return nil
+}

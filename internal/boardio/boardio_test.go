@@ -1,0 +1,281 @@
+package boardio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+func TestDesignRoundTrip(t *testing.T) {
+	d, err := workload.Generate(workload.SmallSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDesign(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDesign(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadDesign: %v\n%s", err, sb.String()[:200])
+	}
+	if got.Name != d.Name || got.ViaCols != d.ViaCols || got.ViaRows != d.ViaRows ||
+		got.Layers != d.Layers || got.Pitch != 3 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Parts) != len(d.Parts) || len(got.Nets) != len(d.Nets) {
+		t.Fatalf("parts %d/%d nets %d/%d", len(got.Parts), len(d.Parts), len(got.Nets), len(d.Nets))
+	}
+	for i := range d.Parts {
+		if got.Parts[i].Name != d.Parts[i].Name || got.Parts[i].At != d.Parts[i].At ||
+			got.Parts[i].Tech != d.Parts[i].Tech || got.Parts[i].Pkg.Pins() != d.Parts[i].Pkg.Pins() {
+			t.Fatalf("part %d mismatch", i)
+		}
+	}
+	for i := range d.Nets {
+		a, b := d.Nets[i], got.Nets[i]
+		if a.Name != b.Name || a.Tech != b.Tech || len(a.Pins) != len(b.Pins) {
+			t.Fatalf("net %d mismatch", i)
+		}
+		for j := range a.Pins {
+			if a.Pins[j].Ref.Pos() != b.Pins[j].Ref.Pos() || a.Pins[j].Func != b.Pins[j].Func {
+				t.Fatalf("net %d pin %d mismatch", i, j)
+			}
+		}
+	}
+	// The round-tripped design must string identically.
+	s1, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := stringer.String(got, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Conns) != len(s2.Conns) {
+		t.Fatalf("stringing differs: %d vs %d conns", len(s1.Conns), len(s2.Conns))
+	}
+	for i := range s1.Conns {
+		if s1.Conns[i].A != s2.Conns[i].A || s1.Conns[i].B != s2.Conns[i].B {
+			t.Fatalf("conn %d differs", i)
+		}
+	}
+}
+
+func TestConnectionsRoundTrip(t *testing.T) {
+	conns := []core.Connection{
+		{A: geom.Pt(0, 3), B: geom.Pt(9, 3), Net: "N1", Class: "ECL", TargetDelayPs: 450},
+		{A: geom.Pt(6, 6), B: geom.Pt(12, 0)},
+	}
+	var sb strings.Builder
+	if err := WriteConnections(&sb, conns); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConnections(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d conns", len(got))
+	}
+	for i := range conns {
+		if got[i] != conns[i] {
+			t.Errorf("conn %d: %+v != %+v", i, got[i], conns[i])
+		}
+	}
+}
+
+func TestReadDesignErrors(t *testing.T) {
+	cases := map[string]string{
+		"no board line":   "part U1 DIP24 0 0 ECL",
+		"bad directive":   "board x 5 5 2 3\nfrobnicate",
+		"unknown package": "board x 30 30 2 3\npart U1 NOPE 0 0 ECL",
+		"bad tech":        "board x 30 30 2 3\npackage P 0 0,0\npart U1 P 0 0 CMOS",
+		"bad offset":      "board x 30 30 2 3\npackage P 0 zap",
+		"unknown part":    "board x 30 30 2 3\npackage P 0 0,0 1,0\npart U1 P 0 0 ECL\nnet N ECL 0 U9.1/out U1.2/in",
+		"bad pin func":    "board x 30 30 2 3\npackage P 0 0,0 1,0\npart U1 P 0 0 ECL\nnet N ECL 0 U1.1/sideways U1.2/in",
+		"duplicate part":  "board x 30 30 2 3\npackage P 0 0,0\npart U1 P 0 0 ECL\npart U1 P 5 5 ECL",
+	}
+	for name, input := range cases {
+		if _, err := ReadDesign(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadConnectionsErrors(t *testing.T) {
+	for name, input := range map[string]string{
+		"short line": "conn 1 2 3",
+		"bad coord":  "conn a 2 3 4 - - 0",
+		"bad delay":  "conn 1 2 3 4 - - x",
+		"not conn":   "link 1 2 3 4 - - 0",
+	} {
+		if _, err := ReadConnections(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	input := "# heading\n\nconn 1 2 3 4 - - 0\n  # trailing comment line\n"
+	got, err := ReadConnections(strings.NewReader(input))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestWriteRoutes(t *testing.T) {
+	d, err := workload.Generate(workload.SmallSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b, sr.Conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Route()
+	var sb strings.Builder
+	if err := WriteRoutes(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "route ") != len(sr.Conns) {
+		t.Errorf("route lines = %d, want %d", strings.Count(out, "route "), len(sr.Conns))
+	}
+	viaLines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "via ") {
+			viaLines++
+		}
+	}
+	if viaLines != res.Metrics.ViasAdded {
+		t.Errorf("via lines = %d, want %d", viaLines, res.Metrics.ViasAdded)
+	}
+	if !strings.Contains(out, "seg ") {
+		t.Error("no segments written")
+	}
+}
+
+func TestRoutesRoundTripAndApply(t *testing.T) {
+	d, err := workload.Generate(workload.SmallSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b1); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b1, sr.Conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing failed")
+	}
+
+	var sb strings.Builder
+	if err := WriteRoutes(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRoutes(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sr.Conns) {
+		t.Fatalf("records = %d, conns = %d", len(recs), len(sr.Conns))
+	}
+
+	// Apply onto a fresh board with pins only: the layers must end up
+	// cell-for-cell identical to the routed original.
+	b2, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyRoutes(b2, recs, 0); err != nil {
+		t.Fatal(err)
+	}
+	for li := range b1.Layers {
+		if b1.Layers[li].Dump() != b2.Layers[li].Dump() {
+			t.Fatalf("layer %d differs after apply", li)
+		}
+	}
+	if err := b2.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRoutesDetectsCollision(t *testing.T) {
+	d, err := workload.Generate(workload.SmallSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b1); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b1, sr.Conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Route()
+	var sb strings.Builder
+	if err := WriteRoutes(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRoutes(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Applying onto the ALREADY routed board must collide immediately.
+	if err := ApplyRoutes(b1, recs, 0); err == nil {
+		t.Fatal("collision not detected")
+	}
+}
+
+func TestReadRoutesErrors(t *testing.T) {
+	for name, input := range map[string]string{
+		"seg before route": "seg 0 1 2 3 4",
+		"via before route": "via 1 2",
+		"bad route":        "route x lee N",
+		"bad seg":          "route 0 lee N\nseg a 1 2 3 4",
+		"bad via":          "route 0 lee N\nvia a 2",
+		"unknown":          "zorch",
+	} {
+		if _, err := ReadRoutes(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

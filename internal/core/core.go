@@ -1,0 +1,253 @@
+// Package core implements grr, the greedy printed circuit board router of
+// the paper (Sections 5–8). It routes a list of pin-to-pin connections on
+// a board.Board by applying strategies of increasing desperation to each
+// connection:
+//
+//  1. connection sorting, so the easiest connections are attempted first
+//     (Section 6);
+//  2. optimal zero-via and one-via solutions under the radius parameter
+//     (Section 8.1);
+//  3. a generalized Lee's algorithm whose neighbors are via sites
+//     reachable in one single-layer hop, searched bidirectionally under a
+//     cost function (Section 8.2);
+//  4. ripping up the connections blocking the most-progressed wavefront
+//     point, then putting the victims back after the new connection is in
+//     (Section 8.3).
+//
+// The outer loop (Section 8.4) makes passes over the connection list
+// until everything is routed or a pass makes no progress, which is the
+// symptom of an impossible problem.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// Connection is one pin-to-pin connection produced by the stringer. Both
+// endpoints must be pins already placed on the board (unit segments on
+// every layer at via sites).
+type Connection struct {
+	A, B geom.Point // grid coordinates of the two pins
+	Net  string     // owning net, for reporting only
+	// Class tags the connection's technology ("ECL", "TTL", ...). The
+	// router ignores it; the tiles package uses it to drive separated
+	// routing passes.
+	Class string
+	// TargetDelayPs is the target delay in picoseconds for length-tuned
+	// connections; zero means untuned. The router ignores it; the tuning
+	// package uses it.
+	TargetDelayPs float64
+}
+
+// Method records which strategy finally routed a connection.
+type Method uint8
+
+const (
+	NotRouted Method = iota
+	Trivial          // zero-length connection (both pins on one site)
+	ZeroVia
+	OneVia
+	Lee
+	PutBack // re-inserted unchanged after a rip-up
+)
+
+func (m Method) String() string {
+	switch m {
+	case Trivial:
+		return "trivial"
+	case ZeroVia:
+		return "zerovia"
+	case OneVia:
+		return "onevia"
+	case Lee:
+		return "lee"
+	case PutBack:
+		return "putback"
+	default:
+		return "unrouted"
+	}
+}
+
+// CostFn selects the Lee cost function of Section 8.2, modification 3.
+type CostFn uint8
+
+const (
+	// CostDistTimesHops is the paper's production cost function:
+	// distance(n, target) × hops(n, source). Each via in a path must buy
+	// progress toward the target.
+	CostDistTimesHops CostFn = iota
+	// CostPlusOne reproduces original Lee behaviour, cost(n)=cost(p)+1:
+	// minimum vias, breadth-first, slow.
+	CostPlusOne
+	// CostDistance is pure greed: distance(n, target) only; fast but
+	// willing to spend many vias circumventing minor obstacles.
+	CostDistance
+)
+
+func (c CostFn) String() string {
+	switch c {
+	case CostPlusOne:
+		return "plus-one"
+	case CostDistance:
+		return "distance"
+	default:
+		return "dist*hops"
+	}
+}
+
+// Options tune the router. The zero value is not valid; use
+// DefaultOptions.
+type Options struct {
+	// Radius bounds orthogonal movement on a layer, in via units
+	// (Section 8.1). Typical values are 1 or 2; larger values reach more
+	// vias but block more channels and are counterproductive.
+	Radius int
+	// Sort enables connection sorting (Section 6). Disabling it exists
+	// for the E-SORT ablation.
+	Sort bool
+	// Cost selects the Lee cost function.
+	Cost CostFn
+	// Bidirectional spreads wavefronts from both ends (Section 8.2,
+	// modification 2). Disabling it exists for the E-BIDIR ablation.
+	Bidirectional bool
+	// MaxRipupRounds bounds how many rip-up/retry rounds a single
+	// connection may trigger before it is declared failed for this pass.
+	MaxRipupRounds int
+	// RipupRadius is the half-size, in via units, of the box around the
+	// best wavefront point in which Obstructions selects victims.
+	RipupRadius int
+	// CostCapFactor abandons a Lee search once the cheapest wavefront
+	// entry exceeds this multiple of the connection's Manhattan length
+	// (plus a small absolute floor). Hopeless searches then fail fast
+	// into rip-up instead of flooding the board, and successful paths
+	// cannot wander arbitrarily. Zero disables the cap.
+	CostCapFactor int
+	// MaxPasses bounds the outer loop independently of the progress
+	// test, as a safety net for pathological inputs.
+	MaxPasses int
+	// AllowOffGrid accepts connection endpoints at arbitrary grid
+	// points instead of via sites only — Section 11's recommended
+	// extension. Off-grid endpoints must still be plated-through pins
+	// (board.PlacePinOffGrid); intermediate vias always stay on the via
+	// grid.
+	AllowOffGrid bool
+	// IDBase offsets the segment-owner IDs of this router's connections.
+	// Routing the same board in several passes (the ECL/TTL separation
+	// of Section 10.2) needs distinct ID ranges per pass so rip-up never
+	// confuses a previous pass's traces with its own.
+	IDBase int
+	// Escalate enables a final desperation phase: connections still
+	// unrouted after the normal passes are retried with the radius
+	// raised by one, the Lee cost cap removed and a doubled rip-up
+	// budget. The handful of connections left at the end are local
+	// congestion knots that the stronger (slower) settings usually
+	// crack. Disabled for ablation runs that measure the plain
+	// algorithm.
+	Escalate bool
+}
+
+// DefaultOptions returns the configuration used for all Table 1 runs.
+func DefaultOptions() Options {
+	return Options{
+		Radius:         1,
+		Sort:           true,
+		Cost:           CostDistTimesHops,
+		Bidirectional:  true,
+		MaxRipupRounds: 24,
+		RipupRadius:    2,
+		CostCapFactor:  8,
+		MaxPasses:      8,
+		Escalate:       true,
+	}
+}
+
+// Metrics aggregates the counters behind Table 1 and the in-text claims.
+type Metrics struct {
+	Connections int
+	Routed      int
+	Failed      int
+
+	ByMethod [PutBack + 1]int // indexed by Method
+
+	RipUps        int // connections ripped up (Table 1 "rip ups")
+	PutBacks      int // victims re-inserted unchanged
+	ReRouted      int // victims that needed full re-routing
+	ViasAdded     int // vias drilled (excludes pins)
+	LeeExpansions int // wavefront points expanded
+	LeeBlocked    int // Lee searches that exhausted a wavefront
+
+	// Failure reasons (per failed routeOne attempt).
+	FailNoVictims int // blocked with nothing rippable nearby
+	FailRounds    int // rip-up round limit exhausted
+	TraceCalls    int
+	ViasCalls     int
+	Passes        int
+	WireLength    int // total grid cells of placed trace segments
+}
+
+// OptimalShare returns the fraction of routed connections completed by
+// the optimal strategies (trivial, zero-via, one-via, put-back); the
+// paper wants this around 90% for a feasible problem.
+func (m Metrics) OptimalShare() float64 {
+	if m.Routed == 0 {
+		return 0
+	}
+	opt := m.ByMethod[Trivial] + m.ByMethod[ZeroVia] + m.ByMethod[OneVia] + m.ByMethod[PutBack]
+	return float64(opt) / float64(m.Routed)
+}
+
+// LeeShare returns the fraction of routed connections that needed Lee's
+// algorithm (Table 1 "% lee").
+func (m Metrics) LeeShare() float64 {
+	if m.Routed == 0 {
+		return 0
+	}
+	return float64(m.ByMethod[Lee]) / float64(m.Routed)
+}
+
+// ViasPerConn returns drilled vias per routed connection (Table 1
+// "vias").
+func (m Metrics) ViasPerConn() float64 {
+	if m.Routed == 0 {
+		return 0
+	}
+	return float64(m.ViasAdded) / float64(m.Routed)
+}
+
+// Route is the materialized realization of one connection.
+type Route struct {
+	Method Method
+	// Segs holds every trace segment placed for the connection, with its
+	// layer index.
+	Segs []PlacedSeg
+	// Vias holds every via drilled for the connection.
+	Vias []board.PlacedVia
+}
+
+// PlacedSeg pairs a live channel segment with its layer.
+type PlacedSeg struct {
+	Layer int
+	Seg   *layer.Segment
+}
+
+// Result reports the outcome of a Route call.
+type Result struct {
+	Metrics Metrics
+	// FailedConns lists the indices (into the input slice) of
+	// connections left unrouted.
+	FailedConns []int
+}
+
+// Complete reports whether every connection was routed.
+func (r Result) Complete() bool { return len(r.FailedConns) == 0 }
+
+func (r Result) String() string {
+	m := r.Metrics
+	return fmt.Sprintf("routed %d/%d (zerovia %d, onevia %d, lee %d, putback %d, trivial %d), ripups %d, vias %d, passes %d",
+		m.Routed, m.Connections, m.ByMethod[ZeroVia], m.ByMethod[OneVia], m.ByMethod[Lee],
+		m.ByMethod[PutBack], m.ByMethod[Trivial], m.RipUps, m.ViasAdded, m.Passes)
+}

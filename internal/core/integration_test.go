@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/stringer"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// buildSmall generates, strings and routes a small synthetic board,
+// returning everything a test needs to inspect the outcome.
+func buildSmall(t testing.TB, seed int64, opts core.Options) (*board.Board, *core.Router, core.Result) {
+	t.Helper()
+	d, err := workload.Generate(workload.SmallSpec(seed))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return routeDesign(t, d, opts)
+}
+
+func routeDesign(t testing.TB, d *netlist.Design, opts core.Options) (*board.Board, *core.Router, core.Result) {
+	t.Helper()
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatalf("board: %v", err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		t.Fatalf("pins: %v", err)
+	}
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatalf("stringer: %v", err)
+	}
+	r, err := core.New(b, sr.Conns, opts)
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	res := r.Route()
+	return b, r, res
+}
+
+func TestRouteSmallBoardCompletes(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		b, r, res := buildSmall(t, seed, core.DefaultOptions())
+		if !res.Complete() {
+			t.Errorf("seed %d: %d connections failed: %v (metrics %+v)",
+				seed, len(res.FailedConns), res.FailedConns, res.Metrics)
+		}
+		if err := verify.Routed(b, r); err != nil {
+			t.Errorf("seed %d: verification failed: %v", seed, err)
+		}
+		t.Logf("seed %d: %s", seed, res)
+	}
+}
+
+func TestRouteIsDeterministic(t *testing.T) {
+	_, r1, res1 := buildSmall(t, 7, core.DefaultOptions())
+	_, r2, res2 := buildSmall(t, 7, core.DefaultOptions())
+	if res1.String() != res2.String() {
+		t.Fatalf("results differ:\n%s\n%s", res1, res2)
+	}
+	for i := range r1.Conns {
+		m1, m2 := r1.RouteOf(i).Method, r2.RouteOf(i).Method
+		if m1 != m2 {
+			t.Fatalf("connection %d methods differ: %v vs %v", i, m1, m2)
+		}
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	_, _, res := buildSmall(t, 3, core.DefaultOptions())
+	m := res.Metrics
+	sum := 0
+	for _, n := range m.ByMethod {
+		sum += n
+	}
+	if sum != m.Routed {
+		t.Errorf("method counts sum to %d, routed %d", sum, m.Routed)
+	}
+	if m.Routed+m.Failed != m.Connections {
+		t.Errorf("routed %d + failed %d != connections %d", m.Routed, m.Failed, m.Connections)
+	}
+	if m.ViasAdded < 0 || m.WireLength <= 0 {
+		t.Errorf("implausible metrics: vias %d, wire %d", m.ViasAdded, m.WireLength)
+	}
+}
+
+func TestOptimalShareDominates(t *testing.T) {
+	// Section 8.1: on feasible boards ~90% of connections should route
+	// with the optimal (zero/one-via) strategies. Small boards are
+	// uncongested, so the share should be very high.
+	_, _, res := buildSmall(t, 2, core.DefaultOptions())
+	if share := res.Metrics.OptimalShare(); share < 0.8 {
+		t.Errorf("optimal share %.2f, want >= 0.8 (metrics %+v)", share, res.Metrics)
+	}
+}

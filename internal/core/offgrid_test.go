@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// These tests cover the Section 11 extension: connection endpoints at
+// arbitrary grid points rather than via sites only.
+
+func TestOffGridEndpointsRejectedByDefault(t *testing.T) {
+	b := emptyBoard(t, 10, 10, 2)
+	p := geom.Pt(4, 4) // not a via site (pitch 3)
+	if err := b.PlacePinOffGrid(p); err != nil {
+		t.Fatal(err)
+	}
+	q := pinAt(t, b, geom.Pt(7, 7))
+	if _, err := New(b, []Connection{{A: p, B: q}}, DefaultOptions()); err == nil {
+		t.Fatal("off-grid endpoint accepted without AllowOffGrid")
+	}
+}
+
+func TestOffGridStraight(t *testing.T) {
+	b := emptyBoard(t, 10, 10, 2)
+	a, c := geom.Pt(4, 13), geom.Pt(22, 13) // same row, both off the via grid
+	if err := b.PlacePinOffGrid(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlacePinOffGrid(c); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.AllowOffGrid = true
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
+	res := r.Route()
+	if !res.Complete() {
+		t.Fatalf("off-grid straight route failed: %+v", res.Metrics)
+	}
+	if r.RouteOf(0).Method != ZeroVia {
+		t.Errorf("method = %v, want zerovia", r.RouteOf(0).Method)
+	}
+}
+
+func TestOffGridLShape(t *testing.T) {
+	b := emptyBoard(t, 12, 12, 2)
+	a, c := geom.Pt(4, 4), geom.Pt(25, 26) // both off-grid, diagonal
+	if err := b.PlacePinOffGrid(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlacePinOffGrid(c); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.AllowOffGrid = true
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
+	res := r.Route()
+	if !res.Complete() {
+		t.Fatalf("off-grid L route failed: %+v", res.Metrics)
+	}
+	// Any intermediate vias must sit on the via grid even though the
+	// endpoints do not.
+	for _, pv := range r.RouteOf(0).Vias {
+		if !b.Cfg.IsViaSite(pv.At) {
+			t.Errorf("intermediate via %v is off the via grid", pv.At)
+		}
+	}
+}
+
+func TestOffGridMixedWithOnGrid(t *testing.T) {
+	b := emptyBoard(t, 14, 14, 2)
+	off := geom.Pt(7, 8) // off-grid
+	if err := b.PlacePinOffGrid(off); err != nil {
+		t.Fatal(err)
+	}
+	on := pinAt(t, b, geom.Pt(10, 10))
+	opts := DefaultOptions()
+	opts.AllowOffGrid = true
+	r := mustRouter(t, b, []Connection{{A: off, B: on}}, opts)
+	if res := r.Route(); !res.Complete() {
+		t.Fatalf("mixed on/off-grid route failed: %+v", res.Metrics)
+	}
+}
+
+func TestOffGridManyConnectionsNoOverlap(t *testing.T) {
+	b := emptyBoard(t, 20, 12, 2)
+	opts := DefaultOptions()
+	opts.AllowOffGrid = true
+	var conns []Connection
+	for i := 0; i < 5; i++ {
+		a := geom.Pt(4, 4+5*i)
+		c := geom.Pt(50, 5+5*i)
+		if err := b.PlacePinOffGrid(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.PlacePinOffGrid(c); err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, Connection{A: a, B: c})
+	}
+	r := mustRouter(t, b, conns, opts)
+	res := r.Route()
+	if !res.Complete() {
+		t.Fatalf("off-grid bundle failed: %v", res.FailedConns)
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacePinOffGridOnGridPointDelegates(t *testing.T) {
+	b := emptyBoard(t, 8, 8, 2)
+	if err := b.PlacePinOffGrid(geom.Pt(6, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.OffGridHoles) != 0 {
+		t.Error("on-grid point recorded as off-grid hole")
+	}
+	if err := b.PlacePinOffGrid(geom.Pt(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.OffGridHoles) != 1 {
+		t.Error("off-grid hole not recorded")
+	}
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/layer"
+	"repro/internal/sla"
+)
+
+// Router routes a fixed list of connections on one board. Create it with
+// New, then call Route once; the Router retains the realized routes for
+// inspection, rendering and length tuning.
+type Router struct {
+	B     *board.Board
+	Opts  Options
+	Conns []Connection
+
+	routes  []Route // indexed like Conns
+	order   []int   // routing order (indices into Conns)
+	ripped  map[int]rippedRoute
+	search  *sla.Searcher
+	metrics Metrics
+}
+
+// New builds a router for the given board and connections. The
+// connections are copied; the board is mutated by Route.
+func New(b *board.Board, conns []Connection, opts Options) (*Router, error) {
+	if opts.Radius < 0 {
+		return nil, fmt.Errorf("core: negative radius %d", opts.Radius)
+	}
+	if opts.Radius == 0 {
+		opts.Radius = 1
+	}
+	if opts.MaxRipupRounds <= 0 {
+		opts.MaxRipupRounds = DefaultOptions().MaxRipupRounds
+	}
+	if opts.RipupRadius <= 0 {
+		opts.RipupRadius = DefaultOptions().RipupRadius
+	}
+	if opts.MaxPasses <= 0 {
+		opts.MaxPasses = DefaultOptions().MaxPasses
+	}
+	bounds := b.Cfg.Bounds()
+	for i, c := range conns {
+		if !c.A.In(bounds) || !c.B.In(bounds) {
+			return nil, fmt.Errorf("core: connection %d endpoint off board: %v-%v", i, c.A, c.B)
+		}
+		if !opts.AllowOffGrid && (!b.Cfg.IsViaSite(c.A) || !b.Cfg.IsViaSite(c.B)) {
+			return nil, fmt.Errorf("core: connection %d endpoint off via grid: %v-%v (set AllowOffGrid to permit)", i, c.A, c.B)
+		}
+	}
+	r := &Router{
+		B:     b,
+		Opts:  opts,
+		Conns: append([]Connection(nil), conns...),
+	}
+	r.routes = make([]Route, len(r.Conns))
+	r.ripped = make(map[int]rippedRoute)
+	r.search = sla.NewSearcher(b.Cfg)
+	r.order = SortOrder(b, r.Conns, opts.Sort)
+	return r, nil
+}
+
+// SortOrder returns the routing order for conns. With doSort set it
+// applies the Section 6 keys — min(dx,dy) major, max(dx,dy) minor, both
+// in via units — so the straightest, then shortest, connections come
+// first; otherwise it returns input order.
+func SortOrder(b *board.Board, conns []Connection, doSort bool) []int {
+	order := make([]int, len(conns))
+	for i := range order {
+		order[i] = i
+	}
+	if !doSort {
+		return order
+	}
+	type key struct{ straight, length int }
+	keys := make([]key, len(conns))
+	for i, c := range conns {
+		dx, dy := b.Cfg.ViaDist(c.A, c.B)
+		if dx > dy {
+			dx, dy = dy, dx
+		}
+		keys[i] = key{dx, dy}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka.straight != kb.straight {
+			return ka.straight < kb.straight
+		}
+		return ka.length < kb.length
+	})
+	return order
+}
+
+// RouteOf returns the realized route of connection i (as indexed in the
+// input slice). The route is empty if the connection failed.
+func (r *Router) RouteOf(i int) *Route { return &r.routes[i] }
+
+// Metrics returns the counters accumulated so far.
+func (r *Router) Metrics() Metrics { return r.metrics }
+
+// Route runs the complete algorithm of Section 8.4 and returns the
+// result. It may be called only once per Router.
+func (r *Router) Route() Result {
+	r.metrics.Connections = len(r.Conns)
+	prevUnrouted := len(r.Conns) + 1
+	for pass := 0; pass < r.Opts.MaxPasses; pass++ {
+		for _, i := range r.order {
+			if r.routes[i].Method == NotRouted {
+				r.routeOne(i)
+			}
+		}
+		r.metrics.Passes++
+		// Count what is actually unrouted at the end of the pass: rip-up
+		// victims whose put-back failed are unrouted again even though
+		// their own routeOne call succeeded earlier in the pass.
+		unrouted := 0
+		for i := range r.routes {
+			if r.routes[i].Method == NotRouted {
+				unrouted++
+			}
+		}
+		if unrouted == 0 || unrouted >= prevUnrouted {
+			// No progress: the problem is too hard; stop rather than rip
+			// up connections indefinitely (Section 8.4).
+			break
+		}
+		prevUnrouted = unrouted
+	}
+
+	if r.Opts.Escalate {
+		unrouted := 0
+		for i := range r.routes {
+			if r.routes[i].Method == NotRouted {
+				unrouted++
+			}
+		}
+		// Escalation is for cracking a handful of local congestion
+		// knots. A large residue means the problem is infeasible (the
+		// kdj11 2-layer case); burning the stronger settings on it
+		// would multiply the runtime without completing the board.
+		if unrouted > 0 && unrouted <= max(20, len(r.Conns)/50) {
+			r.escalate()
+		}
+	}
+
+	var res Result
+	for i := range r.routes {
+		if r.routes[i].Method == NotRouted {
+			res.FailedConns = append(res.FailedConns, i)
+		}
+	}
+	r.metrics.Routed = len(r.Conns) - len(res.FailedConns)
+	r.metrics.Failed = len(res.FailedConns)
+	res.Metrics = r.metrics
+	return res
+}
+
+// escalate retries the stragglers under progressively stronger, slower
+// settings (see Options.Escalate). The option tweaks are restored before
+// returning.
+func (r *Router) escalate() {
+	saved := r.Opts
+	defer func() { r.Opts = saved }()
+	r.Opts.CostCapFactor = 0
+	r.Opts.MaxRipupRounds *= 2
+
+	for stage := 1; stage <= 2; stage++ {
+		r.Opts.Radius = saved.Radius + stage
+		prev := len(r.Conns) + 1
+		for pass := 0; pass < r.Opts.MaxPasses; pass++ {
+			unrouted := 0
+			for _, i := range r.order {
+				if r.routes[i].Method == NotRouted {
+					r.routeOne(i)
+				}
+			}
+			for i := range r.routes {
+				if r.routes[i].Method == NotRouted {
+					unrouted++
+				}
+			}
+			if unrouted == 0 {
+				return
+			}
+			if unrouted >= prev {
+				break
+			}
+			prev = unrouted
+		}
+	}
+}
+
+// routeOne tries the strategy ladder for connection i, ripping up
+// obstacles between attempts, then puts ripped victims back. It reports
+// whether the connection ended up routed.
+func (r *Router) routeOne(i int) bool {
+	c := &r.Conns[i]
+	if c.A == c.B {
+		r.routes[i] = Route{Method: Trivial}
+		r.metrics.ByMethod[Trivial]++
+		return true
+	}
+
+	var ripped []int
+	defer func() { r.putBack(ripped) }()
+
+	for round := 0; ; round++ {
+		if rt, ok := r.zeroVia(i); ok {
+			r.commit(i, rt, ZeroVia)
+			return true
+		}
+		if rt, ok := r.oneVia(i); ok {
+			r.commit(i, rt, OneVia)
+			return true
+		}
+		rt, best, ok := r.lee(i)
+		if ok {
+			r.commit(i, rt, Lee)
+			return true
+		}
+		if round >= r.Opts.MaxRipupRounds {
+			r.metrics.FailRounds++
+			return false
+		}
+		victims := r.selectVictims(best, i)
+		if len(victims) == 0 {
+			r.metrics.FailNoVictims++
+			return false // nothing rippable is in the way
+		}
+		for _, v := range victims {
+			r.ripUp(v)
+			ripped = append(ripped, v)
+		}
+	}
+}
+
+// commit records a successful route.
+func (r *Router) commit(i int, rt Route, m Method) {
+	rt.Method = m
+	r.routes[i] = rt
+	r.metrics.ByMethod[m]++
+	for _, ps := range rt.Segs {
+		r.metrics.WireLength += ps.Seg.Interval().Len()
+	}
+	r.metrics.ViasAdded += len(rt.Vias)
+}
+
+// connID maps a connection index to its segment-owner ID.
+func (r *Router) connID(i int) layer.ConnID { return layer.ConnID(i + r.Opts.IDBase) }
+
+// materialize places the runs of one single-layer trace, appending the
+// created segments to rt. On a collision it rolls the whole route back
+// and reports failure; collisions here are rare (they require a via
+// drilled mid-materialization to have split an interval that a pending
+// junction needed) and the caller simply tries another strategy.
+func (r *Router) materialize(rt *Route, li int, runs []sla.Run, id layer.ConnID) bool {
+	for _, run := range runs {
+		s := r.B.AddSegment(li, run.Chan, run.Span.Lo, run.Span.Hi, id)
+		if s == nil {
+			r.rollback(rt)
+			return false
+		}
+		rt.Segs = append(rt.Segs, PlacedSeg{Layer: li, Seg: s})
+	}
+	return true
+}
+
+// rollback removes everything rt has placed.
+func (r *Router) rollback(rt *Route) {
+	for _, ps := range rt.Segs {
+		r.B.RemoveSegment(ps.Layer, ps.Seg)
+	}
+	for _, pv := range rt.Vias {
+		r.B.RemoveVia(pv)
+	}
+	rt.Segs, rt.Vias = nil, nil
+}
+
+// drill places a via for rt at p.
+func (r *Router) drill(rt *Route, p geom.Point, id layer.ConnID) bool {
+	pv, ok := r.B.PlaceVia(p, id)
+	if !ok {
+		return false
+	}
+	rt.Vias = append(rt.Vias, pv)
+	return true
+}
+
+// unrealize removes connection i's realization from the board, adjusting
+// the metrics and returning an exact record of where it was.
+func (r *Router) unrealize(i int) rippedRoute {
+	old := r.routes[i]
+	shadowSegs := make([]rippedSeg, 0, len(old.Segs))
+	for _, ps := range old.Segs {
+		shadowSegs = append(shadowSegs, rippedSeg{
+			layer: ps.Layer, ch: ps.Seg.Channel(), span: ps.Seg.Interval(),
+		})
+		r.metrics.WireLength -= ps.Seg.Interval().Len()
+		r.B.RemoveSegment(ps.Layer, ps.Seg)
+	}
+	shadowVias := make([]geom.Point, 0, len(old.Vias))
+	for _, pv := range old.Vias {
+		shadowVias = append(shadowVias, pv.At)
+		r.B.RemoveVia(pv)
+	}
+	r.metrics.ViasAdded -= len(old.Vias)
+	r.metrics.ByMethod[old.Method]--
+	r.routes[i] = Route{Method: NotRouted}
+	return rippedRoute{segs: shadowSegs, vias: shadowVias}
+}
+
+// reinsert re-creates a previously removed realization exactly. It
+// reports failure (with everything rolled back) if any of the space has
+// been taken.
+func (r *Router) reinsert(i int, rec rippedRoute, method Method) bool {
+	var rt Route
+	id := r.connID(i)
+	for _, p := range rec.vias {
+		if !r.drill(&rt, p, id) {
+			r.rollback(&rt)
+			return false
+		}
+	}
+	for _, rs := range rec.segs {
+		s := r.B.AddSegment(rs.layer, rs.ch, rs.span.Lo, rs.span.Hi, id)
+		if s == nil {
+			r.rollback(&rt)
+			return false
+		}
+		rt.Segs = append(rt.Segs, PlacedSeg{Layer: rs.layer, Seg: s})
+	}
+	r.commit(i, rt, method)
+	return true
+}
+
+// ripUp removes connection v's realization from the board, remembering
+// exactly where it was so putBack can re-insert it cheaply (Section 8.3).
+func (r *Router) ripUp(v int) {
+	rec := r.unrealize(v)
+	r.metrics.RipUps++
+	r.ripped[v] = rec
+}
+
+// rippedSeg and rippedRoute remember where a ripped-up connection used to
+// be so it can be re-inserted "at very low cost".
+type rippedSeg struct {
+	layer int
+	ch    int
+	span  geom.Interval
+}
+
+type rippedRoute struct {
+	segs []rippedSeg
+	vias []geom.Point
+}
+
+// putBack attempts to re-insert each ripped victim exactly where it was.
+// Victims whose space was taken by the new connection stay unrouted and
+// are re-routed by the pass loop (Section 8.3: "The remaining few must be
+// marked for re-routing in the connection list").
+func (r *Router) putBack(victims []int) {
+	for _, v := range victims {
+		rec, ok := r.ripped[v]
+		if !ok || r.routes[v].Method != NotRouted {
+			continue
+		}
+		if r.reinsert(v, rec, PutBack) {
+			delete(r.ripped, v)
+			r.metrics.PutBacks++
+			continue
+		}
+		delete(r.ripped, v)
+		r.metrics.ReRouted++
+		// The new connection took some of the victim's old space. Try a
+		// fresh route immediately — without rip-up rights, so victims
+		// cannot cascade — before leaving it for the next pass.
+		r.routeLadder(v)
+	}
+}
+
+// routeLadder runs the zero-via/one-via/Lee ladder once for connection i
+// with no rip-up. It is used for re-routing put-back casualties.
+func (r *Router) routeLadder(i int) bool {
+	if rt, ok := r.zeroVia(i); ok {
+		r.commit(i, rt, ZeroVia)
+		return true
+	}
+	if rt, ok := r.oneVia(i); ok {
+		r.commit(i, rt, OneVia)
+		return true
+	}
+	if rt, _, ok := r.lee(i); ok {
+		r.commit(i, rt, Lee)
+		return true
+	}
+	return false
+}
+
+// selectVictims runs Obstructions on every layer around the best
+// wavefront point of the failed Lee search (Section 8.3) and returns the
+// rippable connections found, excluding the one being routed.
+func (r *Router) selectVictims(best geom.Point, self int) []int {
+	pitch := r.B.Cfg.Pitch
+	box := geom.Bounding(best, best).Expand(r.Opts.RipupRadius * pitch).Intersect(r.B.Cfg.Bounds())
+	seen := make(map[layer.ConnID]struct{})
+	var victims []int
+	for _, l := range r.B.Layers {
+		for _, id := range r.search.Obstructions(l, best, box) {
+			v := int(id) - r.Opts.IDBase
+			if v == self || v < 0 || v >= len(r.Conns) {
+				// Foreign metal (another routing pass) is never a victim.
+				continue
+			}
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			victims = append(victims, v)
+		}
+	}
+	sort.Ints(victims) // deterministic rip order
+	return victims
+}

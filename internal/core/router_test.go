@@ -1,0 +1,384 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+)
+
+func emptyBoard(t testing.TB, viaCols, viaRows, layers int) *board.Board {
+	t.Helper()
+	b, err := board.New(grid.NewConfig(viaCols, viaRows, 3, layers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func pinAt(t testing.TB, b *board.Board, via geom.Point) geom.Point {
+	t.Helper()
+	p := b.Cfg.GridOf(via)
+	if err := b.PlacePin(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustRouter(t testing.TB, b *board.Board, conns []Connection, opts Options) *Router {
+	t.Helper()
+	r, err := New(b, conns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSortOrderKeys(t *testing.T) {
+	b := emptyBoard(t, 30, 30, 2)
+	mk := func(ax, ay, bx, by int) Connection {
+		return Connection{A: b.Cfg.GridOf(geom.Pt(ax, ay)), B: b.Cfg.GridOf(geom.Pt(bx, by))}
+	}
+	conns := []Connection{
+		mk(0, 0, 10, 10), // min 10, max 10 — most diagonal, last
+		mk(0, 0, 0, 3),   // min 0, max 3 — short straight
+		mk(0, 0, 12, 0),  // min 0, max 12 — long straight
+		mk(0, 0, 2, 9),   // min 2, max 9
+		mk(0, 0, 0, 1),   // min 0, max 1 — shortest straight, first
+	}
+	order := SortOrder(b, conns, true)
+	want := []int{4, 1, 2, 3, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	unsorted := SortOrder(b, conns, false)
+	for i := range unsorted {
+		if unsorted[i] != i {
+			t.Fatalf("unsorted order = %v", unsorted)
+		}
+	}
+}
+
+func TestSortIsStable(t *testing.T) {
+	b := emptyBoard(t, 30, 30, 2)
+	mk := func(ax, ay, bx, by int) Connection {
+		return Connection{A: b.Cfg.GridOf(geom.Pt(ax, ay)), B: b.Cfg.GridOf(geom.Pt(bx, by))}
+	}
+	// Three identical-key connections keep input order.
+	conns := []Connection{mk(0, 0, 5, 0), mk(1, 1, 6, 1), mk(2, 2, 7, 2)}
+	order := SortOrder(b, conns, true)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("stable sort violated: %v", order)
+		}
+	}
+}
+
+func TestZeroViaStraight(t *testing.T) {
+	b := emptyBoard(t, 12, 12, 2)
+	a := pinAt(t, b, geom.Pt(1, 5))
+	c := pinAt(t, b, geom.Pt(9, 5))
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, DefaultOptions())
+	res := r.Route()
+	if !res.Complete() {
+		t.Fatal("failed")
+	}
+	rt := r.RouteOf(0)
+	if rt.Method != ZeroVia {
+		t.Fatalf("method = %v, want zerovia", rt.Method)
+	}
+	if len(rt.Vias) != 0 {
+		t.Errorf("straight route drilled %d vias", len(rt.Vias))
+	}
+	// Horizontal connection must land on a horizontal layer (layer 1).
+	for _, ps := range rt.Segs {
+		if b.Layers[ps.Layer].Orient != grid.Horizontal {
+			t.Errorf("straight horizontal run on %v layer", b.Layers[ps.Layer].Orient)
+		}
+	}
+}
+
+func TestOneViaL(t *testing.T) {
+	b := emptyBoard(t, 12, 12, 2)
+	a := pinAt(t, b, geom.Pt(1, 1))
+	c := pinAt(t, b, geom.Pt(9, 9))
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, DefaultOptions())
+	res := r.Route()
+	if !res.Complete() {
+		t.Fatal("failed")
+	}
+	rt := r.RouteOf(0)
+	if rt.Method != OneVia {
+		t.Fatalf("method = %v, want onevia", rt.Method)
+	}
+	if len(rt.Vias) != 1 {
+		t.Fatalf("L route drilled %d vias", len(rt.Vias))
+	}
+	// The via should be at one of the two corners (the best candidates).
+	v := rt.Vias[0].At
+	c1 := geom.Pt(c.X, a.Y)
+	c2 := geom.Pt(a.X, c.Y)
+	if v != c1 && v != c2 {
+		t.Errorf("via at %v, want corner %v or %v", v, c1, c2)
+	}
+}
+
+func TestTrivialConnection(t *testing.T) {
+	b := emptyBoard(t, 8, 8, 2)
+	a := pinAt(t, b, geom.Pt(2, 2))
+	r := mustRouter(t, b, []Connection{{A: a, B: a}}, DefaultOptions())
+	res := r.Route()
+	if !res.Complete() || r.RouteOf(0).Method != Trivial {
+		t.Fatal("self connection not trivially routed")
+	}
+}
+
+func TestLeeUsedWhenOptimalBlocked(t *testing.T) {
+	b := emptyBoard(t, 16, 16, 2)
+	a := pinAt(t, b, geom.Pt(2, 7))
+	c := pinAt(t, b, geom.Pt(13, 7))
+	// Vertical wall between them on both layers spanning beyond the
+	// radius-expanded direct box (radius 1 → ±3 grid rows), with free
+	// space far above.
+	wallX := 22
+	for li := 0; li < 2; li++ {
+		o := b.Layers[li].Orient
+		for y := 9; y <= 33; y++ {
+			ch, pos := b.Cfg.ChanPos(o, geom.Pt(wallX, y))
+			if b.AddSegment(li, ch, pos, pos, layer.KeepoutOwner) == nil {
+				t.Fatal("wall setup failed")
+			}
+		}
+	}
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, DefaultOptions())
+	res := r.Route()
+	if !res.Complete() {
+		t.Fatalf("failed: %+v", res.Metrics)
+	}
+	if got := r.RouteOf(0).Method; got != Lee {
+		t.Fatalf("method = %v, want lee", got)
+	}
+}
+
+func TestRipUpFreesSpace(t *testing.T) {
+	// Narrow board, 2 layers. First route a connection that occupies the
+	// only corridor, then ask for one that needs it. The router must rip
+	// up the first, route the second, and re-route the first.
+	b := emptyBoard(t, 9, 4, 2)
+	a1 := pinAt(t, b, geom.Pt(1, 1))
+	b1 := pinAt(t, b, geom.Pt(7, 1))
+	a2 := pinAt(t, b, geom.Pt(1, 2))
+	b2 := pinAt(t, b, geom.Pt(7, 2))
+	conns := []Connection{
+		{A: a1, B: b1, Net: "first"},
+		{A: a2, B: b2, Net: "second"},
+	}
+	opts := DefaultOptions()
+	r := mustRouter(t, b, conns, opts)
+	res := r.Route()
+	if !res.Complete() {
+		t.Fatalf("failed: %v (metrics %+v)", res.FailedConns, res.Metrics)
+	}
+}
+
+func TestRadiusConstraintRespected(t *testing.T) {
+	// dy = 2 via units: with radius 1 a direct horizontal solution is
+	// not allowed; with radius 2 it is.
+	b := emptyBoard(t, 14, 14, 2)
+	a := pinAt(t, b, geom.Pt(2, 4))
+	c := pinAt(t, b, geom.Pt(10, 6))
+
+	opts := DefaultOptions()
+	opts.Radius = 2
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("radius-2 route failed")
+	}
+	if got := r.RouteOf(0).Method; got != ZeroVia {
+		t.Errorf("radius 2: method %v, want zerovia", got)
+	}
+
+	b2 := emptyBoard(t, 14, 14, 2)
+	a2 := pinAt(t, b2, geom.Pt(2, 4))
+	c2 := pinAt(t, b2, geom.Pt(10, 6))
+	opts.Radius = 1
+	r2 := mustRouter(t, b2, []Connection{{A: a2, B: c2}}, opts)
+	if res := r2.Route(); !res.Complete() {
+		t.Fatal("radius-1 route failed")
+	}
+	if got := r2.RouteOf(0).Method; got == ZeroVia {
+		t.Errorf("radius 1: zero-via solution should be out of reach for dy=2")
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	b := emptyBoard(t, 8, 8, 2)
+	if _, err := New(b, []Connection{{A: geom.Pt(-3, 0), B: geom.Pt(0, 0)}}, DefaultOptions()); err == nil {
+		t.Error("off-board endpoint accepted")
+	}
+	if _, err := New(b, []Connection{{A: geom.Pt(1, 1), B: geom.Pt(0, 0)}}, DefaultOptions()); err == nil {
+		t.Error("off-via-grid endpoint accepted")
+	}
+	opts := DefaultOptions()
+	opts.Radius = -1
+	if _, err := New(b, nil, opts); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestCostFunctions(t *testing.T) {
+	b := emptyBoard(t, 8, 8, 2)
+	r := mustRouter(t, b, nil, DefaultOptions())
+	n, target := geom.Pt(3, 3), geom.Pt(9, 9)
+
+	r.Opts.Cost = CostPlusOne
+	if got := r.cost(n, target, 3); got != 3 {
+		t.Errorf("plus-one cost = %d", got)
+	}
+	r.Opts.Cost = CostDistance
+	if got := r.cost(n, target, 3); got != 12 {
+		t.Errorf("distance cost = %d", got)
+	}
+	r.Opts.Cost = CostDistTimesHops
+	if got := r.cost(n, target, 3); got != 36 {
+		t.Errorf("dist*hops cost = %d", got)
+	}
+}
+
+func TestMethodAndCostStrings(t *testing.T) {
+	for m, s := range map[Method]string{
+		NotRouted: "unrouted", Trivial: "trivial", ZeroVia: "zerovia",
+		OneVia: "onevia", Lee: "lee", PutBack: "putback",
+	} {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+	for c, s := range map[CostFn]string{
+		CostDistTimesHops: "dist*hops", CostPlusOne: "plus-one", CostDistance: "distance",
+	} {
+		if c.String() != s {
+			t.Errorf("CostFn %d = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestAllCostFunctionsRoute(t *testing.T) {
+	for _, cf := range []CostFn{CostDistTimesHops, CostPlusOne, CostDistance} {
+		b := emptyBoard(t, 16, 16, 2)
+		a := pinAt(t, b, geom.Pt(2, 7))
+		c := pinAt(t, b, geom.Pt(13, 7))
+		wallX := 22
+		for li := 0; li < 2; li++ {
+			o := b.Layers[li].Orient
+			for y := 9; y <= 33; y++ {
+				ch, pos := b.Cfg.ChanPos(o, geom.Pt(wallX, y))
+				b.AddSegment(li, ch, pos, pos, layer.KeepoutOwner)
+			}
+		}
+		opts := DefaultOptions()
+		opts.Cost = cf
+		r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
+		if res := r.Route(); !res.Complete() {
+			t.Errorf("cost %v: route failed", cf)
+		}
+	}
+}
+
+func TestUnidirectionalRoutes(t *testing.T) {
+	b := emptyBoard(t, 16, 16, 2)
+	a := pinAt(t, b, geom.Pt(2, 7))
+	c := pinAt(t, b, geom.Pt(13, 7))
+	wallX := 22
+	for li := 0; li < 2; li++ {
+		o := b.Layers[li].Orient
+		for y := 9; y <= 33; y++ {
+			ch, pos := b.Cfg.ChanPos(o, geom.Pt(wallX, y))
+			b.AddSegment(li, ch, pos, pos, layer.KeepoutOwner)
+		}
+	}
+	opts := DefaultOptions()
+	opts.Bidirectional = false
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("unidirectional route failed")
+	}
+}
+
+func TestImpossibleProblemTerminates(t *testing.T) {
+	// Completely wall off b's pin on all layers with permanent keepout:
+	// the router must give up, not loop forever.
+	b := emptyBoard(t, 10, 10, 2)
+	a := pinAt(t, b, geom.Pt(1, 1))
+	c := pinAt(t, b, geom.Pt(7, 7))
+	for li := 0; li < 2; li++ {
+		o := b.Layers[li].Orient
+		for dx := -2; dx <= 2; dx++ {
+			for dy := -2; dy <= 2; dy++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				p := c.Add(geom.Pt(dx, dy))
+				ch, pos := b.Cfg.ChanPos(o, p)
+				b.AddSegment(li, ch, pos, pos, layer.KeepoutOwner)
+			}
+		}
+	}
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, DefaultOptions())
+	res := r.Route()
+	if res.Complete() {
+		t.Fatal("routed through a solid wall")
+	}
+	if res.Metrics.Failed != 1 || len(res.FailedConns) != 1 {
+		t.Errorf("metrics: %+v", res.Metrics)
+	}
+}
+
+func TestPutBackRestoresVictims(t *testing.T) {
+	// After routing with rip-ups, every connection must again be routed
+	// and the board consistent.
+	_, r, res := buildDense(t)
+	if res.Metrics.RipUps > 0 && res.Metrics.PutBacks == 0 && res.Metrics.ReRouted == 0 {
+		t.Error("rip-ups happened but nothing was put back or re-routed")
+	}
+	for i := range r.Conns {
+		if r.RouteOf(i).Method == NotRouted && !contains(res.FailedConns, i) {
+			t.Errorf("connection %d unrouted but not reported failed", i)
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// buildDense routes a deliberately congested small board.
+func buildDense(t testing.TB) (*board.Board, *Router, Result) {
+	t.Helper()
+	b := emptyBoard(t, 20, 8, 2)
+	var conns []Connection
+	// Parallel long connections saturating the horizontal capacity plus
+	// crossing verticals.
+	for i := 0; i < 6; i++ {
+		a := pinAt(t, b, geom.Pt(1, 1+i))
+		c := pinAt(t, b, geom.Pt(18, 1+i))
+		conns = append(conns, Connection{A: a, B: c})
+	}
+	for i := 0; i < 4; i++ {
+		a := pinAt(t, b, geom.Pt(4+3*i, 0))
+		c := pinAt(t, b, geom.Pt(5+3*i, 7))
+		conns = append(conns, Connection{A: a, B: c})
+	}
+	r := mustRouter(t, b, conns, DefaultOptions())
+	res := r.Route()
+	return b, r, res
+}

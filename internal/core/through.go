@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// This file supports length tuning (Section 10.1): re-realizing an
+// already-routed connection through explicit waypoint vias, so the tuning
+// package can stretch a path with the detours of Figure 17.
+
+// RouteThrough replaces connection i's current realization with one that
+// passes through the given waypoint via sites, in order. Each leg is
+// routed with the normal strategy ladder but without rip-up. On failure
+// the original realization is restored exactly and false is returned.
+//
+// The connection must already be routed; waypoints must be via sites.
+func (r *Router) RouteThrough(i int, waypoints []geom.Point) bool {
+	if r.routes[i].Method == NotRouted {
+		return false
+	}
+	c := &r.Conns[i]
+	id := r.connID(i)
+	for _, w := range waypoints {
+		if !w.In(r.B.Cfg.Bounds()) || !r.B.Cfg.IsViaSite(w) {
+			return false
+		}
+	}
+	oldMethod := r.routes[i].Method
+	rec := r.unrealize(i)
+
+	var rt Route
+	ok := true
+	for _, w := range waypoints {
+		if !r.B.ViaFree(w) || !r.drill(&rt, w, id) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		pts := make([]geom.Point, 0, len(waypoints)+2)
+		pts = append(pts, c.A)
+		pts = append(pts, waypoints...)
+		pts = append(pts, c.B)
+		for k := 0; k+1 < len(pts) && ok; k++ {
+			ok = r.routeLegInto(&rt, pts[k], pts[k+1], id)
+		}
+	}
+	if ok {
+		r.commit(i, rt, oldMethod)
+		return true
+	}
+	r.rollback(&rt)
+	if !r.reinsert(i, rec, oldMethod) {
+		// Cannot happen: the space was just vacated and every partial
+		// placement has been rolled back. Guard anyway.
+		panic("core: RouteThrough failed to restore the original route")
+	}
+	return false
+}
+
+// routeLegInto routes one leg between two occupied points, appending the
+// placement to rt. The leg tries the usual ladder without rip-up. A leg
+// failure leaves rt partially built; the caller rolls back.
+func (r *Router) routeLegInto(rt *Route, a, b geom.Point, id layer.ConnID) bool {
+	if leg, ok := r.zeroViaPts(a, b, id); ok {
+		rt.Segs = append(rt.Segs, leg.Segs...)
+		rt.Vias = append(rt.Vias, leg.Vias...)
+		return true
+	}
+	if leg, ok := r.oneViaPts(a, b, id); ok {
+		rt.Segs = append(rt.Segs, leg.Segs...)
+		rt.Vias = append(rt.Vias, leg.Vias...)
+		return true
+	}
+	if leg, _, ok := r.leePts(a, b, id); ok {
+		rt.Segs = append(rt.Segs, leg.Segs...)
+		rt.Vias = append(rt.Vias, leg.Vias...)
+		return true
+	}
+	return false
+}

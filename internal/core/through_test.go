@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func routedSingle(t *testing.T) *Router {
+	t.Helper()
+	b := emptyBoard(t, 20, 20, 4)
+	a := pinAt(t, b, geom.Pt(2, 9))
+	c := pinAt(t, b, geom.Pt(16, 9))
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, DefaultOptions())
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing failed")
+	}
+	return r
+}
+
+func TestRouteThroughWaypoints(t *testing.T) {
+	r := routedSingle(t)
+	before := r.Metrics().WireLength
+
+	w1 := r.B.Cfg.GridOf(geom.Pt(8, 4))
+	w2 := r.B.Cfg.GridOf(geom.Pt(11, 4))
+	if !r.RouteThrough(0, []geom.Point{w1, w2}) {
+		t.Fatal("RouteThrough failed on an open board")
+	}
+	rt := r.RouteOf(0)
+	if rt.Method == NotRouted {
+		t.Fatal("connection lost its route")
+	}
+	// Both waypoints must now be drilled and owned by the connection.
+	found := 0
+	for _, pv := range rt.Vias {
+		if pv.At == w1 || pv.At == w2 {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("waypoint vias drilled: %d of 2", found)
+	}
+	if after := r.Metrics().WireLength; after <= before {
+		t.Errorf("detour did not lengthen wire: %d -> %d", before, after)
+	}
+	if err := r.B.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteThroughRestoresOnFailure(t *testing.T) {
+	r := routedSingle(t)
+	beforeDump := r.B.Layers[0].Dump() + r.B.Layers[1].Dump()
+	beforeMetrics := r.Metrics()
+
+	// A waypoint off the board fails fast.
+	if r.RouteThrough(0, []geom.Point{geom.Pt(-3, 0)}) {
+		t.Fatal("off-board waypoint accepted")
+	}
+	// A waypoint on an occupied site (endpoint pin) fails after the rip
+	// and must restore the original realization exactly.
+	if r.RouteThrough(0, []geom.Point{r.Conns[0].A}) {
+		t.Fatal("occupied waypoint accepted")
+	}
+	afterDump := r.B.Layers[0].Dump() + r.B.Layers[1].Dump()
+	if beforeDump != afterDump {
+		t.Fatal("failed RouteThrough did not restore the board")
+	}
+	after := r.Metrics()
+	if after.WireLength != beforeMetrics.WireLength || after.ViasAdded != beforeMetrics.ViasAdded {
+		t.Errorf("metrics drifted: %+v vs %+v", after, beforeMetrics)
+	}
+	if err := r.B.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteThroughUnroutedConnection(t *testing.T) {
+	b := emptyBoard(t, 10, 10, 2)
+	a := pinAt(t, b, geom.Pt(1, 1))
+	c := pinAt(t, b, geom.Pt(8, 8))
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, DefaultOptions())
+	// Not routed yet: RouteThrough must refuse.
+	if r.RouteThrough(0, nil) {
+		t.Fatal("RouteThrough accepted an unrouted connection")
+	}
+}
+
+func TestRouteThroughPreservesMethodAndCounts(t *testing.T) {
+	r := routedSingle(t)
+	wasMethod := r.RouteOf(0).Method
+	w := r.B.Cfg.GridOf(geom.Pt(9, 12))
+	if !r.RouteThrough(0, []geom.Point{w}) {
+		t.Fatal("RouteThrough failed")
+	}
+	if got := r.RouteOf(0).Method; got != wasMethod {
+		t.Errorf("method changed: %v -> %v", wasMethod, got)
+	}
+	m := r.Metrics()
+	sum := 0
+	for _, n := range m.ByMethod {
+		sum += n
+	}
+	if sum != m.Routed {
+		t.Errorf("method counts sum %d != routed %d after RouteThrough", sum, m.Routed)
+	}
+}
+
+func TestTunedLeeRoundTrip(t *testing.T) {
+	r := routedSingle(t)
+	cellPs := []float64{5.0, 5.5, 5.5, 5.0}
+	base := 0.0
+	for _, ps := range r.RouteOf(0).Segs {
+		base += float64(ps.Seg.Interval().Len()) * cellPs[ps.Layer]
+	}
+	// A reachable target well above the base delay.
+	res := r.TunedLee(0, base+300, 60, cellPs, 60)
+	if !res.Ok {
+		t.Fatalf("tuned lee failed: %+v (base %v)", res, base)
+	}
+	if res.AchievedPs < base+300-60 || res.AchievedPs > base+300+60 {
+		t.Errorf("achieved %v outside target band around %v", res.AchievedPs, base+300)
+	}
+	if err := r.B.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTunedLeeRestoresOnExhaustion(t *testing.T) {
+	r := routedSingle(t)
+	cellPs := []float64{5.0, 5.5, 5.5, 5.0}
+	beforeDump := r.B.Layers[0].Dump()
+	// An absurd target no path can reach within one attempt budget.
+	res := r.TunedLee(0, 1e6, 10, cellPs, 3)
+	if res.Ok {
+		t.Fatal("impossible target reported tuned")
+	}
+	if r.RouteOf(0).Method == NotRouted {
+		t.Fatal("connection lost after failed tuning")
+	}
+	if got := r.B.Layers[0].Dump(); got != beforeDump {
+		t.Fatal("board not restored after failed tuning")
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// This file reproduces the paper's FIRST length-tuning implementation —
+// the one that was tried and rejected (Section 10.1): the Lee cost
+// function is modified to prefer points whose accumulated path delay plus
+// estimated remaining delay lies close to the target. Because the
+// estimate cannot know which layer speeds the remaining path will use,
+// "many candidate solutions for the path were found, which when completed
+// with Trace proved to be too fast or too slow ... Lee's algorithm was
+// overwhelmed with false solutions." The E-TUNE ablation benchmark
+// measures exactly that: attempts and wall time versus the detour tuner.
+
+// TunedLeeResult reports one cost-function tuning attempt.
+type TunedLeeResult struct {
+	Ok         bool
+	Attempts   int     // full searches run (restarts after false solutions)
+	AchievedPs float64 // delay of the final realization
+}
+
+// TunedLee re-routes connection i with a delay-targeting Lee search.
+// cellPs gives the per-grid-cell delay of each layer; tolPs is the
+// acceptance band around targetPs. On failure the original realization is
+// restored. maxAttempts bounds the restart loop over false solutions.
+func (r *Router) TunedLee(i int, targetPs, tolPs float64, cellPs []float64, maxAttempts int) TunedLeeResult {
+	if r.routes[i].Method == NotRouted {
+		return TunedLeeResult{}
+	}
+	c := &r.Conns[i]
+	id := r.connID(i)
+	oldMethod := r.routes[i].Method
+	rec := r.unrealize(i)
+
+	const fsPerPs = 1024 // fixed-point scale for integral heap costs
+	cellFs := make([]int64, len(cellPs))
+	fastFs := int64(1) << 62
+	for li, d := range cellPs {
+		cellFs[li] = int64(d * fsPerPs)
+		if cellFs[li] < fastFs {
+			fastFs = cellFs[li]
+		}
+	}
+	targetFs := int64(targetPs * fsPerPs)
+
+	measure := func(rt *Route) float64 {
+		total := 0.0
+		for _, ps := range rt.Segs {
+			total += float64(ps.Seg.Interval().Len()) * cellPs[ps.Layer]
+		}
+		return total
+	}
+
+	res := TunedLeeResult{}
+	banned := make(banSet)
+	for res.Attempts < maxAttempts {
+		res.Attempts++
+		rt, failedHop, _, ok := r.tunedLeeOnce(c.A, c.B, id, banned, targetFs, cellFs, fastFs)
+		if !ok {
+			if failedHop == nil {
+				break // search space exhausted
+			}
+			banned[*failedHop] = struct{}{}
+			continue
+		}
+		got := measure(&rt)
+		if got >= targetPs-tolPs && got <= targetPs+tolPs {
+			r.commit(i, rt, oldMethod)
+			res.Ok = true
+			res.AchievedPs = got
+			return res
+		}
+		// A false solution: plausible under the cost estimate, wrong when
+		// realized. Tear it down, forbid the meeting hop and search again.
+		r.rollback(&rt)
+		if failedHop != nil {
+			banned[*failedHop] = struct{}{}
+		}
+	}
+	if !r.reinsert(i, rec, oldMethod) {
+		panic("core: TunedLee failed to restore the original route")
+	}
+	res.AchievedPs = measure(r.RouteOf(i))
+	return res
+}
+
+// tunedLeeOnce is leeOnce with the delay-targeting cost. On success the
+// returned hop is the meeting bridge (so a false solution can be banned).
+func (r *Router) tunedLeeOnce(a, b geom.Point, id layer.ConnID, banned banSet,
+	targetFs int64, cellFs []int64, fastFs int64) (Route, *hop, geom.Point, bool) {
+
+	// The tuned search runs unidirectionally: a bidirectional search
+	// meets the instant the two frontiers touch — at neighbor generation,
+	// before the cost ordering has had any say — so it always returns a
+	// near-minimal path no matter the target. With a single wavefront,
+	// b's one-hop ring acts as the goal set and points are only expanded
+	// in target-cost order.
+	s := &leeSearch{
+		r:        r,
+		sources:  [2]geom.Point{a, b},
+		marks:    make(map[geom.Point]leeMark),
+		banned:   banned,
+		tuned:    true,
+		uni:      true,
+		targetFs: targetFs,
+		cellFs:   cellFs,
+		fastFs:   fastFs,
+		delayFs:  make(map[geom.Point]int64),
+		goalFrom: make(map[geom.Point]hop),
+	}
+	s.marks[a] = leeMark{from: a, side: 0}
+	s.marks[b] = leeMark{from: b, side: 1}
+
+	finish := func(chain []hop) (Route, *hop, geom.Point, bool) {
+		rt, failed, victim, ok := r.retrace(a, b, id, chain)
+		if !ok {
+			return rt, failed, victim, false
+		}
+		// Report the meeting bridge so TunedLee can ban this solution if
+		// its realized delay misses the target.
+		bridge := s.bridge
+		return rt, &bridge, geom.Point{}, true
+	}
+
+	if meet, chain := s.expand(a, 0); meet {
+		return finish(chain)
+	}
+	if meet, chain := s.expand(b, 1); meet {
+		return finish(chain)
+	}
+	for {
+		side, ok := s.pickSide()
+		if !ok {
+			return Route{}, nil, s.victim(side), false
+		}
+		it := s.heaps[side].popItem()
+		if gf, isGoal := s.goalFrom[it.p]; isGoal && s.marks[it.p].side == 1 {
+			// A b-ring point popped in cost order: the path delay is as
+			// close to the target as the frontier allows.
+			return finish(s.chainThrough(gf.u, it.p, gf.layer, 0))
+		}
+		r.metrics.LeeExpansions++
+		if meet, chain := s.expand(it.p, side); meet {
+			return finish(chain)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package drc is a design-rule checker for routed boards. The routing
+// grid guarantees most of the Figure 1 manufacturing rules by
+// construction — "the points of the grid are spaced so that parallel
+// traces on adjacent grid lines are legal" — so the checker focuses on
+// what the grid model does NOT guarantee:
+//
+//   - minimum center-to-center spacing between drilled holes, which only
+//     holds automatically when every hole is on the via grid; the
+//     Section 11 off-grid pin extension can violate it;
+//   - pad clearance around off-grid holes: a 60-mil pad centered off the
+//     via grid reaches within trace-spacing distance of the adjacent
+//     grid cells, so foreign metal there is a short risk;
+//   - structural sanity: metal within the board outline and via-map
+//     consistency (delegated to board.Audit).
+//
+// The checker is read-only and reports every violation it finds.
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+)
+
+// Kind classifies a violation.
+type Kind string
+
+const (
+	HoleSpacing  Kind = "hole-spacing"  // drilled holes too close
+	PadClearance Kind = "pad-clearance" // foreign metal inside a pad's clearance zone
+	Structure    Kind = "structure"     // board bookkeeping inconsistency
+)
+
+// Violation is one detected rule breach.
+type Violation struct {
+	Kind   Kind
+	At     geom.Point // grid units
+	Layer  int        // -1 when the violation is not layer-specific
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.Layer >= 0 {
+		return fmt.Sprintf("%s at %v layer %d: %s", v.Kind, v.At, v.Layer, v.Detail)
+	}
+	return fmt.Sprintf("%s at %v: %s", v.Kind, v.At, v.Detail)
+}
+
+// Check runs all rules against the board under the given process and
+// returns every violation found (empty slice = clean).
+func Check(b *board.Board, proc grid.Process) []Violation {
+	var out []Violation
+	out = append(out, checkStructure(b)...)
+	holes := collectHoles(b)
+	out = append(out, checkHoleSpacing(b, proc, holes)...)
+	out = append(out, checkPadClearance(b, proc)...)
+	return out
+}
+
+// collectHoles returns every drilled hole: via sites occupied on all
+// layers, plus the off-grid holes the board tracks separately.
+func collectHoles(b *board.Board) []geom.Point {
+	var holes []geom.Point
+	layers := b.NumLayers()
+	for vy := 0; vy < b.Cfg.ViaRows(); vy++ {
+		for vx := 0; vx < b.Cfg.ViaCols(); vx++ {
+			if b.Vias.Count(geom.Pt(vx, vy)) == layers {
+				holes = append(holes, b.Cfg.GridOf(geom.Pt(vx, vy)))
+			}
+		}
+	}
+	return append(holes, b.OffGridHoles...)
+}
+
+// gridMils returns the physical size of one grid step. The model
+// approximates the paper's irregular 42/16 spacing (Figure 3) with a
+// uniform pitch; rules are checked against the conservative uniform
+// value.
+func gridMils(b *board.Board) float64 { return 100.0 / float64(b.Cfg.Pitch) }
+
+// checkHoleSpacing verifies that no two drilled holes sit closer than a
+// pad diameter plus trace spacing, center to center. On-grid holes are
+// a full via pitch apart by construction; the rule bites when off-grid
+// holes appear.
+func checkHoleSpacing(b *board.Board, proc grid.Process, holes []geom.Point) []Violation {
+	minMils := float64(proc.ViaPadMils + proc.TraceSpaceMils)
+	minCells := int(minMils/gridMils(b)) + 1 // strictly-closer threshold in grid units
+
+	// Bucket holes by coarse cell so the pairwise check stays local.
+	bucket := make(map[geom.Point][]geom.Point)
+	key := func(p geom.Point) geom.Point { return geom.Pt(p.X/minCells, p.Y/minCells) }
+	for _, h := range holes {
+		bucket[key(h)] = append(bucket[key(h)], h)
+	}
+	var out []Violation
+	for _, h := range holes {
+		k := key(h)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, o := range bucket[geom.Pt(k.X+dx, k.Y+dy)] {
+					if o == h || (o.X < h.X || (o.X == h.X && o.Y <= h.Y)) {
+						continue // each unordered pair once
+					}
+					if h.ChebyshevDist(o) < minCells {
+						out = append(out, Violation{
+							Kind: HoleSpacing, At: h, Layer: -1,
+							Detail: fmt.Sprintf("hole at %v within %d grid units (< %d required)", o, h.ChebyshevDist(o), minCells),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkPadClearance flags foreign metal in the clearance zone of
+// off-grid holes. A pad centered between grid lines overlaps its
+// 4-neighbor cells: pad radius 30 mils vs 33-mil cell pitch leaves less
+// than the 8-mil spacing to a foreign trace through the neighbor cell.
+func checkPadClearance(b *board.Board, proc grid.Process) []Violation {
+	var out []Violation
+	for _, h := range b.OffGridHoles {
+		owners := make(map[layer.ConnID]bool)
+		for li := range b.Layers {
+			if o := b.OwnerAt(li, h); o != layer.NoConn {
+				owners[o] = true
+			}
+		}
+		for _, d := range [4]geom.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}} {
+			n := h.Add(d)
+			if !n.In(b.Cfg.Bounds()) {
+				continue
+			}
+			for li := range b.Layers {
+				o := b.OwnerAt(li, n)
+				if o == layer.NoConn || owners[o] {
+					continue // free, or metal of the hole's own connection
+				}
+				out = append(out, Violation{
+					Kind: PadClearance, At: n, Layer: li,
+					Detail: fmt.Sprintf("metal of %d inside the pad clearance of the off-grid hole at %v", o, h),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkStructure wraps board.Audit as a violation.
+func checkStructure(b *board.Board) []Violation {
+	if err := b.Audit(); err != nil {
+		return []Violation{{Kind: Structure, Layer: -1, Detail: err.Error()}}
+	}
+	return nil
+}

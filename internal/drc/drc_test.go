@@ -1,0 +1,159 @@
+package drc
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+func cleanBoard(t *testing.T) *board.Board {
+	t.Helper()
+	b, err := board.New(grid.NewConfig(20, 20, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCleanRoutedBoardPasses(t *testing.T) {
+	d, err := workload.Generate(workload.SmallSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b, sr.Conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing failed")
+	}
+	if vs := Check(b, grid.DefaultProcess); len(vs) != 0 {
+		t.Fatalf("clean board reported violations: %v", vs)
+	}
+}
+
+func TestHoleSpacingOnGridAlwaysLegal(t *testing.T) {
+	b := cleanBoard(t)
+	// Fill every via site with a pin: worst-case on-grid hole density is
+	// legal by construction.
+	for vx := 0; vx < 20; vx++ {
+		for vy := 0; vy < 20; vy++ {
+			if err := b.PlacePin(b.Cfg.GridOf(geom.Pt(vx, vy))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, v := range Check(b, grid.DefaultProcess) {
+		if v.Kind == HoleSpacing {
+			t.Fatalf("on-grid holes flagged: %v", v)
+		}
+	}
+}
+
+func TestOffGridHoleSpacingViolation(t *testing.T) {
+	b := cleanBoard(t)
+	if err := b.PlacePin(geom.Pt(9, 9)); err != nil {
+		t.Fatal(err)
+	}
+	// An off-grid hole one cell away: 33 mils apart, far below the
+	// 68-mil pad+space minimum.
+	if err := b.PlacePinOffGrid(geom.Pt(10, 9)); err != nil {
+		t.Fatal(err)
+	}
+	vs := Check(b, grid.DefaultProcess)
+	found := false
+	for _, v := range vs {
+		if v.Kind == HoleSpacing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("adjacent holes not flagged: %v", vs)
+	}
+}
+
+func TestOffGridHoleFarApartLegal(t *testing.T) {
+	b := cleanBoard(t)
+	if err := b.PlacePinOffGrid(geom.Pt(10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlacePinOffGrid(geom.Pt(20, 20)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range Check(b, grid.DefaultProcess) {
+		if v.Kind == HoleSpacing {
+			t.Fatalf("distant off-grid holes flagged: %v", v)
+		}
+	}
+}
+
+func TestPadClearanceViolation(t *testing.T) {
+	b := cleanBoard(t)
+	h := geom.Pt(10, 10)
+	if err := b.PlacePinOffGrid(h); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign trace through the cell right of the hole on layer 0
+	// (vertical layer: channel = x).
+	if b.AddSegment(0, 11, 8, 12, 42) == nil {
+		t.Fatal("setup add failed")
+	}
+	vs := Check(b, grid.DefaultProcess)
+	found := false
+	for _, v := range vs {
+		if v.Kind == PadClearance && v.At == geom.Pt(11, 10) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("foreign metal beside off-grid pad not flagged: %v", vs)
+	}
+}
+
+func TestPadClearanceOwnMetalAllowed(t *testing.T) {
+	b := cleanBoard(t)
+	h := geom.Pt(10, 10)
+	if err := b.PlacePinOffGrid(h); err != nil {
+		t.Fatal(err)
+	}
+	// The hole's own connection metal beside it is the normal touch
+	// pattern, not a violation. Off-grid pins are owned by PinOwner;
+	// place PinOwner metal beside it.
+	if b.AddSegment(0, 11, 10, 10, layer.PinOwner) == nil {
+		t.Fatal("setup add failed")
+	}
+	for _, v := range Check(b, grid.DefaultProcess) {
+		if v.Kind == PadClearance {
+			t.Fatalf("own metal flagged: %v", v)
+		}
+	}
+}
+
+func TestStructureViolationSurfaces(t *testing.T) {
+	b := cleanBoard(t)
+	b.Vias.Inc(geom.Pt(3, 3)) // corrupt the via map directly
+	vs := Check(b, grid.DefaultProcess)
+	if len(vs) == 0 || vs[0].Kind != Structure {
+		t.Fatalf("corruption not reported: %v", vs)
+	}
+	if vs[0].String() == "" {
+		t.Error("empty violation string")
+	}
+}

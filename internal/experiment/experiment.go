@@ -1,0 +1,90 @@
+// Package experiment wires the full pipeline — workload generation,
+// pin placement, stringing, routing, statistics — into one call. The
+// benchmark harness, the grr command and the integration tests all run
+// experiments through this package so that "the Table 1 run" means the
+// same thing everywhere.
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/stats"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+// Run is one completed routing experiment.
+type Run struct {
+	Design  *netlist.Design
+	Board   *board.Board
+	Strung  *stringer.Result
+	Router  *core.Router
+	Result  core.Result
+	Elapsed time.Duration // routing time only (generation excluded)
+}
+
+// RouteSpec generates the workload for spec and routes it.
+func RouteSpec(spec workload.Spec, opts core.Options) (*Run, error) {
+	return RouteSpecStrung(spec, opts, stringer.Options{})
+}
+
+// RouteSpecStrung is RouteSpec with explicit stringer options (the E-STR
+// experiment passes Random here).
+func RouteSpecStrung(spec workload.Spec, opts core.Options, sopts stringer.Options) (*Run, error) {
+	d, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return RouteDesign(d, opts, sopts)
+}
+
+// RouteDesign strings and routes an existing design.
+func RouteDesign(d *netlist.Design, opts core.Options, sopts stringer.Options) (*Run, error) {
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := d.PlacePins(b); err != nil {
+		return nil, err
+	}
+	strung, err := stringer.String(d, sopts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.New(b, strung.Conns, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := r.Route()
+	return &Run{
+		Design:  d,
+		Board:   b,
+		Strung:  strung,
+		Router:  r,
+		Result:  res,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// Row summarizes the run as a Table 1 line.
+func (r *Run) Row() stats.Row {
+	return stats.NewRow(r.Design, r.Board, r.Strung.Conns, r.Result, r.Elapsed)
+}
+
+// Table1 routes every Table 1 board (optionally scaled down by div > 1)
+// and returns the rows in the paper's order.
+func Table1(div int, opts core.Options) ([]stats.Row, error) {
+	var rows []stats.Row
+	for _, spec := range workload.Table1Specs() {
+		run, err := RouteSpec(spec.Scale(div), opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, run.Row())
+	}
+	return rows, nil
+}

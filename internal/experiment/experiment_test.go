@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func TestRouteSpecPipeline(t *testing.T) {
+	run, err := RouteSpec(workload.SmallSpec(6), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Result.Complete() {
+		t.Fatalf("small board incomplete: %v", run.Result.FailedConns)
+	}
+	if err := verify.Routed(run.Board, run.Router); err != nil {
+		t.Fatal(err)
+	}
+	row := run.Row()
+	if row.Conns != len(run.Strung.Conns) || row.Routed != row.Conns {
+		t.Errorf("row inconsistent: %+v", row)
+	}
+	if row.ChanPct <= 0 || row.PinsIn2 <= 0 {
+		t.Errorf("degenerate row metrics: %+v", row)
+	}
+	if !strings.Contains(row.Format(), "small") {
+		t.Error("row formatting lost the board name")
+	}
+}
+
+func TestScaledTable1RunsQuickly(t *testing.T) {
+	rows, err := Table1(4, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	table := stats.FormatTable(rows)
+	for _, name := range []string{"kdj11", "coproc", "tna"} {
+		if !strings.Contains(table, name) {
+			t.Errorf("table missing %s:\n%s", name, table)
+		}
+	}
+}
+
+// TestTable1Shape runs the full-size Table 1 and asserts the paper's
+// qualitative results (~15 s; skipped with -short):
+//
+//   - the 2-layer kdj11 fails around the paper's 80% completion and the
+//     same board completes on 4 layers;
+//   - every other board routes completely;
+//   - vias per connection stay below 2 on every completed board and
+//     below 1 on the easy half (paper: 0.40–0.99);
+//   - %lee decreases from the hardest completed board to the easiest
+//     band (the paper's "denser boards have higher %lee").
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size Table 1 (~15s); run without -short")
+	}
+	rows, err := Table1(1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]stats.Row{}
+	for _, r := range rows {
+		byName[r.Board] = r
+	}
+
+	k2 := byName["kdj11-2L"]
+	if k2.Failed == 0 {
+		t.Error("kdj11 on 2 layers should fail (the paper's first row)")
+	}
+	if pct := float64(k2.Routed) / float64(k2.Conns); pct < 0.7 || pct > 0.95 {
+		t.Errorf("kdj11-2L completed %.0f%%, paper gave up near 80%%", 100*pct)
+	}
+	for _, name := range []string{"nmc-4L", "dpath", "coproc", "kdj11-4L", "icache", "nmc-6L", "dcache", "tna"} {
+		r := byName[name]
+		if r.Failed != 0 {
+			t.Errorf("%s left %d connections unrouted; the paper routed it fully", name, r.Failed)
+		}
+		if r.ViasPC >= 2 {
+			t.Errorf("%s vias/conn = %.2f, implausibly high", name, r.ViasPC)
+		}
+	}
+	// %chan ordering must follow the paper's difficulty ordering.
+	order := []string{"nmc-4L", "dpath", "coproc", "kdj11-4L", "icache", "nmc-6L", "dcache", "tna"}
+	for i := 1; i < len(order); i++ {
+		if byName[order[i-1]].ChanPct < byName[order[i]].ChanPct {
+			t.Errorf("%%chan ordering violated: %s (%.1f) < %s (%.1f)",
+				order[i-1], byName[order[i-1]].ChanPct, order[i], byName[order[i]].ChanPct)
+		}
+	}
+	// The hardest completed boards need Lee more than the easiest.
+	if byName["nmc-4L"].LeePct <= byName["tna"].LeePct {
+		t.Errorf("%%lee should fall with difficulty: nmc-4L %.1f vs tna %.1f",
+			byName["nmc-4L"].LeePct, byName["tna"].LeePct)
+	}
+	t.Logf("\n%s", stats.FormatTable(rows))
+}

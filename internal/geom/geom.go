@@ -1,0 +1,199 @@
+// Package geom provides the planar geometry primitives used throughout the
+// router: integer grid points, axis-aligned rectangles, one-dimensional
+// intervals, and Manhattan metrics.
+//
+// Two coordinate systems appear in the paper and in this code base:
+//
+//   - grid units: the fine routing grid on which every trace lies;
+//   - via units: the coarser via grid, embedded in the routing grid so
+//     that a via site occurs every Pitch grid lines in each dimension
+//     (Figure 3 of the paper; Pitch is 3 for the 100-mil process with two
+//     traces between via pads).
+//
+// All types in this package are plain values and safe to copy.
+package geom
+
+import "fmt"
+
+// Point is a location on the routing grid in grid units.
+type Point struct {
+	X, Y int
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return Point{x, y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// ManhattanDist returns the L1 distance between p and q.
+func (p Point) ManhattanDist(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// ChebyshevDist returns the L∞ distance between p and q.
+func (p Point) ChebyshevDist(q Point) int {
+	return max(abs(p.X-q.X), abs(p.Y-q.Y))
+}
+
+// In reports whether p lies inside r (inclusive of all edges).
+func (p Point) In(r Rect) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Rect is a closed axis-aligned rectangle in grid units. A Rect with
+// MinX > MaxX or MinY > MaxY is empty.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// R builds the rectangle with the given inclusive bounds.
+func R(minX, minY, maxX, maxY int) Rect { return Rect{minX, minY, maxX, maxY} }
+
+// Bounding returns the smallest rectangle containing both p and q.
+func Bounding(p, q Point) Rect {
+	return Rect{min(p.X, q.X), min(p.Y, q.Y), max(p.X, q.X), max(p.Y, q.Y)}
+}
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Width returns the number of grid columns spanned by r (0 if empty).
+func (r Rect) Width() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxX - r.MinX + 1
+}
+
+// Height returns the number of grid rows spanned by r (0 if empty).
+func (r Rect) Height() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxY - r.MinY + 1
+}
+
+// Area returns the number of grid points in r.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Expand grows r by d grid units on every side. Negative d shrinks it.
+func (r Rect) Expand(d int) Rect {
+	return Rect{r.MinX - d, r.MinY - d, r.MaxX + d, r.MaxY + d}
+}
+
+// ExpandXY grows r by dx horizontally and dy vertically on each side.
+func (r Rect) ExpandXY(dx, dy int) Rect {
+	return Rect{r.MinX - dx, r.MinY - dy, r.MaxX + dx, r.MaxY + dy}
+}
+
+// Intersect returns the intersection of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	return Rect{
+		max(r.MinX, s.MinX), max(r.MinY, s.MinY),
+		min(r.MaxX, s.MaxX), min(r.MaxY, s.MaxY),
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s. The union
+// with an empty rectangle is the other rectangle.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		min(r.MinX, s.MinX), min(r.MinY, s.MinY),
+		max(r.MaxX, s.MaxX), max(r.MaxY, s.MaxY),
+	}
+}
+
+// Contains reports whether s lies entirely within r. An empty s is
+// contained in everything.
+func (r Rect) Contains(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return r.MinX <= s.MinX && r.MinY <= s.MinY && r.MaxX >= s.MaxX && r.MaxY >= s.MaxY
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d..%d,%d]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}
+
+// Interval is a closed one-dimensional range [Lo, Hi] in grid units.
+// An Interval with Lo > Hi is empty.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Iv builds the interval [lo, hi].
+func Iv(lo, hi int) Interval { return Interval{lo, hi} }
+
+// Empty reports whether i contains no points.
+func (i Interval) Empty() bool { return i.Lo > i.Hi }
+
+// Len returns the number of grid points in i (0 if empty).
+func (i Interval) Len() int {
+	if i.Empty() {
+		return 0
+	}
+	return i.Hi - i.Lo + 1
+}
+
+// Contains reports whether v lies within i.
+func (i Interval) Contains(v int) bool { return v >= i.Lo && v <= i.Hi }
+
+// Overlaps reports whether i and j share at least one point.
+func (i Interval) Overlaps(j Interval) bool {
+	return i.Lo <= j.Hi && j.Lo <= i.Hi && !i.Empty() && !j.Empty()
+}
+
+// Intersect returns the common part of i and j (possibly empty).
+func (i Interval) Intersect(j Interval) Interval {
+	return Interval{max(i.Lo, j.Lo), min(i.Hi, j.Hi)}
+}
+
+// Clamp returns v limited to lie within i. Calling Clamp on an empty
+// interval is a programming error and panics.
+func (i Interval) Clamp(v int) int {
+	if i.Empty() {
+		panic("geom: Clamp on empty interval " + i.String())
+	}
+	if v < i.Lo {
+		return i.Lo
+	}
+	if v > i.Hi {
+		return i.Hi
+	}
+	return v
+}
+
+func (i Interval) String() string { return fmt.Sprintf("[%d..%d]", i.Lo, i.Hi) }
+
+// DistToInterval returns the distance from v to the nearest point of i,
+// or 0 if v lies inside i.
+func (i Interval) DistTo(v int) int {
+	switch {
+	case v < i.Lo:
+		return i.Lo - v
+	case v > i.Hi:
+		return v - i.Hi
+	default:
+		return 0
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

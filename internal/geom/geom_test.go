@@ -1,0 +1,235 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattanDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want int
+	}{
+		{Pt(0, 0), Pt(0, 0), 0},
+		{Pt(0, 0), Pt(3, 4), 7},
+		{Pt(3, 4), Pt(0, 0), 7},
+		{Pt(-2, -3), Pt(2, 3), 10},
+		{Pt(5, 5), Pt(5, 9), 4},
+	}
+	for _, c := range cases {
+		if got := c.p.ManhattanDist(c.q); got != c.want {
+			t.Errorf("ManhattanDist(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestManhattanDistProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a, b, c := Pt(int(ax), int(ay)), Pt(int(bx), int(by)), Pt(int(cx), int(cy))
+		d := a.ManhattanDist(b)
+		// Symmetry, non-negativity, identity, triangle inequality.
+		return d == b.ManhattanDist(a) &&
+			d >= 0 &&
+			(d == 0) == (a == b) &&
+			a.ManhattanDist(c) <= d+b.ManhattanDist(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChebyshevDist(t *testing.T) {
+	if got := Pt(0, 0).ChebyshevDist(Pt(3, 7)); got != 7 {
+		t.Errorf("ChebyshevDist = %d, want 7", got)
+	}
+	if got := Pt(-1, 0).ChebyshevDist(Pt(3, 2)); got != 4 {
+		t.Errorf("ChebyshevDist = %d, want 4", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(1, 2, 4, 6)
+	if r.Empty() {
+		t.Fatal("non-empty rect reported empty")
+	}
+	if r.Width() != 4 || r.Height() != 5 || r.Area() != 20 {
+		t.Errorf("got w=%d h=%d area=%d", r.Width(), r.Height(), r.Area())
+	}
+	if !Pt(1, 2).In(r) || !Pt(4, 6).In(r) || Pt(5, 6).In(r) || Pt(0, 2).In(r) {
+		t.Error("In() misjudges corners or outside points")
+	}
+	empty := R(3, 3, 2, 3)
+	if !empty.Empty() || empty.Width() != 0 || empty.Area() != 0 {
+		t.Error("empty rect misreported")
+	}
+}
+
+func TestRectExpandIntersect(t *testing.T) {
+	r := R(2, 2, 5, 5)
+	if got := r.Expand(1); got != R(1, 1, 6, 6) {
+		t.Errorf("Expand(1) = %v", got)
+	}
+	if got := r.ExpandXY(2, 0); got != R(0, 2, 7, 5) {
+		t.Errorf("ExpandXY = %v", got)
+	}
+	if got := r.Intersect(R(4, 4, 9, 9)); got != R(4, 4, 5, 5) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := r.Intersect(R(6, 6, 9, 9)); !got.Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty", got)
+	}
+}
+
+func TestRectUnionContains(t *testing.T) {
+	a, b := R(0, 0, 2, 2), R(4, 1, 5, 6)
+	u := a.Union(b)
+	if u != R(0, 0, 5, 6) {
+		t.Errorf("Union = %v", u)
+	}
+	if !u.Contains(a) || !u.Contains(b) {
+		t.Error("union does not contain operands")
+	}
+	var empty Rect
+	empty = R(1, 1, 0, 0)
+	if a.Union(empty) != a || empty.Union(a) != a {
+		t.Error("union with empty is not identity")
+	}
+	if !a.Contains(empty) {
+		t.Error("every rect should contain the empty rect")
+	}
+}
+
+func TestBounding(t *testing.T) {
+	if got := Bounding(Pt(5, 1), Pt(2, 7)); got != R(2, 1, 5, 7) {
+		t.Errorf("Bounding = %v", got)
+	}
+	if got := Bounding(Pt(3, 3), Pt(3, 3)); got != R(3, 3, 3, 3) {
+		t.Errorf("degenerate Bounding = %v", got)
+	}
+}
+
+func TestRectIntersectProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randRect := func() Rect {
+		return R(rng.Intn(20), rng.Intn(20), rng.Intn(20), rng.Intn(20))
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := randRect(), randRect()
+		got := a.Intersect(b)
+		// Point-wise oracle over a small domain.
+		for x := 0; x < 20; x++ {
+			for y := 0; y < 20; y++ {
+				p := Pt(x, y)
+				want := p.In(a) && p.In(b)
+				if p.In(got) != want {
+					t.Fatalf("Intersect(%v,%v): point %v mismatch", a, b, p)
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	i := Iv(3, 7)
+	if i.Empty() || i.Len() != 5 {
+		t.Errorf("Iv(3,7): empty=%v len=%d", i.Empty(), i.Len())
+	}
+	if !i.Contains(3) || !i.Contains(7) || i.Contains(8) || i.Contains(2) {
+		t.Error("Contains misjudges bounds")
+	}
+	if Iv(5, 4).Len() != 0 || !Iv(5, 4).Empty() {
+		t.Error("empty interval misreported")
+	}
+}
+
+func TestIntervalOverlapIntersect(t *testing.T) {
+	cases := []struct {
+		a, b    Interval
+		overlap bool
+	}{
+		{Iv(0, 5), Iv(5, 9), true},
+		{Iv(0, 5), Iv(6, 9), false},
+		{Iv(3, 3), Iv(3, 3), true},
+		{Iv(0, 9), Iv(2, 3), true},
+		{Iv(5, 4), Iv(0, 9), false}, // empty never overlaps
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.overlap {
+			t.Errorf("Overlaps(%v,%v) = %v", c.a, c.b, got)
+		}
+		if got := c.b.Overlaps(c.a); got != c.overlap {
+			t.Errorf("Overlaps(%v,%v) = %v (asymmetric)", c.b, c.a, got)
+		}
+	}
+	if got := Iv(0, 5).Intersect(Iv(3, 9)); got != Iv(3, 5) {
+		t.Errorf("Intersect = %v", got)
+	}
+}
+
+func TestIntervalClampDist(t *testing.T) {
+	i := Iv(4, 8)
+	for v, want := range map[int]int{2: 4, 4: 4, 6: 6, 8: 8, 11: 8} {
+		if got := i.Clamp(v); got != want {
+			t.Errorf("Clamp(%d) = %d, want %d", v, got, want)
+		}
+	}
+	for v, want := range map[int]int{2: 2, 4: 0, 6: 0, 8: 0, 11: 3} {
+		if got := i.DistTo(v); got != want {
+			t.Errorf("DistTo(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestClampEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp on empty interval should panic")
+		}
+	}()
+	Iv(5, 4).Clamp(1)
+}
+
+func TestIntervalQuickProperties(t *testing.T) {
+	f := func(a1, a2, b1, b2 int8) bool {
+		a, b := Iv(int(a1), int(a2)), Iv(int(b1), int(b2))
+		inter := a.Intersect(b)
+		// Intersection is symmetric and contained in both.
+		if inter != b.Intersect(a) {
+			return false
+		}
+		if !inter.Empty() {
+			if !a.Contains(inter.Lo) || !a.Contains(inter.Hi) ||
+				!b.Contains(inter.Lo) || !b.Contains(inter.Hi) {
+				return false
+			}
+		}
+		// Overlaps iff intersection non-empty.
+		return a.Overlaps(b) == !inter.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointAddSub(t *testing.T) {
+	p := Pt(3, -2)
+	if p.Add(Pt(1, 2)) != Pt(4, 0) {
+		t.Error("Add wrong")
+	}
+	if p.Sub(Pt(1, 2)) != Pt(2, -4) {
+		t.Error("Sub wrong")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Pt(1, 2).String() != "(1,2)" {
+		t.Error("Point.String")
+	}
+	if R(1, 2, 3, 4).String() != "[1,2..3,4]" {
+		t.Error("Rect.String")
+	}
+	if Iv(1, 2).String() != "[1..2]" {
+		t.Error("Interval.String")
+	}
+}

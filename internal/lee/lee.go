@@ -1,0 +1,326 @@
+// Package lee implements the original Lee/Moore maze router
+// [Moore 59, Lee 61] on the routing grid: wavefront expansion over
+// individual grid cells, with layer changes at free via sites. It is the
+// baseline the paper's Section 8.2 improves on — "this choice leads to
+// very slow searches, since many individual grid points must be scanned
+// to advance a small distance across the board surface" — and exists here
+// for the E-NEIGH ablation comparing cell neighbors against grr's
+// via-hop neighbors.
+//
+// The router shares the board representation with grr so both search the
+// same obstacle field; routes it materializes are regular segments and
+// vias, so the two routers' outputs are directly comparable.
+package lee
+
+import (
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// Options configures the baseline router.
+type Options struct {
+	// Box restricts the search area; the zero value (or any empty box)
+	// means the whole board.
+	Box geom.Rect
+	// MaxCells caps the number of cell expansions per connection, as a
+	// safety net on large boards (0 = unlimited).
+	MaxCells int
+}
+
+// Metrics counts work done by the baseline.
+type Metrics struct {
+	CellsExpanded int
+	Routed        int
+	Failed        int
+	ViasAdded     int
+}
+
+// Router routes connections with the original Lee algorithm.
+type Router struct {
+	B       *board.Board
+	Opts    Options
+	metrics Metrics
+
+	// Per-search state, reused across connections.
+	marks []cellMark
+	epoch uint32
+}
+
+// cellMark stores the BFS predecessor direction, packed per cell.
+type cellMark struct {
+	epoch uint32
+	dir   uint8 // direction walked to reach this cell (dirNone at source)
+}
+
+const (
+	dirNone uint8 = iota
+	dirXPlus
+	dirXMinus
+	dirYPlus
+	dirYMinus
+	dirUp   // layer+1 via a drilled hole
+	dirDown // layer-1
+)
+
+// New builds a baseline router over b.
+func New(b *board.Board, opts Options) *Router {
+	if opts.Box == (geom.Rect{}) || opts.Box.Empty() {
+		opts.Box = b.Cfg.Bounds()
+	}
+	nl := len(b.Layers)
+	return &Router{
+		B:     b,
+		Opts:  opts,
+		marks: make([]cellMark, nl*b.Cfg.Width*b.Cfg.Height),
+	}
+}
+
+// Metrics returns accumulated counters.
+func (r *Router) Metrics() Metrics { return r.metrics }
+
+type cell struct {
+	li   int8
+	x, y int32
+}
+
+func (r *Router) idx(c cell) int {
+	w := r.B.Cfg.Width
+	return (int(c.li)*r.B.Cfg.Height+int(c.y))*w + int(c.x)
+}
+
+func (r *Router) marked(c cell) bool {
+	return r.marks[r.idx(c)].epoch == r.epoch
+}
+
+func (r *Router) mark(c cell, dir uint8) {
+	r.marks[r.idx(c)] = cellMark{epoch: r.epoch, dir: dir}
+}
+
+// free reports whether the cell may carry this connection's metal: the
+// cell is unoccupied, or occupied by the connection's own endpoints
+// (pins are owned by PinOwner; we allow entering any cell belonging to
+// the target pin column, handled by the caller via goal cells).
+func (r *Router) free(c cell) bool {
+	return r.B.FreeAt(int(c.li), geom.Pt(int(c.x), int(c.y)))
+}
+
+// RouteOne routes a single connection, materializing segments owned by
+// id. It returns the realized route and whether routing succeeded.
+func (r *Router) RouteOne(conn core.Connection, id layer.ConnID) (core.Route, bool) {
+	r.epoch++
+	cfg := r.B.Cfg
+	box := r.Opts.Box.Intersect(cfg.Bounds())
+
+	// Start cells: free cells 4-adjacent to A on any layer (the pin
+	// occupies its own cell on every layer). Goal cells: free cells
+	// 4-adjacent to B.
+	goal := make(map[cell]bool)
+	for li := range r.B.Layers {
+		for _, d := range [4]geom.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}} {
+			p := conn.B.Add(d)
+			if p.In(box) {
+				goal[cell{int8(li), int32(p.X), int32(p.Y)}] = true
+			}
+		}
+	}
+
+	var queue []cell
+	push := func(c cell, dir uint8) {
+		r.mark(c, dir)
+		queue = append(queue, c)
+	}
+	for li := range r.B.Layers {
+		for _, d := range [4]geom.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}} {
+			p := conn.A.Add(d)
+			c := cell{int8(li), int32(p.X), int32(p.Y)}
+			if p.In(box) && r.free(c) && !r.marked(c) {
+				push(c, dirNone)
+			}
+		}
+	}
+
+	var meet cell
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
+		cur := queue[head]
+		r.metrics.CellsExpanded++
+		if r.Opts.MaxCells > 0 && r.metrics.CellsExpanded > r.Opts.MaxCells {
+			break
+		}
+		if goal[cur] {
+			meet = cur
+			found = true
+			break
+		}
+		// In-plane moves.
+		type move struct {
+			dx, dy int32
+			dir    uint8
+		}
+		for _, m := range [4]move{{1, 0, dirXPlus}, {-1, 0, dirXMinus}, {0, 1, dirYPlus}, {0, -1, dirYMinus}} {
+			n := cell{cur.li, cur.x + m.dx, cur.y + m.dy}
+			if !geom.Pt(int(n.x), int(n.y)).In(box) || r.marked(n) || !r.free(n) {
+				continue
+			}
+			push(n, m.dir)
+		}
+		// Layer changes need a drillable via site.
+		p := geom.Pt(int(cur.x), int(cur.y))
+		if cfg.IsViaSite(p) && r.B.ViaFree(p) {
+			if int(cur.li)+1 < len(r.B.Layers) {
+				n := cell{cur.li + 1, cur.x, cur.y}
+				if !r.marked(n) {
+					push(n, dirUp)
+				}
+			}
+			if cur.li > 0 {
+				n := cell{cur.li - 1, cur.x, cur.y}
+				if !r.marked(n) {
+					push(n, dirDown)
+				}
+			}
+		}
+	}
+	if !found {
+		r.metrics.Failed++
+		return core.Route{}, false
+	}
+
+	rt, ok := r.materialize(meet, id)
+	if !ok {
+		r.metrics.Failed++
+		return core.Route{}, false
+	}
+	r.metrics.Routed++
+	r.metrics.ViasAdded += len(rt.Vias)
+	return rt, true
+}
+
+// materialize retraces the marks from the meeting cell back to the start
+// and places the path as unit segments plus vias at layer changes.
+// Adjacent same-layer cells merge into longer segments.
+func (r *Router) materialize(meet cell, id layer.ConnID) (core.Route, bool) {
+	// Walk back collecting cells (meet..start).
+	var cells []cell
+	cur := meet
+	for {
+		cells = append(cells, cur)
+		m := r.marks[r.idx(cur)]
+		if m.dir == dirNone {
+			break
+		}
+		switch m.dir {
+		case dirXPlus:
+			cur = cell{cur.li, cur.x - 1, cur.y}
+		case dirXMinus:
+			cur = cell{cur.li, cur.x + 1, cur.y}
+		case dirYPlus:
+			cur = cell{cur.li, cur.x, cur.y - 1}
+		case dirYMinus:
+			cur = cell{cur.li, cur.x, cur.y + 1}
+		case dirUp:
+			cur = cell{cur.li - 1, cur.x, cur.y}
+		case dirDown:
+			cur = cell{cur.li + 1, cur.x, cur.y}
+		}
+	}
+
+	var rt core.Route
+	rollback := func() {
+		for _, ps := range rt.Segs {
+			r.B.RemoveSegment(ps.Layer, ps.Seg)
+		}
+		for _, pv := range rt.Vias {
+			r.B.RemoveVia(pv)
+		}
+	}
+
+	// Vias where the layer changes.
+	for i := 0; i+1 < len(cells); i++ {
+		if cells[i].li != cells[i+1].li {
+			p := geom.Pt(int(cells[i].x), int(cells[i].y))
+			if !r.B.ViaFree(p) {
+				continue // already drilled for this path (stacked change)
+			}
+			pv, ok := r.B.PlaceVia(p, id)
+			if !ok {
+				rollback()
+				return core.Route{}, false
+			}
+			rt.Vias = append(rt.Vias, pv)
+		}
+	}
+
+	// Merge maximal same-layer straight runs into segments. The path may
+	// bend within a layer, so split runs at direction changes too; the
+	// channel store needs one segment per (channel, interval).
+	i := 0
+	for i < len(cells) {
+		j := i
+		// Extend while on the same layer and collinear in the layer's
+		// storable direction (either same x or same y works; segments
+		// lie along the channel direction of the layer's orientation,
+		// but any straight run can be stored as consecutive unit
+		// segments if perpendicular).
+		li := int(cells[i].li)
+		o := r.B.Layers[li].Orient
+		ch, _ := r.B.Cfg.ChanPos(o, geom.Pt(int(cells[i].x), int(cells[i].y)))
+		lo, hi := 0, 0
+		_, lo = r.B.Cfg.ChanPos(o, geom.Pt(int(cells[i].x), int(cells[i].y)))
+		hi = lo
+		for j+1 < len(cells) && cells[j+1].li == cells[i].li {
+			nch, npos := r.B.Cfg.ChanPos(o, geom.Pt(int(cells[j+1].x), int(cells[j+1].y)))
+			if nch != ch {
+				break
+			}
+			if npos < lo {
+				lo = npos
+			}
+			if npos > hi {
+				hi = npos
+			}
+			j++
+		}
+		// Skip cells already covered by a via of this route (the via's
+		// unit segments occupy all layers at its point).
+		seg := r.B.AddSegment(li, ch, lo, hi, id)
+		if seg == nil {
+			// The run overlaps a via drilled above or the path steps
+			// through a single cell: fall back to per-cell placement,
+			// skipping covered cells.
+			for k := i; k <= j; k++ {
+				p := geom.Pt(int(cells[k].x), int(cells[k].y))
+				if r.B.OwnerAt(li, p) == id {
+					continue // covered by this route's via
+				}
+				_, pos := r.B.Cfg.ChanPos(o, p)
+				s := r.B.AddSegment(li, ch, pos, pos, id)
+				if s == nil {
+					rollback()
+					return core.Route{}, false
+				}
+				rt.Segs = append(rt.Segs, core.PlacedSeg{Layer: li, Seg: s})
+			}
+		} else {
+			rt.Segs = append(rt.Segs, core.PlacedSeg{Layer: li, Seg: seg})
+		}
+		i = j + 1
+	}
+	return rt, true
+}
+
+// Route routes every connection in order with no rip-up, reporting how
+// many completed. The baseline has no sorting, optimal strategies or
+// rip-up: it measures the raw cell-wavefront algorithm.
+func (r *Router) Route(conns []core.Connection) Metrics {
+	for i, c := range conns {
+		if c.A == c.B {
+			r.metrics.Routed++
+			continue
+		}
+		r.RouteOne(c, layer.ConnID(i))
+	}
+	return r.metrics
+}

@@ -1,0 +1,174 @@
+package lee
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+	"repro/internal/verify"
+)
+
+func emptyBoard(t *testing.T, viaCols, viaRows, layers int) *board.Board {
+	t.Helper()
+	b, err := board.New(grid.NewConfig(viaCols, viaRows, 3, layers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func pin(t *testing.T, b *board.Board, via geom.Point) geom.Point {
+	t.Helper()
+	p := b.Cfg.GridOf(via)
+	if err := b.PlacePin(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRouteStraight(t *testing.T) {
+	b := emptyBoard(t, 8, 8, 2)
+	a := pin(t, b, geom.Pt(1, 3))
+	c := pin(t, b, geom.Pt(6, 3))
+	r := New(b, Options{})
+	conn := core.Connection{A: a, B: c}
+	rt, ok := r.RouteOne(conn, 0)
+	if !ok {
+		t.Fatal("straight route failed")
+	}
+	if err := verify.Connection(b, &conn, &rt, 0); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteWithBend(t *testing.T) {
+	b := emptyBoard(t, 8, 8, 2)
+	a := pin(t, b, geom.Pt(1, 1))
+	c := pin(t, b, geom.Pt(6, 6))
+	r := New(b, Options{})
+	conn := core.Connection{A: a, B: c}
+	rt, ok := r.RouteOne(conn, 0)
+	if !ok {
+		t.Fatal("diagonal route failed")
+	}
+	if err := verify.Connection(b, &conn, &rt, 0); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestRouteAroundWall(t *testing.T) {
+	b := emptyBoard(t, 8, 8, 2)
+	a := pin(t, b, geom.Pt(1, 3))
+	c := pin(t, b, geom.Pt(6, 3))
+	// Wall on both layers between them, with a gap near the top.
+	for li := 0; li < 2; li++ {
+		o := b.Layers[li].Orient
+		for y := 3; y < b.Cfg.Height; y++ {
+			ch, pos := b.Cfg.ChanPos(o, geom.Pt(11, y))
+			b.Layers[li].Add(ch, pos, pos, layer.KeepoutOwner)
+		}
+	}
+	r := New(b, Options{})
+	conn := core.Connection{A: a, B: c}
+	rt, ok := r.RouteOne(conn, 0)
+	if !ok {
+		t.Fatal("route around wall failed")
+	}
+	if err := verify.Connection(b, &conn, &rt, 0); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// The path must have gone above the wall (y < 3 at x=11).
+	crossed := false
+	for _, ps := range rt.Segs {
+		o := b.Layers[ps.Layer].Orient
+		for pos := ps.Seg.Lo; pos <= ps.Seg.Hi; pos++ {
+			p := b.Cfg.PointAt(o, ps.Seg.Channel(), pos)
+			if p.X == 11 && p.Y < 3 {
+				crossed = true
+			}
+		}
+	}
+	if !crossed {
+		t.Error("route did not detour above the wall")
+	}
+}
+
+func TestBlockedReportsFailure(t *testing.T) {
+	b := emptyBoard(t, 8, 8, 2)
+	a := pin(t, b, geom.Pt(1, 3))
+	c := pin(t, b, geom.Pt(6, 3))
+	// Full walls on both layers, no gap.
+	for li := 0; li < 2; li++ {
+		o := b.Layers[li].Orient
+		for y := 0; y < b.Cfg.Height; y++ {
+			ch, pos := b.Cfg.ChanPos(o, geom.Pt(11, y))
+			b.Layers[li].Add(ch, pos, pos, layer.KeepoutOwner)
+		}
+	}
+	r := New(b, Options{})
+	if _, ok := r.RouteOne(core.Connection{A: a, B: c}, 0); ok {
+		t.Fatal("route through a solid wall succeeded")
+	}
+	if r.Metrics().Failed != 1 {
+		t.Errorf("Failed = %d", r.Metrics().Failed)
+	}
+}
+
+func TestRouteManyNoOverlap(t *testing.T) {
+	b := emptyBoard(t, 10, 10, 2)
+	var conns []core.Connection
+	for i := 0; i < 5; i++ {
+		a := pin(t, b, geom.Pt(1, 1+2*i))
+		c := pin(t, b, geom.Pt(8, 1+2*i))
+		conns = append(conns, core.Connection{A: a, B: c})
+	}
+	r := New(b, Options{})
+	m := r.Route(conns)
+	if m.Routed != 5 {
+		t.Fatalf("routed %d of 5", m.Routed)
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCellsCap(t *testing.T) {
+	b := emptyBoard(t, 12, 12, 2)
+	a := pin(t, b, geom.Pt(1, 1))
+	c := pin(t, b, geom.Pt(10, 10))
+	r := New(b, Options{MaxCells: 3})
+	if _, ok := r.RouteOne(core.Connection{A: a, B: c}, 0); ok {
+		t.Fatal("cap of 3 cells should prevent routing across the board")
+	}
+}
+
+// TestCellCountScalesWithDistance demonstrates the paper's complaint
+// about the original algorithm: expansion work grows with distance even
+// on an empty board, unlike grr's segment-based search.
+func TestCellCountScalesWithDistance(t *testing.T) {
+	b := emptyBoard(t, 20, 20, 2)
+	near1, near2 := pin(t, b, geom.Pt(1, 1)), pin(t, b, geom.Pt(3, 1))
+	far1, far2 := pin(t, b, geom.Pt(1, 10)), pin(t, b, geom.Pt(18, 10))
+
+	r1 := New(b, Options{})
+	if _, ok := r1.RouteOne(core.Connection{A: near1, B: near2}, 0); !ok {
+		t.Fatal("near route failed")
+	}
+	nearCells := r1.Metrics().CellsExpanded
+
+	r2 := New(b, Options{})
+	if _, ok := r2.RouteOne(core.Connection{A: far1, B: far2}, 1); !ok {
+		t.Fatal("far route failed")
+	}
+	farCells := r2.Metrics().CellsExpanded
+
+	if farCells < 4*nearCells {
+		t.Errorf("far expansion %d not ≫ near %d; cell Lee should scale with distance", farCells, nearCells)
+	}
+}

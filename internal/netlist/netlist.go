@@ -1,0 +1,260 @@
+// Package netlist models the logical side of a circuit board (Section 2):
+// parts with packages and pins, and the nets interconnecting them. The
+// stringer consumes a Design and produces the pin-to-pin connection list
+// the router works on.
+//
+// Positions in this package are in via units (100-mil pin pitch in the
+// paper's process); the grid configuration converts them to routing-grid
+// coordinates.
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Tech is a signal technology. ECL nets are transmission lines that must
+// be chained and terminated; TTL nets allow arbitrary topology but grr
+// chains them too (Section 3).
+type Tech uint8
+
+const (
+	ECL Tech = iota
+	TTL
+)
+
+func (t Tech) String() string {
+	if t == ECL {
+		return "ECL"
+	}
+	return "TTL"
+}
+
+// Package is a part footprint: named pin offsets from the part origin, in
+// via units. Pins are numbered from 1, as on real packages.
+type Package struct {
+	Name string
+	// Offsets[i] is the position of pin i+1 relative to the part origin.
+	Offsets []geom.Point
+	// Terminator marks resistor packs whose pins may be allocated by the
+	// stringer as ECL termination points.
+	Terminator bool
+}
+
+// Pins returns the number of pins in the package.
+func (p *Package) Pins() int { return len(p.Offsets) }
+
+// Span returns the bounding box of the package's pins relative to its
+// origin.
+func (p *Package) Span() geom.Rect {
+	r := geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0} // empty
+	for _, o := range p.Offsets {
+		r = r.Union(geom.Bounding(o, o))
+	}
+	return r
+}
+
+// DIP builds a dual in-line package with pins pins (pins/2 per row), rows
+// rowSpan via units apart, at 1 via unit pitch. Pin 1 is at the origin;
+// numbering runs down one row and back up the other, as on real DIPs.
+func DIP(pins, rowSpan int) *Package {
+	if pins%2 != 0 || pins <= 0 {
+		panic(fmt.Sprintf("netlist: DIP needs a positive even pin count, got %d", pins))
+	}
+	half := pins / 2
+	p := &Package{Name: fmt.Sprintf("DIP%d", pins), Offsets: make([]geom.Point, pins)}
+	for i := 0; i < half; i++ {
+		p.Offsets[i] = geom.Pt(i, 0)
+	}
+	for i := 0; i < half; i++ {
+		p.Offsets[half+i] = geom.Pt(half-1-i, rowSpan)
+	}
+	return p
+}
+
+// SIP builds a single in-line package with the given pin count at 1 via
+// unit pitch. With terminator set its pins form an ECL termination pool.
+func SIP(pins int, terminator bool) *Package {
+	if pins <= 0 {
+		panic(fmt.Sprintf("netlist: SIP needs a positive pin count, got %d", pins))
+	}
+	p := &Package{Name: fmt.Sprintf("SIP%d", pins), Terminator: terminator}
+	for i := 0; i < pins; i++ {
+		p.Offsets = append(p.Offsets, geom.Pt(i, 0))
+	}
+	return p
+}
+
+// Part is one placed component.
+type Part struct {
+	Name string
+	Pkg  *Package
+	At   geom.Point // origin in via units
+	Tech Tech       // dominant technology of the part (for tesselation)
+}
+
+// PinPos returns the via-unit position of pin number pin (1-based).
+func (p *Part) PinPos(pin int) geom.Point {
+	return p.At.Add(p.Pkg.Offsets[pin-1])
+}
+
+// PinRef names one pin of one part.
+type PinRef struct {
+	Part *Part
+	Pin  int // 1-based
+}
+
+// Pos returns the via-unit position of the referenced pin.
+func (r PinRef) Pos() geom.Point { return r.Part.PinPos(r.Pin) }
+
+func (r PinRef) String() string { return fmt.Sprintf("%s.%d", r.Part.Name, r.Pin) }
+
+// PinFunc is the electrical role of a pin within a net.
+type PinFunc uint8
+
+const (
+	Input PinFunc = iota
+	Output
+	Termination
+)
+
+func (f PinFunc) String() string {
+	switch f {
+	case Output:
+		return "out"
+	case Termination:
+		return "term"
+	default:
+		return "in"
+	}
+}
+
+// NetPin is one net membership: a pin and its role.
+type NetPin struct {
+	Ref  PinRef
+	Func PinFunc
+}
+
+// Net is a set of pins to be electrically interconnected.
+type Net struct {
+	Name string
+	Tech Tech
+	Pins []NetPin
+	// TargetDelayPs propagates to every connection of the net for length
+	// tuning; zero means untuned.
+	TargetDelayPs float64
+}
+
+// Outputs returns the net's output pins.
+func (n *Net) Outputs() []NetPin {
+	var out []NetPin
+	for _, p := range n.Pins {
+		if p.Func == Output {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Design is a complete logical board: geometry, placement and nets.
+// Power nets are omitted — they go to power planes, not signal routing
+// (Section 2); the power package generates those planes after routing.
+type Design struct {
+	Name     string
+	ViaCols  int // board width in via units
+	ViaRows  int // board height in via units
+	Layers   int // signal layer count
+	Pitch    int // routing grid points per via unit (3 in the paper)
+	Parts    []*Part
+	Nets     []*Net
+	PinPitch float64 // inches between via sites, for pins/in² reporting (0.1 in the paper)
+}
+
+// GridConfig derives the routing-grid configuration for the design.
+func (d *Design) GridConfig() grid.Config {
+	pitch := d.Pitch
+	if pitch == 0 {
+		pitch = 3
+	}
+	return grid.NewConfig(d.ViaCols, d.ViaRows, pitch, d.Layers)
+}
+
+// AreaSqIn returns the board area in square inches.
+func (d *Design) AreaSqIn() float64 {
+	pp := d.PinPitch
+	if pp == 0 {
+		pp = 0.1
+	}
+	return float64(d.ViaCols) * pp * float64(d.ViaRows) * pp
+}
+
+// TotalPins counts the pins of every placed part.
+func (d *Design) TotalPins() int {
+	n := 0
+	for _, p := range d.Parts {
+		n += p.Pkg.Pins()
+	}
+	return n
+}
+
+// PinDensity returns pins per square inch (Table 1 "pins/in²").
+func (d *Design) PinDensity() float64 {
+	a := d.AreaSqIn()
+	if a == 0 {
+		return 0
+	}
+	return float64(d.TotalPins()) / a
+}
+
+// Validate checks that every part fits the board, every pin lands on a
+// distinct via site, and net pin references are in range.
+func (d *Design) Validate() error {
+	bounds := geom.R(0, 0, d.ViaCols-1, d.ViaRows-1)
+	used := make(map[geom.Point]string)
+	for _, part := range d.Parts {
+		for pin := 1; pin <= part.Pkg.Pins(); pin++ {
+			pos := part.PinPos(pin)
+			if !pos.In(bounds) {
+				return fmt.Errorf("netlist: %s pin %d at %v is off the %dx%d board",
+					part.Name, pin, pos, d.ViaCols, d.ViaRows)
+			}
+			ref := fmt.Sprintf("%s.%d", part.Name, pin)
+			if prev, clash := used[pos]; clash {
+				return fmt.Errorf("netlist: %s and %s both at via %v", prev, ref, pos)
+			}
+			used[pos] = ref
+		}
+	}
+	for _, net := range d.Nets {
+		if len(net.Pins) < 2 {
+			return fmt.Errorf("netlist: net %s has %d pins; need at least 2", net.Name, len(net.Pins))
+		}
+		for _, np := range net.Pins {
+			if np.Ref.Part == nil {
+				return fmt.Errorf("netlist: net %s references a nil part", net.Name)
+			}
+			if np.Ref.Pin < 1 || np.Ref.Pin > np.Ref.Part.Pkg.Pins() {
+				return fmt.Errorf("netlist: net %s references %s pin %d of %d",
+					net.Name, np.Ref.Part.Name, np.Ref.Pin, np.Ref.Part.Pkg.Pins())
+			}
+		}
+	}
+	return nil
+}
+
+// PlacePins drills every part pin into the routing board as a permanent
+// plated-through hole. Call once before routing.
+func (d *Design) PlacePins(b *board.Board) error {
+	for _, part := range d.Parts {
+		for pin := 1; pin <= part.Pkg.Pins(); pin++ {
+			p := b.Cfg.GridOf(part.PinPos(pin))
+			if err := b.PlacePin(p); err != nil {
+				return fmt.Errorf("netlist: %s pin %d: %w", part.Name, pin, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+func TestDIPGeometry(t *testing.T) {
+	d := DIP(24, 3)
+	if d.Pins() != 24 {
+		t.Fatalf("pins = %d", d.Pins())
+	}
+	// Pin 1 at origin, pin 12 at the row end, pin 13 directly below it,
+	// pin 24 below pin 1 (standard DIP counter-clockwise numbering).
+	cases := map[int]geom.Point{
+		1:  geom.Pt(0, 0),
+		12: geom.Pt(11, 0),
+		13: geom.Pt(11, 3),
+		24: geom.Pt(0, 3),
+	}
+	for pin, want := range cases {
+		if got := d.Offsets[pin-1]; got != want {
+			t.Errorf("pin %d at %v, want %v", pin, got, want)
+		}
+	}
+	if span := d.Span(); span != geom.R(0, 0, 11, 3) {
+		t.Errorf("span = %v", span)
+	}
+}
+
+func TestDIPPanicsOnOddPins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DIP(7) should panic")
+		}
+	}()
+	DIP(7, 3)
+}
+
+func TestSIPGeometry(t *testing.T) {
+	s := SIP(12, true)
+	if !s.Terminator || s.Pins() != 12 {
+		t.Fatal("SIP misbuilt")
+	}
+	if s.Offsets[0] != geom.Pt(0, 0) || s.Offsets[11] != geom.Pt(11, 0) {
+		t.Error("SIP pin positions wrong")
+	}
+}
+
+func TestPartPinPos(t *testing.T) {
+	p := &Part{Name: "U1", Pkg: DIP(24, 3), At: geom.Pt(5, 7)}
+	if got := p.PinPos(1); got != geom.Pt(5, 7) {
+		t.Errorf("pin 1 at %v", got)
+	}
+	if got := p.PinPos(13); got != geom.Pt(16, 10) {
+		t.Errorf("pin 13 at %v", got)
+	}
+	ref := PinRef{Part: p, Pin: 13}
+	if ref.Pos() != geom.Pt(16, 10) || ref.String() != "U1.13" {
+		t.Error("PinRef misbehaves")
+	}
+}
+
+func smallDesign() *Design {
+	u1 := &Part{Name: "U1", Pkg: DIP(24, 3), At: geom.Pt(1, 1)}
+	u2 := &Part{Name: "U2", Pkg: DIP(24, 3), At: geom.Pt(1, 8)}
+	r1 := &Part{Name: "R1", Pkg: SIP(12, true), At: geom.Pt(1, 6)}
+	d := &Design{
+		Name: "small", ViaCols: 20, ViaRows: 20, Layers: 2,
+		Parts: []*Part{u1, u2, r1},
+		Nets: []*Net{{
+			Name: "N1", Tech: ECL,
+			Pins: []NetPin{
+				{Ref: PinRef{Part: u1, Pin: 2}, Func: Output},
+				{Ref: PinRef{Part: u2, Pin: 5}, Func: Input},
+			},
+		}},
+	}
+	return d
+}
+
+func TestDesignValidate(t *testing.T) {
+	d := smallDesign()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid design rejected: %v", err)
+	}
+
+	// Off-board part.
+	d2 := smallDesign()
+	d2.Parts[0].At = geom.Pt(15, 1) // DIP spans 12 wide; 15+11=26 > 19
+	if err := d2.Validate(); err == nil {
+		t.Error("off-board part accepted")
+	}
+
+	// Overlapping pins.
+	d3 := smallDesign()
+	d3.Parts[1].At = d3.Parts[0].At
+	if err := d3.Validate(); err == nil {
+		t.Error("overlapping parts accepted")
+	}
+
+	// Bad pin reference.
+	d4 := smallDesign()
+	d4.Nets[0].Pins[0].Ref.Pin = 99
+	if err := d4.Validate(); err == nil {
+		t.Error("out-of-range pin reference accepted")
+	}
+
+	// Single-pin net.
+	d5 := smallDesign()
+	d5.Nets[0].Pins = d5.Nets[0].Pins[:1]
+	if err := d5.Validate(); err == nil {
+		t.Error("1-pin net accepted")
+	}
+}
+
+func TestPlacePins(t *testing.T) {
+	d := smallDesign()
+	b := board.MustNew(d.GridConfig())
+	if err := d.PlacePins(b); err != nil {
+		t.Fatal(err)
+	}
+	// Every pin site occupied by PinOwner on every layer.
+	for _, part := range d.Parts {
+		for pin := 1; pin <= part.Pkg.Pins(); pin++ {
+			p := b.Cfg.GridOf(part.PinPos(pin))
+			for li := range b.Layers {
+				if got := b.OwnerAt(li, p); got != layer.PinOwner {
+					t.Fatalf("%s.%d layer %d owner %d", part.Name, pin, li, got)
+				}
+			}
+		}
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDensityAndArea(t *testing.T) {
+	d := smallDesign()
+	if got := d.AreaSqIn(); got != 4.0 { // 20×0.1 × 20×0.1
+		t.Errorf("area = %v", got)
+	}
+	if got := d.TotalPins(); got != 60 {
+		t.Errorf("pins = %d", got)
+	}
+	if got := d.PinDensity(); got != 15.0 {
+		t.Errorf("density = %v", got)
+	}
+}
+
+func TestGridConfigDefaults(t *testing.T) {
+	d := smallDesign()
+	cfg := d.GridConfig()
+	if cfg.Pitch != 3 {
+		t.Errorf("default pitch = %d", cfg.Pitch)
+	}
+	if cfg.Width != 58 || cfg.Height != 58 {
+		t.Errorf("grid %dx%d", cfg.Width, cfg.Height)
+	}
+	if len(cfg.Layers) != 2 {
+		t.Errorf("layers = %d", len(cfg.Layers))
+	}
+}
+
+func TestNetOutputs(t *testing.T) {
+	d := smallDesign()
+	outs := d.Nets[0].Outputs()
+	if len(outs) != 1 || outs[0].Func != Output {
+		t.Errorf("Outputs = %v", outs)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ECL.String() != "ECL" || TTL.String() != "TTL" {
+		t.Error("Tech.String")
+	}
+	if Output.String() != "out" || Input.String() != "in" || Termination.String() != "term" {
+		t.Error("PinFunc.String")
+	}
+}

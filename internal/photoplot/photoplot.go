@@ -1,0 +1,184 @@
+// Package photoplot writes routed layers and power planes as RS-274X
+// (extended Gerber) photoplot files — the manufacturing output of the
+// original flow ("The rectilinear grr output was postprocessed to
+// generate this photoplot", Section 13). Signal layers emit each
+// connection's smoothed polyline (diagonal corner cuts included, as in
+// Figure 21) drawn with a trace aperture plus flashed pads at every
+// drilled hole; power planes emit a dark copper region with clear
+// (LPC) flashes for antipads, thermals and clearances.
+package photoplot
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/post"
+	"repro/internal/power"
+)
+
+// Apertures used by the writer (D-codes).
+const (
+	apTrace = 10 // round, trace width
+	apPad   = 11 // round, via/pin pad
+	apHole  = 12 // round, antipad clearance
+)
+
+type plot struct {
+	w        io.Writer
+	err      error
+	gridMils float64
+}
+
+func newPlot(w io.Writer, b *board.Board) *plot {
+	return &plot{w: w, gridMils: 100.0 / float64(b.Cfg.Pitch)}
+}
+
+func (p *plot) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// coord converts grid units to the 3.4 inch format (tenth-mil integers).
+func (p *plot) coord(gridUnits float64) int {
+	return int(gridUnits*p.gridMils*10 + 0.5)
+}
+
+func (p *plot) header(apertures map[int]float64) {
+	p.printf("%%FSLAX34Y34*%%\n%%MOIN*%%\n%%LPD*%%\n")
+	for _, d := range [3]int{apTrace, apPad, apHole} {
+		if in, ok := apertures[d]; ok {
+			p.printf("%%ADD%dC,%.4f*%%\n", d, in)
+		}
+	}
+}
+
+func (p *plot) footer() { p.printf("M02*\n") }
+
+func (p *plot) moveTo(x, y float64) {
+	p.printf("X%dY%dD02*\n", p.coord(x), p.coord(y))
+}
+
+func (p *plot) drawTo(x, y float64) {
+	p.printf("X%dY%dD01*\n", p.coord(x), p.coord(y))
+}
+
+func (p *plot) flash(x, y float64) {
+	p.printf("X%dY%dD03*\n", p.coord(x), p.coord(y))
+}
+
+func (p *plot) selectAperture(d int) { p.printf("D%d*\n", d) }
+
+// WriteLayer emits one signal layer: smoothed connection polylines with
+// the trace aperture and a flashed pad at every hole contacting the
+// layer.
+func WriteLayer(w io.Writer, b *board.Board, r *core.Router, li int) error {
+	pl := newPlot(w, b)
+	pl.header(map[int]float64{
+		apTrace: 0.008, // the Figure 1 8-mil trace
+		apPad:   0.060, // the Figure 1 60-mil pad
+	})
+
+	pl.selectAperture(apTrace)
+	for i := range r.Conns {
+		rt := r.RouteOf(i)
+		if rt.Method == core.NotRouted || rt.Method == core.Trivial {
+			continue
+		}
+		poly, err := post.Polyline(b, &r.Conns[i], rt)
+		if err != nil {
+			return err
+		}
+		for _, seg := range post.Smooth(poly, 0.5) {
+			if seg.Layer != li || len(seg.Points) < 2 {
+				continue
+			}
+			pl.moveTo(seg.Points[0].X, seg.Points[0].Y)
+			for _, pt := range seg.Points[1:] {
+				pl.drawTo(pt.X, pt.Y)
+			}
+		}
+	}
+
+	// Pads: every drilled hole contacts every layer.
+	pl.selectAperture(apPad)
+	for _, h := range holes(b) {
+		pl.flash(float64(h.X), float64(h.Y))
+	}
+	pl.footer()
+	return pl.err
+}
+
+// WritePlane emits a power plane: a dark copper region covering the board
+// with clear flashes where metal is etched away (antipads, clearances)
+// and clear rings for thermals (approximated as a clear flash followed by
+// a dark pad core, leaving an annular gap the spokes would bridge).
+func WritePlane(w io.Writer, b *board.Board, plane *power.Plane) error {
+	pl := newPlot(w, b)
+	pl.header(map[int]float64{apPad: 0.060, apHole: 0.080})
+
+	// Solid copper: a G36/G37 region over the whole board.
+	wdt, hgt := float64(b.Cfg.Width-1), float64(b.Cfg.Height-1)
+	pl.printf("G36*\n")
+	pl.moveTo(0, 0)
+	pl.drawTo(wdt, 0)
+	pl.drawTo(wdt, hgt)
+	pl.drawTo(0, hgt)
+	pl.drawTo(0, 0)
+	pl.printf("G37*\n")
+
+	// Etch the features in clear polarity.
+	pl.printf("%%LPC*%%\n")
+	for _, f := range plane.Features {
+		switch f.Kind {
+		case power.Antipad, power.Clearance:
+			pl.selectAperture(apHole)
+			pl.flash(float64(f.At.X), float64(f.At.Y))
+		case power.Thermal:
+			pl.selectAperture(apHole)
+			pl.flash(float64(f.At.X), float64(f.At.Y))
+		}
+	}
+	// Restore the pad core of each thermal in dark polarity: the annular
+	// clear ring between core and plane is what limits heat flow.
+	pl.printf("%%LPD*%%\n")
+	pl.selectAperture(apPad)
+	for _, f := range plane.Features {
+		if f.Kind == power.Thermal {
+			pl.flash(float64(f.At.X), float64(f.At.Y))
+		}
+	}
+	pl.footer()
+	return pl.err
+}
+
+// holes lists every drilled hole: fully-occupied via sites plus off-grid
+// holes.
+func holes(b *board.Board) []geom.Point {
+	var out []geom.Point
+	layers := b.NumLayers()
+	for vy := 0; vy < b.Cfg.ViaRows(); vy++ {
+		for vx := 0; vx < b.Cfg.ViaCols(); vx++ {
+			if b.Vias.Count(geom.Pt(vx, vy)) == layers {
+				out = append(out, b.Cfg.GridOf(geom.Pt(vx, vy)))
+			}
+		}
+	}
+	return append(out, b.OffGridHoles...)
+}
+
+// WriteDrill emits the board's drill file in a simple Excellon-like
+// format: one tool (the Figure 1 37-mil drill) and one hit per hole.
+func WriteDrill(w io.Writer, b *board.Board) error {
+	pl := newPlot(w, b)
+	pl.printf("M48\nINCH\nT01C0.0370\n%%\nT01\n")
+	for _, h := range holes(b) {
+		pl.printf("X%06dY%06d\n", pl.coord(float64(h.X)), pl.coord(float64(h.Y)))
+	}
+	pl.printf("M30\n")
+	return pl.err
+}

@@ -1,0 +1,142 @@
+package photoplot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+func routed(t *testing.T) (*board.Board, *core.Router, *power.Plane) {
+	t.Helper()
+	d, err := workload.Generate(workload.SmallSpec(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b, sr.Conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing failed")
+	}
+	plane, err := power.Generate(b, d, nil, "VCC", power.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, r, plane
+}
+
+func TestWriteLayerStructure(t *testing.T) {
+	b, r, _ := routed(t)
+	var sb strings.Builder
+	if err := WriteLayer(&sb, b, r, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"%FSLAX34Y34*%", "%MOIN*%", "%ADD10C,0.0080*%", "%ADD11C,0.0600*%", "D01*", "D02*", "D03*", "M02*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("layer plot missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "M02*") {
+		t.Error("plot does not end with M02*")
+	}
+	// One pad flash per drilled hole.
+	flashes := strings.Count(out, "D03*")
+	if flashes != len(holes(b)) {
+		t.Errorf("flashes = %d, holes = %d", flashes, len(holes(b)))
+	}
+}
+
+func TestLayerDrawsOnlyOwnTraces(t *testing.T) {
+	b, r, _ := routed(t)
+	// Collect total draw command counts per layer; the sum over layers
+	// must be positive and layers must differ from each other (V and H
+	// content differ).
+	counts := make([]int, b.NumLayers())
+	for li := range b.Layers {
+		var sb strings.Builder
+		if err := WriteLayer(&sb, b, r, li); err != nil {
+			t.Fatal(err)
+		}
+		counts[li] = strings.Count(sb.String(), "D01*")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no draw commands on any layer")
+	}
+}
+
+func TestWritePlaneStructure(t *testing.T) {
+	b, _, plane := routed(t)
+	var sb strings.Builder
+	if err := WritePlane(&sb, b, plane); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"G36*", "G37*", "%LPC*%", "%LPD*%", "M02*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plane plot missing %q", want)
+		}
+	}
+	anti, thermal, clear := plane.Counts()
+	// Clear flashes: one per feature; dark flashes: one per thermal.
+	if got := strings.Count(out, "D03*"); got != anti+clear+2*thermal {
+		t.Errorf("flashes = %d, want %d", got, anti+clear+2*thermal)
+	}
+}
+
+func TestWriteDrill(t *testing.T) {
+	b, _, _ := routed(t)
+	var sb strings.Builder
+	if err := WriteDrill(&sb, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "M48") || !strings.Contains(out, "T01C0.0370") || !strings.HasSuffix(strings.TrimSpace(out), "M30") {
+		t.Errorf("drill file malformed:\n%s", out[:120])
+	}
+	hits := strings.Count(out, "X")
+	if hits != len(holes(b)) {
+		t.Errorf("drill hits = %d, holes = %d", hits, len(holes(b)))
+	}
+}
+
+// TestCoordConversion checks the 3.4-format conversion: one via pitch
+// (100 mils) is 1000 tenth-mils.
+func TestCoordConversion(t *testing.T) {
+	d, err := workload.Generate(workload.SmallSpec(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := newPlot(nil, b)
+	if got := pl.coord(3); got != 1000 { // 3 grid units = 1 via pitch = 0.1 in
+		t.Errorf("coord(3) = %d, want 1000", got)
+	}
+	if got := pl.coord(0); got != 0 {
+		t.Errorf("coord(0) = %d", got)
+	}
+}

@@ -1,0 +1,234 @@
+// Package post implements the photoplot post-processing the paper applies
+// to grr's rectilinear output (Section 13, footnote 2): each connection's
+// cell-level realization is reconstructed into an ordered polyline, and
+// single-cell staircase corners are cut at 45° — the "local modifications
+// ... to produce the rounded corners and diagonal traces" visible in
+// Figure 21. The smoothing is cosmetic/manufacturing-oriented and never
+// feeds back into the routing model.
+package post
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Node is one vertex of a reconstructed route path: a grid point on a
+// specific layer.
+type Node struct {
+	P     geom.Point
+	Layer int
+}
+
+// FPoint is a sub-grid point used by smoothed output.
+type FPoint struct {
+	X, Y float64
+}
+
+// Segment is one single-layer piece of a smoothed polyline.
+type Segment struct {
+	Layer  int
+	Points []FPoint
+}
+
+// Polyline reconstructs the ordered vertex path of a realized route from
+// connection endpoint A to endpoint B, walking only the connection's own
+// metal (trace cells, via cells, endpoint pins). Vertices appear at
+// direction changes and at layer changes (vias); collinear runs are
+// compressed.
+func Polyline(b *board.Board, c *core.Connection, rt *core.Route) ([]Node, error) {
+	cells := make(map[Node]bool)
+	vias := make(map[geom.Point]bool)
+
+	for _, ps := range rt.Segs {
+		if !ps.Seg.Stored() {
+			return nil, fmt.Errorf("post: stale segment handle on layer %d", ps.Layer)
+		}
+		o := b.Layers[ps.Layer].Orient
+		for pos := ps.Seg.Lo; pos <= ps.Seg.Hi; pos++ {
+			cells[Node{b.Cfg.PointAt(o, ps.Seg.Channel(), pos), ps.Layer}] = true
+		}
+	}
+	for _, pv := range rt.Vias {
+		vias[pv.At] = true
+		for li := range b.Layers {
+			cells[Node{pv.At, li}] = true
+		}
+	}
+	for _, p := range []geom.Point{c.A, c.B} {
+		vias[p] = true
+		for li := range b.Layers {
+			cells[Node{p, li}] = true
+		}
+	}
+
+	// BFS from A (layer 0) to B over the connection's own metal,
+	// recording parents; this mirrors the verify package's audit, but
+	// keeps the path.
+	start := Node{c.A, 0}
+	parent := map[Node]Node{start: start}
+	queue := []Node{start}
+	var goal *Node
+	for len(queue) > 0 && goal == nil {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.P == c.B {
+			goal = &cur
+			break
+		}
+		push := func(n Node) {
+			if !cells[n] {
+				return
+			}
+			if _, seen := parent[n]; seen {
+				return
+			}
+			parent[n] = cur
+			queue = append(queue, n)
+		}
+		push(Node{geom.Pt(cur.P.X+1, cur.P.Y), cur.Layer})
+		push(Node{geom.Pt(cur.P.X-1, cur.P.Y), cur.Layer})
+		push(Node{geom.Pt(cur.P.X, cur.P.Y+1), cur.Layer})
+		push(Node{geom.Pt(cur.P.X, cur.P.Y-1), cur.Layer})
+		if vias[cur.P] {
+			for li := range b.Layers {
+				push(Node{cur.P, li})
+			}
+		}
+	}
+	if goal == nil {
+		return nil, fmt.Errorf("post: endpoints not connected through the route's metal")
+	}
+
+	// Walk back, then reverse.
+	var path []Node
+	for n := *goal; ; n = parent[n] {
+		path = append(path, n)
+		if n == parent[n] {
+			break
+		}
+	}
+	reverse(path)
+	return compress(path), nil
+}
+
+// compress removes interior vertices of straight same-layer runs.
+func compress(path []Node) []Node {
+	if len(path) <= 2 {
+		return path
+	}
+	out := []Node{path[0]}
+	for i := 1; i+1 < len(path); i++ {
+		a, b, c := out[len(out)-1], path[i], path[i+1]
+		if a.Layer == b.Layer && b.Layer == c.Layer && collinear(a.P, b.P, c.P) {
+			continue
+		}
+		out = append(out, b)
+	}
+	return append(out, path[len(path)-1])
+}
+
+func collinear(a, b, c geom.Point) bool {
+	return (a.X == b.X && b.X == c.X) || (a.Y == b.Y && b.Y == c.Y)
+}
+
+// Smooth converts a route polyline into per-layer smoothed segments,
+// cutting every 90° corner back by cut grid units on each side (0 < cut
+// ≤ 0.5) and joining the cut points with a 45° diagonal. Layer changes
+// split the polyline; the via sits at the split point.
+func Smooth(poly []Node, cut float64) []Segment {
+	if cut <= 0 {
+		cut = 0.5
+	}
+	if cut > 0.5 {
+		cut = 0.5
+	}
+	var out []Segment
+	var cur *Segment
+
+	flush := func() {
+		if cur != nil && len(cur.Points) >= 2 {
+			out = append(out, *cur)
+		}
+		cur = nil
+	}
+
+	for i := 0; i < len(poly); i++ {
+		n := poly[i]
+		if cur == nil || cur.Layer != n.Layer {
+			flush()
+			cur = &Segment{Layer: n.Layer}
+			cur.Points = append(cur.Points, fp(n.P))
+			continue
+		}
+		prevSame := poly[i-1].Layer == n.Layer
+		nextSame := i+1 < len(poly) && poly[i+1].Layer == n.Layer
+		if prevSame && nextSame && corner(poly[i-1].P, n.P, poly[i+1].P) {
+			// Cut the corner: approach point, then leave point.
+			a, b, c := poly[i-1].P, n.P, poly[i+1].P
+			cur.Points = append(cur.Points,
+				towards(b, a, cut),
+				towards(b, c, cut),
+			)
+			continue
+		}
+		cur.Points = append(cur.Points, fp(n.P))
+	}
+	flush()
+	return out
+}
+
+// corner reports whether a→b→c turns 90° with both arms at least one
+// grid unit long.
+func corner(a, b, c geom.Point) bool {
+	d1x, d1y := sign(b.X-a.X), sign(b.Y-a.Y)
+	d2x, d2y := sign(c.X-b.X), sign(c.Y-b.Y)
+	if d1x == 0 && d1y == 0 || d2x == 0 && d2y == 0 {
+		return false
+	}
+	return (d1x == 0) != (d2x == 0) // one arm horizontal, the other vertical
+}
+
+// towards returns the point cut grid units from b along the direction of
+// other.
+func towards(b, other geom.Point, cut float64) FPoint {
+	dx, dy := float64(sign(other.X-b.X)), float64(sign(other.Y-b.Y))
+	return FPoint{float64(b.X) + dx*cut, float64(b.Y) + dy*cut}
+}
+
+func fp(p geom.Point) FPoint { return FPoint{float64(p.X), float64(p.Y)} }
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Length returns the total geometric length of smoothed segments in grid
+// units (diagonals count √2/2 per cut corner, so smoothing always
+// shortens a staircase).
+func Length(segs []Segment) float64 {
+	total := 0.0
+	for _, s := range segs {
+		for i := 1; i < len(s.Points); i++ {
+			dx := s.Points[i].X - s.Points[i-1].X
+			dy := s.Points[i].Y - s.Points[i-1].Y
+			total += math.Hypot(dx, dy)
+		}
+	}
+	return total
+}
+
+func reverse(p []Node) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,189 @@
+package post
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+func routedPair(t *testing.T, aVia, bVia geom.Point) (*board.Board, *core.Router) {
+	t.Helper()
+	b, err := board.New(grid.NewConfig(16, 16, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, c := b.Cfg.GridOf(aVia), b.Cfg.GridOf(bVia)
+	if err := b.PlacePin(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlacePin(c); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b, []core.Connection{{A: a, B: c}}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing failed")
+	}
+	return b, r
+}
+
+func TestPolylineStraight(t *testing.T) {
+	b, r := routedPair(t, geom.Pt(2, 7), geom.Pt(12, 7))
+	poly, err := Polyline(b, &r.Conns[0], r.RouteOf(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly[0].P != r.Conns[0].A || poly[len(poly)-1].P != r.Conns[0].B {
+		t.Fatalf("polyline endpoints wrong: %v ... %v", poly[0], poly[len(poly)-1])
+	}
+	// A straight horizontal route compresses to few vertices, all on the
+	// same row.
+	for _, n := range poly {
+		if n.P.Y != r.Conns[0].A.Y {
+			t.Fatalf("straight route wanders to %v", n.P)
+		}
+	}
+	if len(poly) > 3 {
+		t.Errorf("straight route has %d vertices, expected <= 3", len(poly))
+	}
+}
+
+func TestPolylineLShape(t *testing.T) {
+	b, r := routedPair(t, geom.Pt(2, 2), geom.Pt(12, 12))
+	poly, err := Polyline(b, &r.Conns[0], r.RouteOf(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An L route crosses one via: the polyline must change layer exactly
+	// where x,y stays put.
+	layerChanges := 0
+	for i := 1; i < len(poly); i++ {
+		if poly[i].Layer != poly[i-1].Layer {
+			layerChanges++
+			if poly[i].P != poly[i-1].P {
+				t.Fatalf("layer change moves in plane: %v -> %v", poly[i-1], poly[i])
+			}
+		}
+	}
+	if layerChanges == 0 {
+		t.Error("L route shows no layer change")
+	}
+	// Consecutive same-layer vertices must be axis-aligned.
+	for i := 1; i < len(poly); i++ {
+		a, c := poly[i-1], poly[i]
+		if a.Layer == c.Layer && a.P.X != c.P.X && a.P.Y != c.P.Y {
+			t.Fatalf("non-rectilinear polyline edge %v -> %v", a, c)
+		}
+	}
+}
+
+func TestSmoothCutsCorners(t *testing.T) {
+	poly := []Node{
+		{geom.Pt(0, 0), 0},
+		{geom.Pt(4, 0), 0},
+		{geom.Pt(4, 4), 0},
+	}
+	segs := Smooth(poly, 0.5)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	pts := segs[0].Points
+	// 0,0 → 3.5,0 → 4,0.5 → 4,4: corner replaced with a diagonal.
+	want := []FPoint{{0, 0}, {3.5, 0}, {4, 0.5}, {4, 4}}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("points = %v, want %v", pts, want)
+		}
+	}
+	// The cut is strictly shorter than the staircase.
+	if l := Length(segs); l >= 8 {
+		t.Errorf("smoothed length %v, want < 8", l)
+	}
+}
+
+func TestSmoothSplitsAtVias(t *testing.T) {
+	poly := []Node{
+		{geom.Pt(0, 0), 0},
+		{geom.Pt(0, 6), 0},
+		{geom.Pt(0, 6), 1}, // via
+		{geom.Pt(6, 6), 1},
+	}
+	segs := Smooth(poly, 0.5)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want split at the via", len(segs))
+	}
+	if segs[0].Layer != 0 || segs[1].Layer != 1 {
+		t.Errorf("layers = %d,%d", segs[0].Layer, segs[1].Layer)
+	}
+}
+
+func TestSmoothedNeverLongerOnRealBoard(t *testing.T) {
+	d, err := workload.Generate(workload.SmallSpec(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b, sr.Conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing failed")
+	}
+	smoothedShorter := 0
+	for i := range r.Conns {
+		poly, err := Polyline(b, &r.Conns[i], r.RouteOf(i))
+		if err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+		// Rectilinear length of the polyline.
+		rect := 0.0
+		for j := 1; j < len(poly); j++ {
+			if poly[j].Layer == poly[j-1].Layer {
+				rect += math.Abs(float64(poly[j].P.X-poly[j-1].P.X)) +
+					math.Abs(float64(poly[j].P.Y-poly[j-1].P.Y))
+			}
+		}
+		sm := Length(Smooth(poly, 0.5))
+		if sm > rect+1e-9 {
+			t.Fatalf("conn %d: smoothing lengthened the path: %v > %v", i, sm, rect)
+		}
+		if sm < rect-1e-9 {
+			smoothedShorter++
+		}
+	}
+	if smoothedShorter == 0 {
+		t.Error("no route had corners to cut; workload too trivial for this test")
+	}
+}
+
+func TestSmoothDegenerate(t *testing.T) {
+	if segs := Smooth(nil, 0.5); len(segs) != 0 {
+		t.Error("empty polyline produced segments")
+	}
+	one := []Node{{geom.Pt(1, 1), 0}}
+	if segs := Smooth(one, 0.5); len(segs) != 0 {
+		t.Error("single point produced segments")
+	}
+}

@@ -1,0 +1,204 @@
+// Package power generates power-plane etching patterns (Section 2 and the
+// appendix, Figure 22). A power layer is left as solid copper except
+// where connections must be prevented: every drilled hole that does not
+// belong to the plane's net gets a clearance disk (antipad), every pin of
+// the plane's net gets a thermal relief (spoked connection that slows
+// heat flow into the copper mass during soldering), and mounting screws
+// get large clearance circles. Generation is straightforward once the
+// complete pattern of vias is known — i.e. after routing.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Assignment maps a part pin to the power net it belongs to, or "" for
+// signal pins. The router never sees power pins in this model; they exist
+// only for plane generation.
+type Assignment func(part *netlist.Part, pin int) string
+
+// DefaultAssignment models the common ECL convention on this board
+// family: DIP logic parts take VCC on pin 18 and VEE on pin 6; resistor
+// SIPs tie pin 1 to VTT (the -2V termination rail).
+func DefaultAssignment(part *netlist.Part, pin int) string {
+	if part.Pkg.Terminator {
+		if pin == 1 {
+			return "VTT"
+		}
+		return ""
+	}
+	switch pin {
+	case 18:
+		return "VCC"
+	case 6:
+		return "VEE"
+	}
+	return ""
+}
+
+// Feature kinds on a plane.
+type FeatureKind uint8
+
+const (
+	// Antipad is a clearance disk around a hole not connected to this
+	// plane.
+	Antipad FeatureKind = iota
+	// Thermal is a spoked connection of a hole that IS connected to this
+	// plane.
+	Thermal
+	// Clearance is a large etched circle (mounting screws).
+	Clearance
+)
+
+func (k FeatureKind) String() string {
+	switch k {
+	case Antipad:
+		return "antipad"
+	case Thermal:
+		return "thermal"
+	default:
+		return "clearance"
+	}
+}
+
+// Feature is one etched element of a plane.
+type Feature struct {
+	Kind FeatureKind
+	At   geom.Point // grid units
+	// RadiusMils is the etched radius; antipads default to the process
+	// clearance, Clearances are caller-specified.
+	RadiusMils int
+}
+
+// Plane is the generated pattern for one power net.
+type Plane struct {
+	Net      string
+	Features []Feature
+}
+
+// Counts returns how many features of each kind the plane holds.
+func (p *Plane) Counts() (antipads, thermals, clearances int) {
+	for _, f := range p.Features {
+		switch f.Kind {
+		case Antipad:
+			antipads++
+		case Thermal:
+			thermals++
+		case Clearance:
+			clearances++
+		}
+	}
+	return
+}
+
+// Options control plane generation.
+type Options struct {
+	// AntipadRadiusMils is the clearance disk radius (default 40: a
+	// 60-mil pad plus isolation).
+	AntipadRadiusMils int
+	// ThermalRadiusMils is the thermal relief outer radius (default 45).
+	ThermalRadiusMils int
+	// MountingHoles lists screw locations (grid units) with clearance
+	// radii in mils.
+	MountingHoles []Feature
+}
+
+// Generate builds the plane for one power net after routing: every
+// drilled hole on the board (pin or signal via) gets an antipad unless it
+// is a pin assigned to this net, which gets a thermal relief instead.
+//
+// A hole exists wherever the via map shows every layer occupied at a via
+// site (pins and completed vias cover all layers; a site merely crossed
+// by traces is not drilled).
+func Generate(b *board.Board, d *netlist.Design, assign Assignment, net string, opts Options) (*Plane, error) {
+	if net == "" {
+		return nil, fmt.Errorf("power: empty net name")
+	}
+	if assign == nil {
+		assign = DefaultAssignment
+	}
+	if opts.AntipadRadiusMils == 0 {
+		opts.AntipadRadiusMils = 40
+	}
+	if opts.ThermalRadiusMils == 0 {
+		opts.ThermalRadiusMils = 45
+	}
+
+	// Pins of this net, by grid position.
+	netPins := make(map[geom.Point]bool)
+	for _, part := range d.Parts {
+		for pin := 1; pin <= part.Pkg.Pins(); pin++ {
+			if assign(part, pin) == net {
+				netPins[b.Cfg.GridOf(part.PinPos(pin))] = true
+			}
+		}
+	}
+
+	plane := &Plane{Net: net}
+	layers := b.NumLayers()
+	for vy := 0; vy < b.Cfg.ViaRows(); vy++ {
+		for vx := 0; vx < b.Cfg.ViaCols(); vx++ {
+			v := geom.Pt(vx, vy)
+			if b.Vias.Count(v) != layers {
+				continue // no hole drilled here
+			}
+			at := b.Cfg.GridOf(v)
+			if netPins[at] {
+				plane.Features = append(plane.Features, Feature{Kind: Thermal, At: at, RadiusMils: opts.ThermalRadiusMils})
+			} else {
+				plane.Features = append(plane.Features, Feature{Kind: Antipad, At: at, RadiusMils: opts.AntipadRadiusMils})
+			}
+		}
+	}
+	// Off-grid pins (Section 11 extension) are holes too; the via map
+	// does not see them, so they come from the board's explicit list.
+	for _, at := range b.OffGridHoles {
+		if netPins[at] {
+			plane.Features = append(plane.Features, Feature{Kind: Thermal, At: at, RadiusMils: opts.ThermalRadiusMils})
+		} else {
+			plane.Features = append(plane.Features, Feature{Kind: Antipad, At: at, RadiusMils: opts.AntipadRadiusMils})
+		}
+	}
+	plane.Features = append(plane.Features, opts.MountingHoles...)
+	return plane, nil
+}
+
+// GenerateAll builds one plane per power net named by the assignment over
+// the design's parts, in deterministic (sorted) net order.
+func GenerateAll(b *board.Board, d *netlist.Design, assign Assignment, opts Options) ([]*Plane, error) {
+	if assign == nil {
+		assign = DefaultAssignment
+	}
+	seen := map[string]bool{}
+	var nets []string
+	for _, part := range d.Parts {
+		for pin := 1; pin <= part.Pkg.Pins(); pin++ {
+			if n := assign(part, pin); n != "" && !seen[n] {
+				seen[n] = true
+				nets = append(nets, n)
+			}
+		}
+	}
+	sortStrings(nets)
+	var planes []*Plane
+	for _, n := range nets {
+		p, err := Generate(b, d, assign, n, opts)
+		if err != nil {
+			return nil, err
+		}
+		planes = append(planes, p)
+	}
+	return planes, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+// routedBoard generates, strings and routes a small workload board.
+func routedBoard(t *testing.T) (*board.Board, *netlist.Design, *core.Router) {
+	t.Helper()
+	d, err := workload.Generate(workload.SmallSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b, sr.Conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing incomplete")
+	}
+	return b, d, r
+}
+
+func TestDefaultAssignment(t *testing.T) {
+	dip := &netlist.Part{Name: "U", Pkg: netlist.DIP(24, 3)}
+	sip := &netlist.Part{Name: "R", Pkg: netlist.SIP(12, true)}
+	if DefaultAssignment(dip, 18) != "VCC" || DefaultAssignment(dip, 6) != "VEE" {
+		t.Error("DIP power pins misassigned")
+	}
+	if DefaultAssignment(dip, 1) != "" || DefaultAssignment(dip, 12) != "" {
+		t.Error("signal pins assigned to power")
+	}
+	if DefaultAssignment(sip, 1) != "VTT" || DefaultAssignment(sip, 2) != "" {
+		t.Error("SIP rail pin misassigned")
+	}
+}
+
+func TestGenerateCoversEveryHole(t *testing.T) {
+	b, d, _ := routedBoard(t)
+	plane, err := Generate(b, d, nil, "VCC", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count drilled holes directly.
+	holes := 0
+	for vy := 0; vy < b.Cfg.ViaRows(); vy++ {
+		for vx := 0; vx < b.Cfg.ViaCols(); vx++ {
+			if b.Vias.Count(geom.Pt(vx, vy)) == b.NumLayers() {
+				holes++
+			}
+		}
+	}
+	anti, thermal, clear := plane.Counts()
+	if anti+thermal != holes {
+		t.Errorf("features %d+%d cover %d of %d holes", anti, thermal, clear, holes)
+	}
+	// One VCC pin per DIP part.
+	dips := 0
+	for _, p := range d.Parts {
+		if !p.Pkg.Terminator {
+			dips++
+		}
+	}
+	if thermal != dips {
+		t.Errorf("thermals = %d, want one per DIP = %d", thermal, dips)
+	}
+}
+
+func TestThermalsOnlyOnNetPins(t *testing.T) {
+	b, d, _ := routedBoard(t)
+	plane, err := Generate(b, d, nil, "VEE", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	veePins := map[geom.Point]bool{}
+	for _, part := range d.Parts {
+		for pin := 1; pin <= part.Pkg.Pins(); pin++ {
+			if DefaultAssignment(part, pin) == "VEE" {
+				veePins[b.Cfg.GridOf(part.PinPos(pin))] = true
+			}
+		}
+	}
+	for _, f := range plane.Features {
+		if f.Kind == Thermal && !veePins[f.At] {
+			t.Errorf("thermal at %v is not a VEE pin", f.At)
+		}
+		if f.Kind == Antipad && veePins[f.At] {
+			t.Errorf("antipad at %v is a VEE pin", f.At)
+		}
+	}
+}
+
+func TestSignalViasGetAntipads(t *testing.T) {
+	b, d, r := routedBoard(t)
+	plane, err := Generate(b, d, nil, "VCC", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := map[geom.Point]FeatureKind{}
+	for _, f := range plane.Features {
+		feats[f.At] = f.Kind
+	}
+	checked := 0
+	for i := range r.Conns {
+		for _, pv := range r.RouteOf(i).Vias {
+			k, ok := feats[pv.At]
+			if !ok {
+				t.Fatalf("routed via at %v has no plane feature", pv.At)
+			}
+			if k != Antipad {
+				t.Fatalf("routed via at %v is %v, want antipad", pv.At, k)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("routing used no vias; nothing to check")
+	}
+}
+
+func TestMountingHolesAppended(t *testing.T) {
+	b, d, _ := routedBoard(t)
+	opts := Options{MountingHoles: []Feature{
+		{Kind: Clearance, At: geom.Pt(0, 0), RadiusMils: 150},
+		{Kind: Clearance, At: geom.Pt(b.Cfg.Width-1, b.Cfg.Height-1), RadiusMils: 150},
+	}}
+	plane, err := Generate(b, d, nil, "VTT", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, clear := plane.Counts()
+	if clear != 2 {
+		t.Errorf("clearances = %d", clear)
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	b, d, _ := routedBoard(t)
+	planes, err := GenerateAll(b, d, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planes) != 3 {
+		t.Fatalf("planes = %d, want VCC/VEE/VTT", len(planes))
+	}
+	want := []string{"VCC", "VEE", "VTT"}
+	for i, p := range planes {
+		if p.Net != want[i] {
+			t.Errorf("plane %d = %s, want %s", i, p.Net, want[i])
+		}
+	}
+}
+
+func TestGenerateRejectsEmptyNet(t *testing.T) {
+	b, d, _ := routedBoard(t)
+	if _, err := Generate(b, d, nil, "", Options{}); err == nil {
+		t.Error("empty net accepted")
+	}
+}
+
+func TestFeatureKindString(t *testing.T) {
+	if Antipad.String() != "antipad" || Thermal.String() != "thermal" || Clearance.String() != "clearance" {
+		t.Error("FeatureKind strings wrong")
+	}
+}

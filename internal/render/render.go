@@ -1,0 +1,230 @@
+// Package render draws boards, routing problems, routed signal layers and
+// power planes as SVG — the analogues of the paper's Figures 19–22 — plus
+// the routing-grid unit cell of Figure 3. Output uses only the standard
+// library; one grid unit maps to Scale SVG user units.
+package render
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/layer"
+	"repro/internal/netlist"
+	"repro/internal/post"
+	"repro/internal/power"
+)
+
+// Scale is the SVG user units per routing grid unit.
+const Scale = 4
+
+type svg struct {
+	w   io.Writer
+	err error
+}
+
+func (s *svg) printf(format string, args ...any) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = fmt.Fprintf(s.w, format, args...)
+}
+
+func (s *svg) open(wpx, hpx int, bg string) {
+	s.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		wpx, hpx, wpx, hpx)
+	s.printf(`<rect width="%d" height="%d" fill="%s"/>`+"\n", wpx, hpx, bg)
+}
+
+func (s *svg) close() { s.printf("</svg>\n") }
+
+func px(gridUnits int) int { return gridUnits * Scale }
+
+// Placement draws the part outlines and pins of a design (Figure 19).
+func Placement(w io.Writer, d *netlist.Design) error {
+	cfg := d.GridConfig()
+	s := &svg{w: w}
+	s.open(px(cfg.Width), px(cfg.Height), "white")
+	for _, part := range d.Parts {
+		span := part.Pkg.Span() // via units relative to origin
+		o := cfg.GridOf(part.At)
+		x := px(o.X) + px(span.MinX*cfg.Pitch) - Scale
+		y := px(o.Y) + px(span.MinY*cfg.Pitch) - Scale
+		wd := px((span.Width()-1)*cfg.Pitch) + 2*Scale
+		ht := px((span.Height()-1)*cfg.Pitch) + 2*Scale
+		s.printf(`<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#888" stroke-width="1"/>`+"\n",
+			x, y, wd, ht)
+		for pin := 1; pin <= part.Pkg.Pins(); pin++ {
+			p := cfg.GridOf(part.PinPos(pin))
+			s.printf(`<circle cx="%d" cy="%d" r="%d" fill="none" stroke="black" stroke-width="1"/>`+"\n",
+				px(p.X), px(p.Y), Scale)
+		}
+	}
+	s.close()
+	return s.err
+}
+
+// Problem draws the stringer output: one line per pin-to-pin connection
+// (Figure 20).
+func Problem(w io.Writer, b *board.Board, conns []core.Connection) error {
+	s := &svg{w: w}
+	s.open(px(b.Cfg.Width), px(b.Cfg.Height), "white")
+	for _, c := range conns {
+		s.printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black" stroke-width="0.6"/>`+"\n",
+			px(c.A.X), px(c.A.Y), px(c.B.X), px(c.B.Y))
+	}
+	s.close()
+	return s.err
+}
+
+// SignalLayer draws one routed layer as a photographic positive: copper
+// in black on white (Figure 21). Trace segments draw as round-capped
+// strokes — the visual stand-in for the photoplot post-processing that
+// rounded corners on the real boards — and every drilled site shows its
+// pad.
+func SignalLayer(w io.Writer, b *board.Board, li int) error {
+	l := b.Layers[li]
+	s := &svg{w: w}
+	s.open(px(b.Cfg.Width), px(b.Cfg.Height), "white")
+
+	traceWidth := Scale // ~8 mil trace at 33 mil grid pitch, exaggerated for visibility
+	for ci := 0; ci < l.NumChannels(); ci++ {
+		l.Chan(ci).VisitUsed(geom.Iv(0, l.ChannelLength()-1), func(seg *layer.Segment) bool {
+			a := b.Cfg.PointAt(l.Orient, ci, seg.Lo)
+			z := b.Cfg.PointAt(l.Orient, ci, seg.Hi)
+			if seg.Lo == seg.Hi && b.Cfg.IsViaSite(a) {
+				// A unit segment at a via site is a pad.
+				s.printf(`<circle cx="%d" cy="%d" r="%d" fill="black"/>`+"\n", px(a.X), px(a.Y), Scale+1)
+				return true
+			}
+			s.printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black" stroke-width="%d" stroke-linecap="round"/>`+"\n",
+				px(a.X), px(a.Y), px(z.X), px(z.Y), traceWidth)
+			return true
+		})
+	}
+	s.close()
+	return s.err
+}
+
+// Plane draws a power plane as a photographic negative: copper is etched
+// away where the image is black (Figure 22). Antipads and mounting
+// clearances are solid disks; thermal reliefs draw as a dashed ring so
+// spokes of copper remain.
+func Plane(w io.Writer, b *board.Board, p *power.Plane) error {
+	s := &svg{w: w}
+	s.open(px(b.Cfg.Width), px(b.Cfg.Height), "white")
+	milsToPx := func(mils int) float64 {
+		// One grid unit is 100/pitch mils.
+		gridMils := 100.0 / float64(b.Cfg.Pitch)
+		return float64(mils) / gridMils * Scale
+	}
+	for _, f := range p.Features {
+		r := milsToPx(f.RadiusMils)
+		switch f.Kind {
+		case power.Antipad, power.Clearance:
+			s.printf(`<circle cx="%d" cy="%d" r="%.1f" fill="black"/>`+"\n", px(f.At.X), px(f.At.Y), r)
+		case power.Thermal:
+			s.printf(`<circle cx="%d" cy="%d" r="%.1f" fill="none" stroke="black" stroke-width="%.1f" stroke-dasharray="%.1f %.1f"/>`+"\n",
+				px(f.At.X), px(f.At.Y), r*0.8, r*0.4, r, r*0.5)
+		}
+	}
+	s.close()
+	return s.err
+}
+
+// GridCell draws the routing-grid unit cell of Figure 3: via sites as
+// open circles, plain routing points as small filled dots, over viaCells²
+// via pitches.
+func GridCell(w io.Writer, pitch, viaCells int) error {
+	s := &svg{w: w}
+	extent := viaCells * pitch
+	s.open(px(extent)+2*Scale, px(extent)+2*Scale, "white")
+	for x := 0; x <= extent; x++ {
+		for y := 0; y <= extent; y++ {
+			cx, cy := px(x)+Scale, px(y)+Scale
+			if x%pitch == 0 && y%pitch == 0 {
+				s.printf(`<circle cx="%d" cy="%d" r="%d" fill="white" stroke="black" stroke-width="1"/>`+"\n",
+					cx, cy, Scale-1)
+			} else {
+				s.printf(`<circle cx="%d" cy="%d" r="1.2" fill="black"/>`+"\n", cx, cy)
+			}
+		}
+	}
+	s.close()
+	return s.err
+}
+
+// Routes draws every realized route of one router in a distinct hue over
+// a light board outline — not a paper figure, but invaluable for eyeball
+// debugging of small examples.
+func Routes(w io.Writer, b *board.Board, r *core.Router) error {
+	s := &svg{w: w}
+	s.open(px(b.Cfg.Width), px(b.Cfg.Height), "white")
+	for i := range r.Conns {
+		rt := r.RouteOf(i)
+		hue := (i * 47) % 360
+		color := fmt.Sprintf("hsl(%d,70%%,45%%)", hue)
+		for _, ps := range rt.Segs {
+			o := b.Layers[ps.Layer].Orient
+			a := b.Cfg.PointAt(o, ps.Seg.Channel(), ps.Seg.Lo)
+			z := b.Cfg.PointAt(o, ps.Seg.Channel(), ps.Seg.Hi)
+			s.printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2" stroke-linecap="round"/>`+"\n",
+				px(a.X), px(a.Y), px(z.X), px(z.Y), color)
+		}
+		for _, pv := range rt.Vias {
+			s.printf(`<circle cx="%d" cy="%d" r="%d" fill="%s"/>`+"\n", px(pv.At.X), px(pv.At.Y), Scale, color)
+		}
+	}
+	s.close()
+	return s.err
+}
+
+// SignalLayerSmooth draws one routed layer with the photoplot
+// post-processing applied: each connection's path is reconstructed and
+// its 90° corners are cut at 45°, reproducing the diagonal traces of
+// Figure 21 (footnote 2: "local modifications were made to produce the
+// rounded corners and diagonal traces"). Pads still draw at drilled
+// sites.
+func SignalLayerSmooth(w io.Writer, b *board.Board, r *core.Router, li int) error {
+	s := &svg{w: w}
+	s.open(px(b.Cfg.Width), px(b.Cfg.Height), "white")
+
+	for i := range r.Conns {
+		rt := r.RouteOf(i)
+		if rt.Method == core.NotRouted || rt.Method == core.Trivial {
+			continue
+		}
+		poly, err := post.Polyline(b, &r.Conns[i], rt)
+		if err != nil {
+			return err
+		}
+		for _, seg := range post.Smooth(poly, 0.5) {
+			if seg.Layer != li {
+				continue
+			}
+			s.printf(`<polyline fill="none" stroke="black" stroke-width="%d" stroke-linejoin="round" stroke-linecap="round" points="`, Scale)
+			for _, p := range seg.Points {
+				s.printf("%.1f,%.1f ", p.X*Scale, p.Y*Scale)
+			}
+			s.printf(`"/>` + "\n")
+		}
+		for _, pv := range rt.Vias {
+			s.printf(`<circle cx="%d" cy="%d" r="%d" fill="black"/>`+"\n", px(pv.At.X), px(pv.At.Y), Scale+1)
+		}
+	}
+	// Pins belong to every layer.
+	l := b.Layers[li]
+	for ci := 0; ci < l.NumChannels(); ci++ {
+		l.Chan(ci).VisitUsed(geom.Iv(0, l.ChannelLength()-1), func(seg *layer.Segment) bool {
+			if seg.Owner == layer.PinOwner {
+				p := b.Cfg.PointAt(l.Orient, ci, seg.Lo)
+				s.printf(`<circle cx="%d" cy="%d" r="%d" fill="black"/>`+"\n", px(p.X), px(p.Y), Scale+1)
+			}
+			return true
+		})
+	}
+	s.close()
+	return s.err
+}

@@ -1,0 +1,163 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+func pipeline(t *testing.T) (*netlist.Design, *board.Board, []core.Connection, *core.Router) {
+	t.Helper()
+	d, err := workload.Generate(workload.SmallSpec(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b, sr.Conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing incomplete")
+	}
+	return d, b, sr.Conns, r
+}
+
+func checkSVG(t *testing.T, name, got string, wantContains ...string) {
+	t.Helper()
+	if !strings.HasPrefix(got, "<svg") || !strings.HasSuffix(strings.TrimSpace(got), "</svg>") {
+		t.Fatalf("%s: not a complete SVG document", name)
+	}
+	for _, want := range wantContains {
+		if !strings.Contains(got, want) {
+			t.Errorf("%s: missing %q", name, want)
+		}
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	d, _, _, _ := pipeline(t)
+	var sb strings.Builder
+	if err := Placement(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, "placement", sb.String(), "<rect", "<circle")
+	// One outline per part plus the background rect.
+	if got := strings.Count(sb.String(), "<rect"); got != len(d.Parts)+1 {
+		t.Errorf("rects = %d, want %d parts + bg", got, len(d.Parts))
+	}
+	// One circle per pin.
+	if got := strings.Count(sb.String(), "<circle"); got != d.TotalPins() {
+		t.Errorf("circles = %d, want %d pins", got, d.TotalPins())
+	}
+}
+
+func TestProblem(t *testing.T) {
+	_, b, conns, _ := pipeline(t)
+	var sb strings.Builder
+	if err := Problem(&sb, b, conns); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, "problem", sb.String())
+	if got := strings.Count(sb.String(), "<line"); got != len(conns) {
+		t.Errorf("lines = %d, want %d connections", got, len(conns))
+	}
+}
+
+func TestSignalLayer(t *testing.T) {
+	_, b, _, _ := pipeline(t)
+	for li := range b.Layers {
+		var sb strings.Builder
+		if err := SignalLayer(&sb, b, li); err != nil {
+			t.Fatal(err)
+		}
+		checkSVG(t, "layer", sb.String())
+		if !strings.Contains(sb.String(), "<circle") {
+			t.Errorf("layer %d: no pads drawn (pins exist on every layer)", li)
+		}
+	}
+}
+
+func TestPlane(t *testing.T) {
+	d, b, _, _ := pipeline(t)
+	plane, err := power.Generate(b, d, nil, "VCC", power.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Plane(&sb, b, plane); err != nil {
+		t.Fatal(err)
+	}
+	anti, thermal, _ := plane.Counts()
+	got := strings.Count(sb.String(), "<circle")
+	if got != anti+thermal {
+		t.Errorf("circles = %d, want %d features", got, anti+thermal)
+	}
+	// Thermals are dashed rings.
+	if thermal > 0 && !strings.Contains(sb.String(), "stroke-dasharray") {
+		t.Error("no thermal rings drawn")
+	}
+}
+
+func TestGridCell(t *testing.T) {
+	var sb strings.Builder
+	if err := GridCell(&sb, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := sb.String()
+	checkSVG(t, "gridcell", s)
+	// 7×7 points for 2 via pitches at pitch 3: 9 via sites (open) and 40
+	// routing-only points (filled).
+	open := strings.Count(s, `fill="white" stroke="black"`)
+	if open != 9 {
+		t.Errorf("open via circles = %d, want 9", open)
+	}
+	small := strings.Count(s, `r="1.2"`)
+	if small != 40 {
+		t.Errorf("routing dots = %d, want 40", small)
+	}
+}
+
+func TestRoutes(t *testing.T) {
+	_, b, _, r := pipeline(t)
+	var sb strings.Builder
+	if err := Routes(&sb, b, r); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, "routes", sb.String(), "hsl(")
+}
+
+func TestSignalLayerSmooth(t *testing.T) {
+	_, b, _, r := pipeline(t)
+	for li := range b.Layers {
+		var sb strings.Builder
+		if err := SignalLayerSmooth(&sb, b, r, li); err != nil {
+			t.Fatal(err)
+		}
+		checkSVG(t, "smooth layer", sb.String())
+	}
+	// At least one layer must contain polylines (the routed traces).
+	var sb strings.Builder
+	if err := SignalLayerSmooth(&sb, b, r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<polyline") {
+		t.Error("no smoothed polylines on layer 0")
+	}
+}

@@ -1,0 +1,248 @@
+// Package smd supports surface-mount parts, the workaround of Section 11:
+// SMD pads contact only the top routing layer, violating grr's assumption
+// that every pin is a plated-through hole reaching all layers. The
+// original system used "a hand-designed dispersion pattern ... to connect
+// the pads to a regular array of vias by traces lying only on the top
+// surface"; this package generates such dispersion patterns
+// automatically. The router is then "told to consider the vias as the end
+// points of the connections".
+//
+// Pads may sit on any routing-grid point — fine-pitch parts place pads at
+// single-grid (33 mil) pitch, finer than the 100-mil via grid — exactly
+// the density mismatch the dispersion pattern exists to bridge.
+package smd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/layer"
+	"repro/internal/sla"
+)
+
+// Part is a surface-mounted component: named pads on the top layer.
+type Part struct {
+	Name string
+	// Pads are grid points (any grid point, not only via sites).
+	Pads []geom.Point
+}
+
+// Options tune dispersion generation.
+type Options struct {
+	// SearchRadius is how far (in via units) from a pad to look for a
+	// dispersion via. Default 4.
+	SearchRadius int
+	// TopLayer is the layer index pads contact. Default 0.
+	TopLayer int
+}
+
+// Result maps each pad index to its dispersion via (the connection
+// endpoint the router should use).
+type Result struct {
+	Part Part
+	// ViaOf[i] is the via site serving pad i.
+	ViaOf []geom.Point
+}
+
+// Place writes one part's pads and dispersion pattern onto the board:
+// each pad cell is occupied on the top layer only, a nearby via is
+// drilled for it, and a top-layer trace joins them. All dispersion metal
+// is permanent (PinOwner) — like the pins it stands in for, the router
+// may never rip it up.
+func Place(b *board.Board, part Part, opts Options) (*Result, error) {
+	if opts.SearchRadius <= 0 {
+		opts.SearchRadius = 4
+	}
+	if opts.TopLayer < 0 || opts.TopLayer >= b.NumLayers() {
+		return nil, fmt.Errorf("smd: top layer %d out of range", opts.TopLayer)
+	}
+	top := b.Layers[opts.TopLayer]
+	bounds := b.Cfg.Bounds()
+
+	// Occupy every pad cell first so dispersion traces of one pad cannot
+	// run over a neighboring pad.
+	for i, pad := range part.Pads {
+		if !pad.In(bounds) {
+			return nil, fmt.Errorf("smd: %s pad %d at %v off board", part.Name, i, pad)
+		}
+		ch, pos := b.Cfg.ChanPos(top.Orient, pad)
+		if b.AddSegment(opts.TopLayer, ch, pos, pos, layer.PinOwner) == nil {
+			return nil, fmt.Errorf("smd: %s pad %d site %v already occupied", part.Name, i, pad)
+		}
+	}
+
+	// Fan out AWAY from the part: dispersion vias between the pads and
+	// the part body wall later pads in, so candidates on the far side of
+	// each pad from the centroid are preferred.
+	var cx, cy int
+	for _, pad := range part.Pads {
+		cx += pad.X
+		cy += pad.Y
+	}
+	centroid := geom.Pt(cx/len(part.Pads), cy/len(part.Pads))
+
+	// Reserve every pad's along-channel touch cells so one pad's stub can
+	// never seal a neighbor in; each reservation lifts just before its
+	// own pad disperses.
+	reserved := make(map[int][]*layer.Segment)
+	for i, pad := range part.Pads {
+		ch, pos := b.Cfg.ChanPos(top.Orient, pad)
+		for _, d := range [2]int{-1, 1} {
+			if s := b.AddSegment(opts.TopLayer, ch, pos+d, pos+d, layer.FillOwner); s != nil {
+				reserved[i] = append(reserved[i], s)
+			}
+		}
+	}
+
+	res := &Result{Part: part, ViaOf: make([]geom.Point, len(part.Pads))}
+	search := sla.NewSearcher(b.Cfg)
+	for i, pad := range part.Pads {
+		for _, s := range reserved[i] {
+			b.RemoveSegment(opts.TopLayer, s)
+		}
+		delete(reserved, i)
+		v, found := dispersePad(b, search, top, opts, pad, centroid)
+		if !found {
+			for _, segs := range reserved {
+				for _, s := range segs {
+					b.RemoveSegment(opts.TopLayer, s)
+				}
+			}
+			return nil, fmt.Errorf("smd: %s pad %d at %v: no reachable dispersion via within %d via units",
+				part.Name, i, pad, opts.SearchRadius)
+		}
+		res.ViaOf[i] = v
+	}
+	return res, nil
+}
+
+// dispersePad drills the nearest reachable free via for one pad and lays
+// the top-layer trace to it. Candidates nearer the part centroid than the
+// pad itself (i.e. under the part body) are deprioritized: real
+// dispersion patterns fan outward.
+func dispersePad(b *board.Board, search *sla.Searcher, top *layer.Layer, opts Options, pad, centroid geom.Point) (geom.Point, bool) {
+	pitch := b.Cfg.Pitch
+
+	// First preference: a straight outward stub, the way hand-designed
+	// dispersion patterns are drawn. The search box is a narrow strip
+	// (±1 cell) pointing away from the part, so stubs of neighboring
+	// pads stay parallel and never wall each other in.
+	dx, dy := pad.X-centroid.X, pad.Y-centroid.Y
+	var strip geom.Rect
+	if abs(dx) >= abs(dy) {
+		if dx >= 0 {
+			strip = geom.R(pad.X, pad.Y-1, pad.X+opts.SearchRadius*pitch, pad.Y+1)
+		} else {
+			strip = geom.R(pad.X-opts.SearchRadius*pitch, pad.Y-1, pad.X, pad.Y+1)
+		}
+	} else {
+		if dy >= 0 {
+			strip = geom.R(pad.X-1, pad.Y, pad.X+1, pad.Y+opts.SearchRadius*pitch)
+		} else {
+			strip = geom.R(pad.X-1, pad.Y-opts.SearchRadius*pitch, pad.X+1, pad.Y)
+		}
+	}
+	if v, ok := disperseWithin(b, search, top, opts, pad, centroid, strip.Intersect(b.Cfg.Bounds())); ok {
+		return v, true
+	}
+
+	// Fallback: the full neighborhood.
+	box := geom.Bounding(pad, pad).Expand(opts.SearchRadius * pitch).Intersect(b.Cfg.Bounds())
+	return disperseWithin(b, search, top, opts, pad, centroid, box)
+}
+
+// disperseWithin tries every free via in box, best first, drilling and
+// tracing on the top layer.
+func disperseWithin(b *board.Board, search *sla.Searcher, top *layer.Layer, opts Options, pad, centroid geom.Point, box geom.Rect) (geom.Point, bool) {
+	pitch := b.Cfg.Pitch
+
+	// Candidate vias: free sites within the box, nearest first with an
+	// inward penalty.
+	var candidates []geom.Point
+	lo := b.Cfg.NearestViaSite(geom.Pt(box.MinX, box.MinY))
+	hi := b.Cfg.NearestViaSite(geom.Pt(box.MaxX, box.MaxY))
+	for x := lo.X; x <= hi.X; x += pitch {
+		for y := lo.Y; y <= hi.Y; y += pitch {
+			v := geom.Pt(x, y)
+			if v.In(box) && b.ViaFree(v) {
+				candidates = append(candidates, v)
+			}
+		}
+	}
+	padToCenter := pad.ManhattanDist(centroid)
+	score := func(v geom.Point) int {
+		s := pad.ManhattanDist(v)
+		if v.ManhattanDist(centroid) < padToCenter {
+			s += 6 * pitch // inward: under or across the part body
+		}
+		return s
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		di, dj := score(candidates[i]), score(candidates[j])
+		if di != dj {
+			return di < dj
+		}
+		if candidates[i].X != candidates[j].X {
+			return candidates[i].X < candidates[j].X
+		}
+		return candidates[i].Y < candidates[j].Y
+	})
+
+	for _, v := range candidates {
+		pv, ok := b.PlaceVia(v, layer.PinOwner)
+		if !ok {
+			continue
+		}
+		runs, ok := search.Trace(top, pad, v, box)
+		if !ok {
+			b.RemoveVia(pv)
+			continue
+		}
+		placed := make([]*layer.Segment, 0, len(runs))
+		good := true
+		for _, run := range runs {
+			s := b.AddSegment(opts.TopLayer, run.Chan, run.Span.Lo, run.Span.Hi, layer.PinOwner)
+			if s == nil {
+				good = false
+				break
+			}
+			placed = append(placed, s)
+		}
+		if good {
+			return v, true
+		}
+		for _, s := range placed {
+			b.RemoveSegment(opts.TopLayer, s)
+		}
+		b.RemoveVia(pv)
+	}
+	return geom.Point{}, false
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// QFP builds a quad-flat-pack style SMD part: padsPerSide pads along each
+// of the four sides of a square whose side length accommodates them at
+// the given pad pitch (grid units). The origin is the top-left pad of the
+// top edge.
+func QFP(name string, origin geom.Point, padsPerSide, padPitch int) Part {
+	side := (padsPerSide + 1) * padPitch
+	p := Part{Name: name}
+	for i := 0; i < padsPerSide; i++ {
+		off := (i + 1) * padPitch
+		p.Pads = append(p.Pads,
+			geom.Pt(origin.X+off, origin.Y),      // top edge
+			geom.Pt(origin.X+side, origin.Y+off), // right edge
+			geom.Pt(origin.X+off, origin.Y+side), // bottom edge
+			geom.Pt(origin.X, origin.Y+off),      // left edge
+		)
+	}
+	return p
+}

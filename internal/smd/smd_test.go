@@ -1,0 +1,172 @@
+package smd
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+	"repro/internal/verify"
+)
+
+func smdBoard(t *testing.T) *board.Board {
+	t.Helper()
+	b, err := board.New(grid.NewConfig(30, 30, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestPlaceSimplePart(t *testing.T) {
+	b := smdBoard(t)
+	part := Part{Name: "U1", Pads: []geom.Point{
+		geom.Pt(10, 10), geom.Pt(11, 10), geom.Pt(12, 10), geom.Pt(13, 10),
+	}}
+	res, err := Place(b, part, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ViaOf) != 4 {
+		t.Fatalf("vias = %d", len(res.ViaOf))
+	}
+	seen := map[geom.Point]bool{}
+	for i, v := range res.ViaOf {
+		if !b.Cfg.IsViaSite(v) {
+			t.Errorf("pad %d dispersion point %v is not a via site", i, v)
+		}
+		if seen[v] {
+			t.Errorf("via %v assigned to two pads", v)
+		}
+		seen[v] = true
+		// The via is drilled through all layers with the pin owner.
+		for li := range b.Layers {
+			if got := b.OwnerAt(li, v); got != layer.PinOwner {
+				t.Errorf("via %v layer %d owner %d", v, li, got)
+			}
+		}
+	}
+	// Pads occupy only the top layer.
+	for _, pad := range part.Pads {
+		if b.OwnerAt(0, pad) != layer.PinOwner {
+			t.Errorf("pad %v not occupied on top layer", pad)
+		}
+		for li := 1; li < b.NumLayers(); li++ {
+			if b.OwnerAt(li, pad) != layer.NoConn {
+				// The cell may legitimately hold dispersion trace of a
+				// via drilled at the same (x,y), but pads are off the
+				// via grid here, so it must be free.
+				if !b.Cfg.IsViaSite(pad) {
+					t.Errorf("pad %v leaked onto layer %d", pad, li)
+				}
+			}
+		}
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispersionIsTopLayerOnly(t *testing.T) {
+	b := smdBoard(t)
+	part := Part{Name: "U1", Pads: []geom.Point{geom.Pt(10, 10), geom.Pt(11, 10)}}
+	// Count metal on non-top layers before and after: only the drilled
+	// vias (one cell per layer each) may appear.
+	res, err := Place(b, part, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := 1; li < b.NumLayers(); li++ {
+		l := b.Layers[li]
+		cells := 0
+		for ci := 0; ci < l.NumChannels(); ci++ {
+			l.Chan(ci).VisitUsed(geom.Iv(0, l.ChannelLength()-1), func(s *layer.Segment) bool {
+				cells += s.Interval().Len()
+				return true
+			})
+		}
+		if cells != len(res.ViaOf) {
+			t.Errorf("layer %d holds %d cells, want %d via cells only", li, cells, len(res.ViaOf))
+		}
+	}
+}
+
+func TestRouteFromDispersedPads(t *testing.T) {
+	b := smdBoard(t)
+	part := QFP("U1", geom.Pt(30, 30), 4, 2)
+	res, err := Place(b, part, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Through-hole pins along the right edge to route to.
+	var conns []core.Connection
+	for i := 0; i < 4; i++ {
+		pin := b.Cfg.GridOf(geom.Pt(25, 5+5*i))
+		if err := b.PlacePin(pin); err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, core.Connection{A: res.ViaOf[i], B: pin})
+	}
+	r, err := core.New(b, conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	routeRes := r.Route()
+	if !routeRes.Complete() {
+		t.Fatalf("routing from dispersed pads failed: %v", routeRes.FailedConns)
+	}
+	if err := verify.Routed(b, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQFPGeometry(t *testing.T) {
+	p := QFP("U", geom.Pt(9, 9), 6, 2)
+	if len(p.Pads) != 24 {
+		t.Fatalf("pads = %d", len(p.Pads))
+	}
+	seen := map[geom.Point]bool{}
+	for _, pad := range p.Pads {
+		if seen[pad] {
+			t.Fatalf("duplicate pad %v", pad)
+		}
+		seen[pad] = true
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	b := smdBoard(t)
+	if _, err := Place(b, Part{Name: "X", Pads: []geom.Point{geom.Pt(-1, 0)}}, Options{}); err == nil {
+		t.Error("off-board pad accepted")
+	}
+	if _, err := Place(b, Part{Name: "X", Pads: []geom.Point{geom.Pt(5, 5)}}, Options{TopLayer: 9}); err == nil {
+		t.Error("bad top layer accepted")
+	}
+	// Overlapping pads of two parts.
+	if _, err := Place(b, Part{Name: "A", Pads: []geom.Point{geom.Pt(5, 5)}}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(b, Part{Name: "B", Pads: []geom.Point{geom.Pt(5, 5)}}, Options{}); err == nil {
+		t.Error("overlapping pad accepted")
+	}
+}
+
+func TestDispersionExhaustion(t *testing.T) {
+	// A tiny search radius with every nearby via blocked must fail
+	// loudly.
+	b := smdBoard(t)
+	pad := geom.Pt(15, 15)
+	// Blanket the neighborhood's via sites.
+	for vx := 3; vx <= 7; vx++ {
+		for vy := 3; vy <= 7; vy++ {
+			if _, ok := b.PlaceVia(b.Cfg.GridOf(geom.Pt(vx, vy)), layer.KeepoutOwner); !ok {
+				t.Fatal("setup failed")
+			}
+		}
+	}
+	if _, err := Place(b, Part{Name: "X", Pads: []geom.Point{pad}}, Options{SearchRadius: 2}); err == nil {
+		t.Error("dispersion with no free vias should fail")
+	}
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// Congestion summarizes channel occupancy over a routed board — the
+// measured counterpart of Table 1's %chan estimate, and the tool for
+// spotting the local hot spots that trigger Lee searches and rip-ups
+// ("congestion prevents optimal solutions to later connections",
+// Section 9).
+type Congestion struct {
+	// Cells is the per-region occupied-cell fraction (all layers
+	// pooled), indexed [row][col].
+	Cells [][]float64
+	// RegionVia is the region edge length in via units.
+	RegionVia int
+	// Overall is the whole-board occupied fraction.
+	Overall float64
+	// Peak is the highest region fraction and its region coordinates.
+	Peak         float64
+	PeakX, PeakY int
+}
+
+// MeasureCongestion divides the board into regionVia×regionVia via-unit
+// regions and returns the occupied-cell fraction of each (pins and fill
+// count as occupation: they consume routing supply either way).
+func MeasureCongestion(b *board.Board, regionVia int) *Congestion {
+	if regionVia <= 0 {
+		regionVia = 8
+	}
+	pitch := b.Cfg.Pitch
+	regionCells := regionVia * pitch
+	cols := (b.Cfg.Width + regionCells - 1) / regionCells
+	rows := (b.Cfg.Height + regionCells - 1) / regionCells
+
+	used := make([][]int, rows)
+	total := make([][]int, rows)
+	for i := range used {
+		used[i] = make([]int, cols)
+		total[i] = make([]int, cols)
+	}
+
+	for _, l := range b.Layers {
+		for ci := 0; ci < l.NumChannels(); ci++ {
+			l.Chan(ci).VisitUsed(geom.Iv(0, l.ChannelLength()-1), func(s *layer.Segment) bool {
+				for pos := s.Lo; pos <= s.Hi; pos++ {
+					p := b.Cfg.PointAt(l.Orient, ci, pos)
+					used[p.Y/regionCells][p.X/regionCells]++
+				}
+				return true
+			})
+		}
+	}
+	layers := b.NumLayers()
+	for y := 0; y < b.Cfg.Height; y++ {
+		for x := 0; x < b.Cfg.Width; x++ {
+			total[y/regionCells][x/regionCells] += layers
+		}
+	}
+
+	c := &Congestion{
+		Cells:     make([][]float64, rows),
+		RegionVia: regionVia,
+	}
+	usedSum, totalSum := 0, 0
+	for r := 0; r < rows; r++ {
+		c.Cells[r] = make([]float64, cols)
+		for col := 0; col < cols; col++ {
+			usedSum += used[r][col]
+			totalSum += total[r][col]
+			if total[r][col] > 0 {
+				f := float64(used[r][col]) / float64(total[r][col])
+				c.Cells[r][col] = f
+				if f > c.Peak {
+					c.Peak, c.PeakX, c.PeakY = f, col, r
+				}
+			}
+		}
+	}
+	if totalSum > 0 {
+		c.Overall = float64(usedSum) / float64(totalSum)
+	}
+	return c
+}
+
+// Heatmap renders the congestion as ASCII art, one character per region:
+// '.' below 10%, then digits 1–9 for 10%–90%, '#' above.
+func (c *Congestion) Heatmap() string {
+	var sb strings.Builder
+	for _, row := range c.Cells {
+		for _, f := range row {
+			switch {
+			case f < 0.10:
+				sb.WriteByte('.')
+			case f >= 0.95:
+				sb.WriteByte('#')
+			default:
+				sb.WriteByte("0123456789"[int(f*10)])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "overall %.1f%%, peak %.1f%% at region (%d,%d)\n",
+		100*c.Overall, 100*c.Peak, c.PeakX, c.PeakY)
+	return sb.String()
+}

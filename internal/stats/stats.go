@@ -1,0 +1,120 @@
+// Package stats computes and formats the evaluation metrics of the
+// paper's Table 1: board identity, layer count, connection count, pin
+// density, channel demand (%chan), the share of connections needing Lee's
+// algorithm (%lee), rip-ups, vias per connection and routing time.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Row is one line of the results table.
+type Row struct {
+	Board   string
+	Layers  int
+	Conns   int
+	PinsIn2 float64 // pins per square inch
+	ChanPct float64 // channel demand / supply × 100 (Table 1 "% chan")
+	LeePct  float64 // connections routed by Lee × 100 (Table 1 "% lee")
+	RipUps  int
+	ViasPC  float64 // vias added per routed connection
+	Elapsed time.Duration
+	Routed  int
+	Failed  int
+}
+
+// ChanPercent computes Table 1's "% chan": the total Manhattan length of
+// all connections divided by the total available channel space on all
+// layers (both in routing-grid units).
+func ChanPercent(b *board.Board, conns []core.Connection) float64 {
+	demand := 0
+	for _, c := range conns {
+		demand += c.A.ManhattanDist(c.B)
+	}
+	supply := b.Cfg.Width * b.Cfg.Height * len(b.Layers)
+	if supply == 0 {
+		return 0
+	}
+	return 100 * float64(demand) / float64(supply)
+}
+
+// NewRow assembles a table row from a routing run.
+func NewRow(d *netlist.Design, b *board.Board, conns []core.Connection, res core.Result, elapsed time.Duration) Row {
+	m := res.Metrics
+	return Row{
+		Board:   d.Name,
+		Layers:  len(b.Layers),
+		Conns:   len(conns),
+		PinsIn2: d.PinDensity(),
+		ChanPct: ChanPercent(b, conns),
+		LeePct:  100 * m.LeeShare(),
+		RipUps:  m.RipUps,
+		ViasPC:  m.ViasPerConn(),
+		Elapsed: elapsed,
+		Routed:  m.Routed,
+		Failed:  m.Failed,
+	}
+}
+
+// Header returns the table header, mirroring Table 1's columns with a
+// seconds column in place of VAX CPU minutes.
+func Header() string {
+	return fmt.Sprintf("%-10s %6s %6s %8s %7s %6s %7s %6s %9s %9s",
+		"board", "layers", "conn", "pins/in2", "%chan", "%lee", "ripups", "vias", "CPU s", "routed")
+}
+
+// Format renders the row under Header.
+func (r Row) Format() string {
+	routed := fmt.Sprintf("%d/%d", r.Routed, r.Routed+r.Failed)
+	return fmt.Sprintf("%-10s %6d %6d %8.1f %7.1f %6.1f %7d %6.2f %9.2f %9s",
+		r.Board, r.Layers, r.Conns, r.PinsIn2, r.ChanPct, r.LeePct, r.RipUps, r.ViasPC,
+		r.Elapsed.Seconds(), routed)
+}
+
+// FormatTable renders a full results table.
+func FormatTable(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString(Header())
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		sb.WriteString(r.Format())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// PaperRow is the published Table 1 value set, for paper-vs-measured
+// reports in EXPERIMENTS.md.
+type PaperRow struct {
+	Board   string
+	Layers  int
+	Conns   int
+	PinsIn2 float64
+	ChanPct float64
+	LeePct  float64 // -1 when the paper leaves the cell blank (failed run)
+	RipUps  int
+	ViasPC  float64
+	CPUMin  float64
+	Failed  bool // the kdj11 2-layer run did not complete
+}
+
+// PaperTable1 transcribes Table 1 of the paper.
+func PaperTable1() []PaperRow {
+	return []PaperRow{
+		{Board: "kdj11-2L", Layers: 2, Conns: 1184, PinsIn2: 27.5, ChanPct: 76.7, LeePct: -1, RipUps: -1, ViasPC: -1, CPUMin: 30, Failed: true},
+		{Board: "nmc-4L", Layers: 4, Conns: 2253, PinsIn2: 29.9, ChanPct: 52.3, LeePct: 14, RipUps: 20, ViasPC: 0.99, CPUMin: 28.5},
+		{Board: "dpath", Layers: 6, Conns: 5533, PinsIn2: 37.3, ChanPct: 46.0, LeePct: 8, RipUps: 1, ViasPC: 0.65, CPUMin: 21.5},
+		{Board: "coproc", Layers: 6, Conns: 5937, PinsIn2: 36.0, ChanPct: 40.5, LeePct: 6, RipUps: 0, ViasPC: 0.62, CPUMin: 11.3},
+		{Board: "kdj11-4L", Layers: 4, Conns: 1184, PinsIn2: 27.5, ChanPct: 38.4, LeePct: 8, RipUps: 0, ViasPC: 0.70, CPUMin: 4.6},
+		{Board: "icache", Layers: 6, Conns: 5795, PinsIn2: 36.6, ChanPct: 36.5, LeePct: 3, RipUps: 0, ViasPC: 0.41, CPUMin: 6.1},
+		{Board: "nmc-6L", Layers: 6, Conns: 2253, PinsIn2: 29.9, ChanPct: 34.9, LeePct: 3, RipUps: 0, ViasPC: 0.68, CPUMin: 2.2},
+		{Board: "dcache", Layers: 6, Conns: 5738, PinsIn2: 36.4, ChanPct: 33.5, LeePct: 2, RipUps: 0, ViasPC: 0.40, CPUMin: 5.2},
+		{Board: "tna", Layers: 6, Conns: 2789, PinsIn2: 43.4, ChanPct: 27.1, LeePct: 3, RipUps: 6, ViasPC: 0.50, CPUMin: 4.8},
+	}
+}

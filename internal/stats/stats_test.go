@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+)
+
+func TestChanPercent(t *testing.T) {
+	b := board.MustNew(grid.NewConfig(11, 11, 3, 2))
+	// Board is 31×31 grid cells × 2 layers = 1922 cells of supply.
+	conns := []core.Connection{
+		{A: geom.Pt(0, 0), B: geom.Pt(30, 0)},  // 30 cells
+		{A: geom.Pt(0, 0), B: geom.Pt(0, 30)},  // 30
+		{A: geom.Pt(0, 0), B: geom.Pt(30, 30)}, // 60
+	}
+	got := ChanPercent(b, conns)
+	want := 100 * 120.0 / 1922.0
+	if got < want-0.01 || got > want+0.01 {
+		t.Errorf("ChanPercent = %v, want %v", got, want)
+	}
+	if ChanPercent(b, nil) != 0 {
+		t.Error("no connections should give 0%")
+	}
+}
+
+func TestRowFormatting(t *testing.T) {
+	d := &netlist.Design{Name: "demo", ViaCols: 11, ViaRows: 11, Layers: 2}
+	b := board.MustNew(d.GridConfig())
+	res := core.Result{}
+	res.Metrics.Connections = 10
+	res.Metrics.Routed = 9
+	res.Metrics.Failed = 1
+	res.Metrics.ByMethod[core.Lee] = 3
+	res.Metrics.RipUps = 2
+	res.Metrics.ViasAdded = 6
+	row := NewRow(d, b, nil, res, 1500*time.Millisecond)
+	if want := 100.0 * 3 / 9; row.LeePct < want-0.001 || row.LeePct > want+0.001 {
+		t.Errorf("LeePct = %v, want %v", row.LeePct, want)
+	}
+	if row.ViasPC != 6.0/9 {
+		t.Errorf("ViasPC = %v", row.ViasPC)
+	}
+	line := row.Format()
+	if !strings.Contains(line, "demo") || !strings.Contains(line, "9/10") || !strings.Contains(line, "1.50") {
+		t.Errorf("format lost fields: %q", line)
+	}
+	table := FormatTable([]Row{row})
+	if !strings.HasPrefix(table, Header()) {
+		t.Error("table lacks header")
+	}
+}
+
+func TestPaperTable1Transcription(t *testing.T) {
+	rows := PaperTable1()
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !rows[0].Failed || rows[0].Board != "kdj11-2L" {
+		t.Error("first row must be the failed 2-layer kdj11")
+	}
+	// Sanity: %chan strictly decreasing down the table (the paper sorts
+	// by decreasing difficulty).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ChanPct >= rows[i-1].ChanPct {
+			t.Errorf("paper rows out of order at %s", rows[i].Board)
+		}
+	}
+	// Published totals spot-checks.
+	if rows[3].Board != "coproc" || rows[3].Conns != 5937 || rows[3].ViasPC != 0.62 {
+		t.Errorf("coproc row mistranscribed: %+v", rows[3])
+	}
+}
+
+func TestMeasureCongestion(t *testing.T) {
+	b := board.MustNew(grid.NewConfig(17, 17, 3, 2))
+	// Occupy the top-left corner heavily: vertical full-height strips in
+	// the first few channels of layer 0.
+	for ch := 0; ch < 12; ch++ {
+		if b.AddSegment(0, ch, 0, 23, 1) == nil {
+			t.Fatal("setup failed")
+		}
+	}
+	c := MeasureCongestion(b, 8)
+	if c.Overall <= 0 {
+		t.Fatal("no occupancy measured")
+	}
+	// The top-left region must be the peak.
+	if c.PeakX != 0 || c.PeakY != 0 {
+		t.Errorf("peak at (%d,%d), want (0,0)", c.PeakX, c.PeakY)
+	}
+	if c.Peak <= c.Overall {
+		t.Error("peak should exceed the overall average")
+	}
+	hm := c.Heatmap()
+	if !strings.Contains(hm, "overall") || len(strings.Split(hm, "\n")) < 3 {
+		t.Errorf("heatmap malformed:\n%s", hm)
+	}
+}
+
+func TestCongestionEmptyBoard(t *testing.T) {
+	b := board.MustNew(grid.NewConfig(10, 10, 3, 2))
+	c := MeasureCongestion(b, 0) // default region size
+	if c.Overall != 0 || c.Peak != 0 {
+		t.Errorf("empty board congested: %+v", c)
+	}
+}
+
+func TestCongestionFractionsBounded(t *testing.T) {
+	b := board.MustNew(grid.NewConfig(12, 12, 3, 2))
+	// Fill layer 0 completely.
+	for ch := 0; ch < b.Layers[0].NumChannels(); ch++ {
+		b.AddSegment(0, ch, 0, b.Layers[0].ChannelLength()-1, 1)
+	}
+	c := MeasureCongestion(b, 4)
+	for _, row := range c.Cells {
+		for _, f := range row {
+			if f < 0 || f > 1 {
+				t.Fatalf("fraction %v out of [0,1]", f)
+			}
+		}
+	}
+	// Exactly one of two layers full → 50% everywhere.
+	if c.Overall < 0.49 || c.Overall > 0.51 {
+		t.Errorf("overall = %v, want ~0.5", c.Overall)
+	}
+}

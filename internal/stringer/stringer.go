@@ -1,0 +1,296 @@
+// Package stringer implements the net-to-connection preprocessing of
+// Section 3. Nets are connected as chains: starting at an output pin, the
+// nearest remaining pin is repeatedly appended (all outputs before all
+// inputs), and ECL nets then receive the nearest free terminating
+// resistor. When a net has several legal starting pins the chaining is
+// repeated for each and the shortest overall chain wins.
+//
+// The router's input is the resulting flat list of pin-to-pin
+// connections, which it may treat independently and in any order.
+package stringer
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Options control stringing.
+type Options struct {
+	// Random replaces nearest-neighbor chaining with a random pin order
+	// (the Section 3 experiment that ran 25× slower; E-STR ablation).
+	Random bool
+	// Seed drives the random order; ignored unless Random is set.
+	Seed int64
+	// Trees joins TTL nets as minimum spanning trees instead of chains.
+	// Section 3 notes the chain-only stringing is suboptimal because
+	// "TTL allows nets to be joined by trees, not just chains"; this
+	// option implements that improvement. ECL nets remain chains — they
+	// are transmission lines and must stay linear.
+	Trees bool
+}
+
+// Result carries the stringer output.
+type Result struct {
+	Conns []core.Connection
+	// TermAssignments maps net name → resistor pin chosen to terminate it.
+	TermAssignments map[string]netlist.PinRef
+	// TotalViaLen is the summed Manhattan length of all connections in
+	// via units; the stats package turns it into Table 1's %chan.
+	TotalViaLen int
+}
+
+// String converts every net of the design into chained pin-to-pin
+// connections. Terminating resistors for ECL nets are allocated from the
+// pins of terminator parts that no net references; each resistor pin is
+// used at most once.
+func String(d *netlist.Design, opts Options) (*Result, error) {
+	cfg := d.GridConfig()
+	pool := freeTerminators(d)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	res := &Result{TermAssignments: make(map[string]netlist.PinRef)}
+	emit := func(net *netlist.Net, a, b geom.Point) {
+		res.Conns = append(res.Conns, core.Connection{
+			A:             cfg.GridOf(a),
+			B:             cfg.GridOf(b),
+			Net:           net.Name,
+			Class:         net.Tech.String(),
+			TargetDelayPs: net.TargetDelayPs,
+		})
+		res.TotalViaLen += a.ManhattanDist(b)
+	}
+	for _, net := range d.Nets {
+		if opts.Trees && net.Tech == netlist.TTL && !opts.Random {
+			for _, e := range spanningTree(net.Pins) {
+				emit(net, net.Pins[e[0]].Ref.Pos(), net.Pins[e[1]].Ref.Pos())
+			}
+			continue
+		}
+		chain, err := chainNet(net, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		if net.Tech == netlist.ECL {
+			term, ok := pool.takeNearest(chain[len(chain)-1].Ref.Pos())
+			if !ok {
+				return nil, fmt.Errorf("stringer: no free terminating resistor for ECL net %s", net.Name)
+			}
+			chain = append(chain, netlist.NetPin{Ref: term, Func: netlist.Termination})
+			res.TermAssignments[net.Name] = term
+		}
+		for i := 0; i+1 < len(chain); i++ {
+			emit(net, chain[i].Ref.Pos(), chain[i+1].Ref.Pos())
+		}
+	}
+	return res, nil
+}
+
+// spanningTree returns the edges (pin index pairs) of a minimum spanning
+// tree over the net's pins under Manhattan distance (Prim's algorithm;
+// net sizes are small, so the O(n²) form is fine).
+func spanningTree(pins []netlist.NetPin) [][2]int {
+	n := len(pins)
+	if n < 2 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	bestDist := make([]int, n)
+	bestFrom := make([]int, n)
+	for i := range bestDist {
+		bestDist[i] = 1 << 30
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		bestDist[i] = pins[0].Ref.Pos().ManhattanDist(pins[i].Ref.Pos())
+		bestFrom[i] = 0
+	}
+	var edges [][2]int
+	for len(edges) < n-1 {
+		next, nd := -1, 1<<30
+		for i := 0; i < n; i++ {
+			if !inTree[i] && bestDist[i] < nd {
+				next, nd = i, bestDist[i]
+			}
+		}
+		if next < 0 {
+			break
+		}
+		inTree[next] = true
+		edges = append(edges, [2]int{bestFrom[next], next})
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := pins[next].Ref.Pos().ManhattanDist(pins[i].Ref.Pos()); d < bestDist[i] {
+					bestDist[i], bestFrom[i] = d, next
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// chainNet orders one net's pins into a chain.
+func chainNet(net *netlist.Net, opts Options, rng *rand.Rand) ([]netlist.NetPin, error) {
+	if len(net.Pins) < 2 {
+		return nil, fmt.Errorf("stringer: net %s has fewer than 2 pins", net.Name)
+	}
+	if opts.Random {
+		return randomChain(net, rng), nil
+	}
+
+	outputs := net.Outputs()
+	if len(outputs) == 0 {
+		// TTL nets sometimes carry no role information; any pin may
+		// start the chain then.
+		best := greedyChain(net.Pins, 0)
+		bestLen := chainLen(best)
+		for start := 1; start < len(net.Pins); start++ {
+			c := greedyChain(net.Pins, start)
+			if l := chainLen(c); l < bestLen {
+				best, bestLen = c, l
+			}
+		}
+		return best, nil
+	}
+
+	// Any output may start the chain, but all outputs must precede the
+	// inputs; try each legal start and keep the shortest chain.
+	var best []netlist.NetPin
+	bestLen := 0
+	for i := range outputs {
+		c := greedyOrderedChain(net.Pins, i)
+		if l := chainLen(c); best == nil || l < bestLen {
+			best, bestLen = c, l
+		}
+	}
+	return best, nil
+}
+
+// greedyOrderedChain chains outputs first (starting from the startIdx-th
+// output), then inputs, each phase by repeated nearest-neighbor.
+func greedyOrderedChain(pins []netlist.NetPin, startIdx int) []netlist.NetPin {
+	var outs, ins []netlist.NetPin
+	for _, p := range pins {
+		if p.Func == netlist.Output {
+			outs = append(outs, p)
+		} else {
+			ins = append(ins, p)
+		}
+	}
+	chain := make([]netlist.NetPin, 0, len(pins))
+	chain = append(chain, outs[startIdx])
+	outs = append(append([]netlist.NetPin{}, outs[:startIdx]...), outs[startIdx+1:]...)
+	chain = appendNearest(chain, outs)
+	chain = appendNearest(chain, ins)
+	return chain
+}
+
+// greedyChain chains all pins by nearest-neighbor from the given start.
+func greedyChain(pins []netlist.NetPin, start int) []netlist.NetPin {
+	rest := make([]netlist.NetPin, 0, len(pins)-1)
+	rest = append(rest, pins[:start]...)
+	rest = append(rest, pins[start+1:]...)
+	return appendNearest([]netlist.NetPin{pins[start]}, rest)
+}
+
+// appendNearest repeatedly moves the pin nearest the chain tail from rest
+// to the chain.
+func appendNearest(chain, rest []netlist.NetPin) []netlist.NetPin {
+	rest = append([]netlist.NetPin(nil), rest...)
+	for len(rest) > 0 {
+		tail := chain[len(chain)-1].Ref.Pos()
+		bi, bd := 0, -1
+		for i, p := range rest {
+			d := tail.ManhattanDist(p.Ref.Pos())
+			if bd < 0 || d < bd {
+				bi, bd = i, d
+			}
+		}
+		chain = append(chain, rest[bi])
+		rest = append(rest[:bi], rest[bi+1:]...)
+	}
+	return chain
+}
+
+// randomChain shuffles the pins, keeping some output first so the chain
+// stays electrically legal.
+func randomChain(net *netlist.Net, rng *rand.Rand) []netlist.NetPin {
+	chain := append([]netlist.NetPin(nil), net.Pins...)
+	rng.Shuffle(len(chain), func(i, j int) { chain[i], chain[j] = chain[j], chain[i] })
+	for i, p := range chain {
+		if p.Func == netlist.Output {
+			chain[0], chain[i] = chain[i], chain[0]
+			break
+		}
+	}
+	return chain
+}
+
+func chainLen(chain []netlist.NetPin) int {
+	total := 0
+	for i := 0; i+1 < len(chain); i++ {
+		total += chain[i].Ref.Pos().ManhattanDist(chain[i+1].Ref.Pos())
+	}
+	return total
+}
+
+// termPool is the set of unallocated terminator pins.
+type termPool struct {
+	free []netlist.PinRef
+}
+
+// freeTerminators collects every pin of terminator packages that no net
+// references.
+func freeTerminators(d *netlist.Design) *termPool {
+	used := make(map[geom.Point]bool)
+	for _, net := range d.Nets {
+		for _, np := range net.Pins {
+			used[np.Ref.Pos()] = true
+		}
+	}
+	pool := &termPool{}
+	for _, part := range d.Parts {
+		if !part.Pkg.Terminator {
+			continue
+		}
+		for pin := 1; pin <= part.Pkg.Pins(); pin++ {
+			ref := netlist.PinRef{Part: part, Pin: pin}
+			if !used[ref.Pos()] {
+				pool.free = append(pool.free, ref)
+			}
+		}
+	}
+	// Deterministic order regardless of design construction order.
+	sort.Slice(pool.free, func(i, j int) bool {
+		a, b := pool.free[i].Pos(), pool.free[j].Pos()
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return pool.free[i].Pin < pool.free[j].Pin
+	})
+	return pool
+}
+
+// takeNearest removes and returns the pool pin nearest p.
+func (t *termPool) takeNearest(p geom.Point) (netlist.PinRef, bool) {
+	if len(t.free) == 0 {
+		return netlist.PinRef{}, false
+	}
+	bi, bd := 0, -1
+	for i, ref := range t.free {
+		d := p.ManhattanDist(ref.Pos())
+		if bd < 0 || d < bd {
+			bi, bd = i, d
+		}
+	}
+	ref := t.free[bi]
+	t.free = append(t.free[:bi], t.free[bi+1:]...)
+	return ref, true
+}

@@ -1,0 +1,188 @@
+// Package tiles implements the ECL/TTL separation of Section 10.2 (the
+// method of J. Prisner and R. Kao): each signal layer is tesselated into
+// areas reserved for one technology. The board is then routed as two
+// superimposed problems — before each pass, all free space in the other
+// technology's tiles is filled with temporary blocking segments, and the
+// filler is removed after the pass.
+package tiles
+
+import (
+	"fmt"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// Tile reserves a rectangle of one signal layer for a technology class.
+type Tile struct {
+	Layer int
+	Rect  geom.Rect // grid units
+	Class string    // "ECL", "TTL", ...
+}
+
+// Plan is a board's complete tesselation.
+type Plan struct {
+	Tiles []Tile
+}
+
+// Add appends a tile.
+func (p *Plan) Add(layerIdx int, r geom.Rect, class string) {
+	p.Tiles = append(p.Tiles, Tile{Layer: layerIdx, Rect: r, Class: class})
+}
+
+// Classes returns the distinct tile classes in first-seen order.
+func (p *Plan) Classes() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range p.Tiles {
+		if !seen[t.Class] {
+			seen[t.Class] = true
+			out = append(out, t.Class)
+		}
+	}
+	return out
+}
+
+// Validate checks tiles lie on the board and that no two tiles of
+// different classes overlap on the same layer.
+func (p *Plan) Validate(b *board.Board) error {
+	bounds := b.Cfg.Bounds()
+	for i, t := range p.Tiles {
+		if t.Layer < 0 || t.Layer >= b.NumLayers() {
+			return fmt.Errorf("tiles: tile %d on layer %d of %d", i, t.Layer, b.NumLayers())
+		}
+		if t.Rect.Empty() || !bounds.Contains(t.Rect) {
+			return fmt.Errorf("tiles: tile %d rect %v outside board %v", i, t.Rect, bounds)
+		}
+		for j := 0; j < i; j++ {
+			o := p.Tiles[j]
+			if o.Layer == t.Layer && o.Class != t.Class && !o.Rect.Intersect(t.Rect).Empty() {
+				return fmt.Errorf("tiles: %s tile %d overlaps %s tile %d on layer %d",
+					t.Class, i, o.Class, j, t.Layer)
+			}
+		}
+	}
+	return nil
+}
+
+// Fill records the filler segments added by Fill so Unfill can remove
+// them.
+type Fill struct {
+	segs []placed
+}
+
+type placed struct {
+	layer int
+	seg   *layer.Segment
+}
+
+// FillExcept blocks all free space inside every tile whose class differs
+// from allow. Pins and existing traces are untouched; only gaps are
+// filled. The returned Fill removes exactly what was added.
+func (p *Plan) FillExcept(b *board.Board, allow string) *Fill {
+	f := &Fill{}
+	for _, t := range p.Tiles {
+		if t.Class == allow {
+			continue
+		}
+		l := b.Layers[t.Layer]
+		chans, poswin := b.Cfg.ChanSpan(l.Orient, t.Rect)
+		chans = chans.Intersect(geom.Iv(0, l.NumChannels()-1))
+		for ch := chans.Lo; ch <= chans.Hi; ch++ {
+			// Collect first: filling while visiting would invalidate the
+			// iteration.
+			var gaps []geom.Interval
+			l.Chan(ch).VisitFree(poswin, func(iv geom.Interval) bool {
+				gaps = append(gaps, iv.Intersect(poswin))
+				return true
+			})
+			for _, g := range gaps {
+				s := b.AddSegment(t.Layer, ch, g.Lo, g.Hi, layer.FillOwner)
+				if s != nil {
+					f.segs = append(f.segs, placed{t.Layer, s})
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Unfill removes the filler.
+func (f *Fill) Unfill(b *board.Board) {
+	for _, pl := range f.segs {
+		b.RemoveSegment(pl.layer, pl.seg)
+	}
+	f.segs = nil
+}
+
+// PassResult reports one technology pass of RouteMixed.
+type PassResult struct {
+	Class  string
+	Router *core.Router
+	Result core.Result
+	// ConnIdx maps the pass router's connection indices back into the
+	// original connection slice.
+	ConnIdx []int
+}
+
+// RouteMixed routes a mixed-technology connection list as superimposed
+// problems, one pass per tile class in plan order (Section 10.2): fill
+// the other classes' tiles, route this class's connections, unfill.
+// Connections whose Class matches no tile class are routed in a final
+// unrestricted pass.
+func RouteMixed(b *board.Board, conns []core.Connection, opts core.Options, plan *Plan) ([]PassResult, error) {
+	if err := plan.Validate(b); err != nil {
+		return nil, err
+	}
+	classes := plan.Classes()
+	known := map[string]bool{}
+	for _, c := range classes {
+		known[c] = true
+	}
+
+	var passes []PassResult
+	idBase := 0
+	runPass := func(class string, restrict bool) error {
+		var sub []core.Connection
+		var idx []int
+		for i, c := range conns {
+			if (restrict && c.Class == class) || (!restrict && !known[c.Class]) {
+				sub = append(sub, c)
+				idx = append(idx, i)
+			}
+		}
+		if len(sub) == 0 {
+			return nil
+		}
+		var fill *Fill
+		if restrict {
+			fill = plan.FillExcept(b, class)
+			defer fill.Unfill(b)
+		}
+		popts := opts
+		popts.IDBase = idBase
+		idBase += len(sub)
+		r, err := core.New(b, sub, popts)
+		if err != nil {
+			return err
+		}
+		res := r.Route()
+		passes = append(passes, PassResult{Class: class, Router: r, Result: res, ConnIdx: idx})
+		if fill != nil {
+			fill.Unfill(b)
+		}
+		return nil
+	}
+
+	for _, class := range classes {
+		if err := runPass(class, true); err != nil {
+			return nil, err
+		}
+	}
+	if err := runPass("", false); err != nil {
+		return nil, err
+	}
+	return passes, nil
+}

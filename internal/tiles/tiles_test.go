@@ -1,0 +1,226 @@
+package tiles
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+	"repro/internal/verify"
+)
+
+func mixedBoard(t *testing.T) (*board.Board, *Plan, []core.Connection) {
+	t.Helper()
+	b, err := board.New(grid.NewConfig(20, 12, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left half ECL, right half TTL, on both layers.
+	plan := &Plan{}
+	mid := (b.Cfg.Width - 1) / 2
+	for li := 0; li < 2; li++ {
+		plan.Add(li, geom.R(0, 0, mid, b.Cfg.Height-1), "ECL")
+		plan.Add(li, geom.R(mid+1, 0, b.Cfg.Width-1, b.Cfg.Height-1), "TTL")
+	}
+
+	pin := func(vx, vy int) geom.Point {
+		p := b.Cfg.GridOf(geom.Pt(vx, vy))
+		if err := b.PlacePin(p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	var conns []core.Connection
+	// ECL pairs on the left (via cols 0..9 → grid x ≤ 27 ≤ mid=28).
+	for i := 0; i < 3; i++ {
+		a := pin(1, 2+2*i)
+		c := pin(8, 2+2*i)
+		conns = append(conns, core.Connection{A: a, B: c, Class: "ECL"})
+	}
+	// TTL pairs on the right (via cols 10..19 → grid x ≥ 30 > mid).
+	for i := 0; i < 3; i++ {
+		a := pin(11, 2+2*i)
+		c := pin(18, 2+2*i)
+		conns = append(conns, core.Connection{A: a, B: c, Class: "TTL"})
+	}
+	return b, plan, conns
+}
+
+func TestPlanValidate(t *testing.T) {
+	b, plan, _ := mixedBoard(t)
+	if err := plan.Validate(b); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := &Plan{}
+	bad.Add(0, geom.R(0, 0, 10, 10), "ECL")
+	bad.Add(0, geom.R(5, 5, 15, 15), "TTL")
+	if err := bad.Validate(b); err == nil {
+		t.Error("overlapping opposite-class tiles accepted")
+	}
+	bad2 := &Plan{}
+	bad2.Add(7, geom.R(0, 0, 2, 2), "ECL")
+	if err := bad2.Validate(b); err == nil {
+		t.Error("tile on nonexistent layer accepted")
+	}
+	bad3 := &Plan{}
+	bad3.Add(0, geom.R(0, 0, 500, 2), "ECL")
+	if err := bad3.Validate(b); err == nil {
+		t.Error("off-board tile accepted")
+	}
+}
+
+func TestClasses(t *testing.T) {
+	_, plan, _ := mixedBoard(t)
+	cls := plan.Classes()
+	if len(cls) != 2 || cls[0] != "ECL" || cls[1] != "TTL" {
+		t.Fatalf("Classes = %v", cls)
+	}
+}
+
+func TestFillExceptBlocksOnlyOtherTiles(t *testing.T) {
+	b, plan, _ := mixedBoard(t)
+	fill := plan.FillExcept(b, "ECL")
+
+	mid := (b.Cfg.Width - 1) / 2
+	// A point inside the TTL region must now be blocked on both layers;
+	// ECL-region points stay free.
+	ttlPt := geom.Pt(mid+5, 5)
+	eclPt := geom.Pt(2, 5)
+	for li := 0; li < 2; li++ {
+		if b.FreeAt(li, ttlPt) {
+			t.Errorf("layer %d: TTL region not filled", li)
+		}
+		if !b.FreeAt(li, eclPt) {
+			t.Errorf("layer %d: ECL region filled", li)
+		}
+		if got := b.OwnerAt(li, ttlPt); got != layer.FillOwner {
+			t.Errorf("fill owner = %d", got)
+		}
+	}
+	fill.Unfill(b)
+	for li := 0; li < 2; li++ {
+		if !b.FreeAt(li, ttlPt) {
+			t.Errorf("layer %d: unfill incomplete", li)
+		}
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillDoesNotTouchExistingMetal(t *testing.T) {
+	b, plan, _ := mixedBoard(t)
+	mid := (b.Cfg.Width - 1) / 2
+	// Pre-existing trace inside the TTL region.
+	o := b.Layers[0].Orient
+	ch, pos := b.Cfg.ChanPos(o, geom.Pt(mid+5, 7))
+	pre := b.AddSegment(0, ch, pos, pos+3, 42)
+	if pre == nil {
+		t.Fatal("setup failed")
+	}
+	fill := plan.FillExcept(b, "ECL")
+	if pre.Owner != 42 {
+		t.Error("fill disturbed existing segment")
+	}
+	fill.Unfill(b)
+	if b.OwnerAt(0, geom.Pt(mid+5, 7)) != 42 {
+		t.Error("unfill removed foreign metal")
+	}
+}
+
+func TestRouteMixedSeparates(t *testing.T) {
+	b, plan, conns := mixedBoard(t)
+	passes, err := RouteMixed(b, conns, core.DefaultOptions(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 2 {
+		t.Fatalf("passes = %d", len(passes))
+	}
+	for _, p := range passes {
+		if !p.Result.Complete() {
+			t.Fatalf("%s pass incomplete: %v", p.Class, p.Result.FailedConns)
+		}
+		if err := verify.Routed(b, p.Router); err != nil {
+			t.Fatalf("%s pass verification: %v", p.Class, err)
+		}
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No trace metal of one class may sit in the other class's tiles.
+	classAt := func(li int, p geom.Point) string {
+		for _, tl := range plan.Tiles {
+			if tl.Layer == li && p.In(tl.Rect) {
+				return tl.Class
+			}
+		}
+		return ""
+	}
+	for _, pass := range passes {
+		for i := range pass.Router.Conns {
+			rt := pass.Router.RouteOf(i)
+			for _, ps := range rt.Segs {
+				o := b.Layers[ps.Layer].Orient
+				for pos := ps.Seg.Lo; pos <= ps.Seg.Hi; pos++ {
+					pt := b.Cfg.PointAt(o, ps.Seg.Channel(), pos)
+					if cls := classAt(ps.Layer, pt); cls != "" && cls != pass.Class {
+						t.Fatalf("%s trace at %v inside %s tile", pass.Class, pt, cls)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRouteMixedUnknownClassPass(t *testing.T) {
+	b, plan, conns := mixedBoard(t)
+	// An extra untagged connection routes in the unrestricted pass.
+	a := b.Cfg.GridOf(geom.Pt(4, 9))
+	c := b.Cfg.GridOf(geom.Pt(15, 9))
+	if err := b.PlacePin(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlacePin(c); err != nil {
+		t.Fatal(err)
+	}
+	conns = append(conns, core.Connection{A: a, B: c, Class: "ANALOG"})
+	passes, err := RouteMixed(b, conns, core.DefaultOptions(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 3 {
+		t.Fatalf("passes = %d, want 3 (ECL, TTL, unrestricted)", len(passes))
+	}
+	last := passes[2]
+	if last.Class != "" || !last.Result.Complete() {
+		t.Fatalf("unrestricted pass: class=%q complete=%v", last.Class, last.Result.Complete())
+	}
+}
+
+func TestRouteMixedCrossRegionECLFails(t *testing.T) {
+	// An ECL connection whose far pin sits deep in TTL territory cannot
+	// route while the TTL tiles are filled: its endpoint is walled in.
+	b, plan, _ := mixedBoard(t)
+	a := b.Cfg.GridOf(geom.Pt(1, 9))
+	c := b.Cfg.GridOf(geom.Pt(18, 9))
+	if err := b.PlacePin(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlacePin(c); err != nil {
+		t.Fatal(err)
+	}
+	conns := []core.Connection{{A: a, B: c, Class: "ECL"}}
+	opts := core.DefaultOptions()
+	opts.Escalate = false
+	passes, err := RouteMixed(b, conns, opts, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes[0].Result.Complete() {
+		t.Fatal("ECL connection routed into filled TTL territory")
+	}
+}

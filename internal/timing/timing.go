@@ -1,0 +1,136 @@
+// Package timing analyzes signal propagation delays over routed boards.
+// The paper's Titan flow revolved around delays: placement "was devoted
+// to shortening the critical timing paths found by the timing verifier"
+// (Section 13), and ECL transmission lines make trace delay a first-class
+// design quantity (Section 10.1). This package computes, for every net,
+// the source-to-sink delay along the routed chain, slack against the
+// net's target, and the board's critical paths.
+package timing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/tuning"
+)
+
+// Sink is one destination of a net with its accumulated delay from the
+// net's source.
+type Sink struct {
+	At      geom.Point
+	DelayPs float64
+}
+
+// NetReport is the timing of one routed net.
+type NetReport struct {
+	Net   string
+	Sinks []Sink
+	// WorstPs is the largest source-to-sink delay.
+	WorstPs float64
+	// TargetPs is the net's tuning target (0 = untimed).
+	TargetPs float64
+	// SlackPs is TargetPs - WorstPs for timed nets (negative = late).
+	SlackPs float64
+	// Incomplete marks nets with unrouted connections; their delays are
+	// lower bounds.
+	Incomplete bool
+}
+
+// Analyze computes per-net timing over a routed board. Connections are
+// grouped by their Net name in input order — the stringer emits each
+// net's chain in sequence, so accumulated delay along the slice order is
+// the source-to-sink delay of the chain.
+func Analyze(b *board.Board, r *core.Router, m tuning.SpeedModel) []NetReport {
+	type acc struct {
+		rep   *NetReport
+		total float64
+	}
+	byNet := map[string]*acc{}
+	var order []string
+
+	for i := range r.Conns {
+		c := &r.Conns[i]
+		name := c.Net
+		if name == "" {
+			name = fmt.Sprintf("conn%d", i)
+		}
+		a, ok := byNet[name]
+		if !ok {
+			a = &acc{rep: &NetReport{Net: name, TargetPs: c.TargetDelayPs}}
+			byNet[name] = a
+			order = append(order, name)
+		}
+		rt := r.RouteOf(i)
+		if rt.Method == core.NotRouted {
+			a.rep.Incomplete = true
+			continue
+		}
+		a.total += tuning.RouteDelayPs(b, rt, m)
+		a.rep.Sinks = append(a.rep.Sinks, Sink{At: c.B, DelayPs: a.total})
+		if a.total > a.rep.WorstPs {
+			a.rep.WorstPs = a.total
+		}
+	}
+
+	reports := make([]NetReport, 0, len(order))
+	for _, name := range order {
+		rep := byNet[name].rep
+		if rep.TargetPs > 0 {
+			rep.SlackPs = rep.TargetPs - rep.WorstPs
+		}
+		reports = append(reports, *rep)
+	}
+	return reports
+}
+
+// CriticalPaths returns the k slowest nets, worst first.
+func CriticalPaths(reports []NetReport, k int) []NetReport {
+	sorted := append([]NetReport(nil), reports...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].WorstPs > sorted[j].WorstPs
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+// Violations returns the timed nets whose worst sink misses its target by
+// more than tolPs (in either direction: ECL clock trees care about early
+// arrival too).
+func Violations(reports []NetReport, tolPs float64) []NetReport {
+	var out []NetReport
+	for _, rep := range reports {
+		if rep.TargetPs <= 0 {
+			continue
+		}
+		if rep.SlackPs < -tolPs || rep.SlackPs > tolPs {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// Format renders a timing report table.
+func Format(reports []NetReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %6s %10s %10s %10s %s\n", "net", "sinks", "worst(ps)", "target", "slack", "flags")
+	for _, rep := range reports {
+		target, slack := "-", "-"
+		if rep.TargetPs > 0 {
+			target = fmt.Sprintf("%.0f", rep.TargetPs)
+			slack = fmt.Sprintf("%+.0f", rep.SlackPs)
+		}
+		flags := ""
+		if rep.Incomplete {
+			flags = "INCOMPLETE"
+		}
+		fmt.Fprintf(&sb, "%-12s %6d %10.0f %10s %10s %s\n",
+			rep.Net, len(rep.Sinks), rep.WorstPs, target, slack, flags)
+	}
+	return sb.String()
+}

@@ -1,0 +1,145 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/tuning"
+)
+
+// chainBoard routes one three-hop net (A→B→C) plus a two-hop net.
+func chainBoard(t *testing.T) (*board.Board, *core.Router, tuning.SpeedModel) {
+	t.Helper()
+	b, err := board.New(grid.NewConfig(40, 20, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := func(vx, vy int) geom.Point {
+		p := b.Cfg.GridOf(geom.Pt(vx, vy))
+		if err := b.PlacePin(p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, c, e := pin(2, 5), pin(14, 5), pin(30, 5)
+	x, y := pin(2, 12), pin(20, 12)
+	conns := []core.Connection{
+		{A: a, B: c, Net: "BUS"},
+		{A: c, B: e, Net: "BUS"},
+		{A: x, B: y, Net: "CLK", TargetDelayPs: 900},
+	}
+	r, err := core.New(b, conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing failed")
+	}
+	return b, r, tuning.DefaultSpeeds(4)
+}
+
+func TestAnalyzeChainAccumulates(t *testing.T) {
+	b, r, m := chainBoard(t)
+	reports := Analyze(b, r, m)
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	bus := reports[0]
+	if bus.Net != "BUS" || len(bus.Sinks) != 2 {
+		t.Fatalf("bus report: %+v", bus)
+	}
+	// The second sink accumulates the first hop's delay.
+	if bus.Sinks[1].DelayPs <= bus.Sinks[0].DelayPs {
+		t.Errorf("chain delay not accumulating: %v then %v", bus.Sinks[0].DelayPs, bus.Sinks[1].DelayPs)
+	}
+	if bus.WorstPs != bus.Sinks[1].DelayPs {
+		t.Errorf("worst %v != last sink %v", bus.WorstPs, bus.Sinks[1].DelayPs)
+	}
+	// Delay magnitudes: hop1 is 12 via units = 36 cells ≈ 185-200 ps.
+	if bus.Sinks[0].DelayPs < 150 || bus.Sinks[0].DelayPs > 400 {
+		t.Errorf("hop1 delay %v ps implausible", bus.Sinks[0].DelayPs)
+	}
+}
+
+func TestSlackComputation(t *testing.T) {
+	b, r, m := chainBoard(t)
+	reports := Analyze(b, r, m)
+	clk := reports[1]
+	if clk.Net != "CLK" || clk.TargetPs != 900 {
+		t.Fatalf("clk report: %+v", clk)
+	}
+	if clk.SlackPs != 900-clk.WorstPs {
+		t.Errorf("slack %v, want %v", clk.SlackPs, 900-clk.WorstPs)
+	}
+	// An untuned 18-via-unit run is far faster than 900 ps: positive
+	// slack beyond tolerance → a violation (the net needs tuning).
+	viol := Violations(reports, 100)
+	if len(viol) != 1 || viol[0].Net != "CLK" {
+		t.Fatalf("violations = %+v", viol)
+	}
+}
+
+func TestViolationClearsAfterTuning(t *testing.T) {
+	b, r, m := chainBoard(t)
+	tn := tuning.New(b, r, m, tuning.DefaultOptions())
+	results := tn.TuneAll()
+	if len(results) != 1 || !results[0].Tuned {
+		t.Fatalf("tuning: %+v", results)
+	}
+	reports := Analyze(b, r, m)
+	if viol := Violations(reports, tn.Opts.TolerancePs); len(viol) != 0 {
+		t.Fatalf("violations remain after tuning: %+v", viol)
+	}
+}
+
+func TestCriticalPaths(t *testing.T) {
+	b, r, m := chainBoard(t)
+	reports := Analyze(b, r, m)
+	top := CriticalPaths(reports, 1)
+	if len(top) != 1 {
+		t.Fatalf("top = %d", len(top))
+	}
+	// BUS spans 28 via units total; CLK spans 18 — BUS is critical.
+	if top[0].Net != "BUS" {
+		t.Errorf("critical net = %s, want BUS", top[0].Net)
+	}
+	if got := CriticalPaths(reports, 99); len(got) != len(reports) {
+		t.Errorf("oversized k should clamp")
+	}
+}
+
+func TestIncompleteNetFlagged(t *testing.T) {
+	b, err := board.New(grid.NewConfig(20, 20, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := b.Cfg.GridOf(geom.Pt(2, 2))
+	c := b.Cfg.GridOf(geom.Pt(15, 15))
+	if err := b.PlacePin(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlacePin(c); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b, []core.Connection{{A: a, B: c, Net: "N"}}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do NOT route: the connection stays unrouted.
+	reports := Analyze(b, r, tuning.DefaultSpeeds(2))
+	if len(reports) != 1 || !reports[0].Incomplete {
+		t.Fatalf("unrouted net not flagged: %+v", reports)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	b, r, m := chainBoard(t)
+	out := Format(Analyze(b, r, m))
+	if !strings.Contains(out, "BUS") || !strings.Contains(out, "CLK") || !strings.Contains(out, "worst(ps)") {
+		t.Errorf("format output incomplete:\n%s", out)
+	}
+}

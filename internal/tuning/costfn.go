@@ -1,0 +1,16 @@
+package tuning
+
+import "repro/internal/core"
+
+// TuneByCost tunes connection i with the paper's first, rejected
+// implementation: a delay-targeting Lee cost function (see
+// core.TunedLee). It exists for the E-TUNE ablation; production tuning
+// uses Tuner.Tune.
+func (t *Tuner) TuneByCost(i int, maxAttempts int) core.TunedLeeResult {
+	target := t.R.Conns[i].TargetDelayPs
+	cellPs := make([]float64, len(t.M.InchesPerNs))
+	for li := range cellPs {
+		cellPs[li] = t.M.CellDelayPs(li)
+	}
+	return t.R.TunedLee(i, target, t.Opts.TolerancePs, cellPs, maxAttempts)
+}

@@ -1,0 +1,355 @@
+// Package tuning implements the length tuning of Section 10.1: adjusting
+// ECL transmission-line connections to a target propagation delay by
+// stretching routed paths with detours (Figure 17). Signals propagate
+// about six inches per nanosecond in epoxy/glass boards, roughly 10%
+// faster on the two outer layers than on inner layers, so a tuned
+// connection's delay depends on which layers carry it — the reason the
+// paper's first, cost-function-based tuner drowned in plausible but wrong
+// solutions (that rejected approach is reproduced in costfn.go for the
+// E-TUNE ablation).
+package tuning
+
+import (
+	"fmt"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// SpeedModel maps layers to propagation speeds and grid cells to physical
+// length.
+type SpeedModel struct {
+	// InchesPerNs is the signal speed per signal layer.
+	InchesPerNs []float64
+	// MilsPerGrid is the physical size of one routing grid step
+	// (100-mil via pitch / 3 in the paper's process).
+	MilsPerGrid float64
+	// ViaDelayPs is a fixed delay charged per drilled via.
+	ViaDelayPs float64
+}
+
+// DefaultSpeeds returns the paper's model for the given layer count:
+// 6.0 in/ns on inner layers, 6.6 in/ns (10% faster) on the two outer
+// layers.
+func DefaultSpeeds(layers int) SpeedModel {
+	m := SpeedModel{
+		InchesPerNs: make([]float64, layers),
+		MilsPerGrid: 100.0 / 3.0,
+	}
+	for i := range m.InchesPerNs {
+		if i == 0 || i == layers-1 {
+			m.InchesPerNs[i] = 6.6
+		} else {
+			m.InchesPerNs[i] = 6.0
+		}
+	}
+	return m
+}
+
+// CellDelayPs returns the delay of one grid cell of trace on a layer.
+func (m SpeedModel) CellDelayPs(layerIdx int) float64 {
+	inches := m.MilsPerGrid / 1000.0
+	return inches / m.InchesPerNs[layerIdx] * 1000.0
+}
+
+// SlowestCellPs returns the per-cell delay of the slowest layer; the
+// detour sizing uses it as a conservative estimate.
+func (m SpeedModel) SlowestCellPs() float64 {
+	worst := 0.0
+	for li := range m.InchesPerNs {
+		if d := m.CellDelayPs(li); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// RouteDelayPs computes the propagation delay of a realized route.
+func RouteDelayPs(b *board.Board, rt *core.Route, m SpeedModel) float64 {
+	total := 0.0
+	for _, ps := range rt.Segs {
+		total += float64(ps.Seg.Interval().Len()) * m.CellDelayPs(ps.Layer)
+	}
+	total += float64(len(rt.Vias)) * m.ViaDelayPs
+	return total
+}
+
+// Options tune the tuner.
+type Options struct {
+	// TolerancePs accepts a delay within ±TolerancePs of the target.
+	// The paper tunes "to accuracies of a few hundred picoseconds";
+	// besides the ~35 ps granularity of one via-grid bump, every
+	// re-route may shift legs between fast outer and slow inner layers,
+	// a ±10% noise floor on the measured delay.
+	TolerancePs float64
+	// MaxRounds bounds detour attempts per connection.
+	MaxRounds int
+}
+
+// DefaultOptions returns sensible tuning parameters.
+func DefaultOptions() Options {
+	return Options{TolerancePs: 100, MaxRounds: 64}
+}
+
+// Result reports one tuned connection.
+type Result struct {
+	Conn       int
+	TargetPs   float64
+	BeforePs   float64
+	AchievedPs float64
+	Rounds     int
+	Tuned      bool
+}
+
+// Tuner stretches routed connections to their target delays.
+type Tuner struct {
+	B    *board.Board
+	R    *core.Router
+	M    SpeedModel
+	Opts Options
+}
+
+// New builds a tuner over a routed board.
+func New(b *board.Board, r *core.Router, m SpeedModel, opts Options) *Tuner {
+	if opts.TolerancePs <= 0 {
+		opts.TolerancePs = DefaultOptions().TolerancePs
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = DefaultOptions().MaxRounds
+	}
+	return &Tuner{B: b, R: r, M: m, Opts: opts}
+}
+
+// DelayOf returns the current delay of connection i.
+func (t *Tuner) DelayOf(i int) float64 {
+	return RouteDelayPs(t.B, t.R.RouteOf(i), t.M)
+}
+
+// TuneAll tunes every connection with a nonzero TargetDelayPs, returning
+// one result per tuned connection.
+func (t *Tuner) TuneAll() []Result {
+	var out []Result
+	for i := range t.R.Conns {
+		if t.R.Conns[i].TargetDelayPs > 0 && t.R.RouteOf(i).Method != core.NotRouted {
+			out = append(out, t.Tune(i))
+		}
+	}
+	return out
+}
+
+// Tune stretches connection i toward its target delay by adding detours
+// of increasing depth between the endpoints (Figure 17). Each candidate
+// detour is realized with Router.RouteThrough and measured; the search
+// over the detour depth stops inside the tolerance band or at the round
+// limit.
+func (t *Tuner) Tune(i int) Result {
+	target := t.R.Conns[i].TargetDelayPs
+	res := Result{Conn: i, TargetPs: target, BeforePs: t.DelayOf(i)}
+	res.AchievedPs = res.BeforePs
+
+	if res.BeforePs > target+t.Opts.TolerancePs {
+		// The target is below the already-minimal path: unachievable.
+		return res
+	}
+	if within(res.BeforePs, target, t.Opts.TolerancePs) {
+		res.Tuned = true
+		return res
+	}
+
+	pitch := t.B.Cfg.Pitch
+	cellPs := t.M.SlowestCellPs()
+	// bumps accumulate: the route is always re-realized through every
+	// bump added so far, so each round extends rather than replaces the
+	// stretching (the repeated-detour process of Section 10.1). Anchor
+	// positions that round to the same via column are used only once.
+	var bumps []bump
+	usedAnchor := map[int]bool{}
+	for res.Rounds < t.Opts.MaxRounds {
+		res.Rounds++
+		if within(res.AchievedPs, target, t.Opts.TolerancePs) {
+			res.Tuned = true
+			return res
+		}
+		need := target - res.AchievedPs
+		if need < 0 {
+			// Overshot beyond tolerance; detours only add length, so
+			// report the best we reached.
+			return res
+		}
+		// A depth-k U detour adds about 2·k·pitch cells of trace.
+		k := int(need/cellPs)/(2*pitch) + 1
+		stretched := false
+	depths:
+		for _, depth := range depthLadder(k) {
+			// Middle-out anchor order: central bumps leave the endpoint
+			// neighborhoods clear.
+			for _, frac := range []int{6, 4, 8, 3, 9, 2, 10, 5, 7, 1, 11} {
+				anchor := t.anchorOf(i, frac)
+				if usedAnchor[anchor] {
+					continue
+				}
+				for _, side := range []int{1, -1} {
+					nb := bump{frac: frac, side: side, depth: depth}
+					wps := t.waypoints(i, append(append([]bump(nil), bumps...), nb))
+					if wps == nil {
+						continue
+					}
+					if t.R.RouteThrough(i, wps) {
+						bumps = append(bumps, nb)
+						usedAnchor[anchor] = true
+						res.AchievedPs = t.DelayOf(i)
+						stretched = true
+						break depths
+					}
+				}
+			}
+		}
+		if !stretched {
+			return res
+		}
+		// If the realized legs came out longer than the Manhattan
+		// estimate, the bump overshot: shrink it one via unit at a time
+		// until the delay is back inside (or below) the band; if even
+		// that cannot fix it, drop the bump and let the next round pick
+		// a different anchor with a recomputed depth.
+		for res.AchievedPs > target+t.Opts.TolerancePs && bumps[len(bumps)-1].depth > 1 {
+			bumps[len(bumps)-1].depth--
+			wps := t.waypoints(i, append([]bump(nil), bumps...))
+			if wps == nil || !t.R.RouteThrough(i, wps) {
+				break
+			}
+			res.AchievedPs = t.DelayOf(i)
+		}
+		if res.AchievedPs > target+t.Opts.TolerancePs {
+			shorter := bumps[:len(bumps)-1]
+			wps := t.waypoints(i, append([]bump(nil), shorter...))
+			if wps != nil && t.R.RouteThrough(i, wps) {
+				bumps = shorter
+				res.AchievedPs = t.DelayOf(i)
+			}
+		}
+	}
+	res.Tuned = within(res.AchievedPs, target, t.Opts.TolerancePs)
+	return res
+}
+
+// depthLadder proposes bump depths from the wanted k downward, so a bump
+// that cannot fit (off board, blocked) degrades gracefully.
+func depthLadder(k int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, d := range []int{k, (k + 1) / 2, (k + 3) / 4, 2, 1} {
+		if d >= 1 && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// anchorOf returns the via-column (or row) a bump at the given frac
+// anchors to, for deduplication.
+func (t *Tuner) anchorOf(i, frac int) int {
+	c := t.R.Conns[i]
+	cfg := t.B.Cfg
+	dx, dy := c.B.X-c.A.X, c.B.Y-c.A.Y
+	if abs(dx) >= abs(dy) {
+		return cfg.NearestViaSite(geom.Pt(c.A.X+dx*frac/12, c.A.Y)).X
+	}
+	return cfg.NearestViaSite(geom.Pt(c.A.X, c.A.Y+dy*frac/12)).Y
+}
+
+// bump describes one U detour: its anchor position along the main
+// direction (frac twelfths of the span), which side it pops out to, and
+// its depth in via units.
+type bump struct {
+	frac, side, depth int
+}
+
+// waypoints converts a bump list into the ordered waypoint via sites, or
+// nil if any site falls off the board or collides with an endpoint.
+func (t *Tuner) waypoints(i int, bumps []bump) []geom.Point {
+	c := t.R.Conns[i]
+	cfg := t.B.Cfg
+	pitch := cfg.Pitch
+	bounds := cfg.Bounds()
+	dx, dy := c.B.X-c.A.X, c.B.Y-c.A.Y
+	horizontalish := abs(dx) >= abs(dy)
+
+	// Order bumps along the main direction so legs progress monotonely.
+	sortBumps(bumps, dx, dy, horizontalish)
+
+	var out []geom.Point
+	for _, bp := range bumps {
+		// Anchor each bump on the straight line between the endpoints so
+		// the perpendicular offset really adds ~2·depth·pitch of wire
+		// even on diagonal connections.
+		base := cfg.NearestViaSite(geom.Pt(c.A.X+dx*bp.frac/12, c.A.Y+dy*bp.frac/12))
+		var w1, w2 geom.Point
+		if horizontalish {
+			x2 := base.X + 2*pitch
+			if dx < 0 {
+				x2 = base.X - 2*pitch
+			}
+			y := base.Y + bp.side*bp.depth*pitch
+			w1, w2 = geom.Pt(base.X, y), geom.Pt(x2, y)
+		} else {
+			y2 := base.Y + 2*pitch
+			if dy < 0 {
+				y2 = base.Y - 2*pitch
+			}
+			x := base.X + bp.side*bp.depth*pitch
+			w1, w2 = geom.Pt(x, base.Y), geom.Pt(x, y2)
+		}
+		if !w1.In(bounds) || !w2.In(bounds) || w1 == w2 ||
+			!cfg.IsViaSite(w1) || !cfg.IsViaSite(w2) ||
+			w1 == c.A || w1 == c.B || w2 == c.A || w2 == c.B {
+			return nil
+		}
+		out = append(out, w1, w2)
+	}
+	return out
+}
+
+func sortBumps(bumps []bump, dx, dy int, horizontalish bool) {
+	ascending := (horizontalish && dx >= 0) || (!horizontalish && dy >= 0)
+	for i := 1; i < len(bumps); i++ {
+		for j := i; j > 0; j-- {
+			less := bumps[j].frac < bumps[j-1].frac
+			if !ascending {
+				less = bumps[j].frac > bumps[j-1].frac
+			}
+			if !less {
+				break
+			}
+			bumps[j], bumps[j-1] = bumps[j-1], bumps[j]
+		}
+	}
+}
+
+func within(v, target, tol float64) bool {
+	d := v - target
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Summary formats tuning results for reports.
+func Summary(results []Result) string {
+	tuned := 0
+	for _, r := range results {
+		if r.Tuned {
+			tuned++
+		}
+	}
+	return fmt.Sprintf("tuned %d/%d connections", tuned, len(results))
+}

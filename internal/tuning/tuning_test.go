@@ -1,0 +1,232 @@
+package tuning
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/verify"
+)
+
+// tuneRig routes a single connection on an empty board and returns the
+// pieces a tuning test needs.
+func tuneRig(t *testing.T, viaCols, viaRows int, a, b geom.Point, targetPs float64) (*board.Board, *core.Router, *Tuner) {
+	t.Helper()
+	bd, err := board.New(grid.NewConfig(viaCols, viaRows, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := bd.Cfg.GridOf(a), bd.Cfg.GridOf(b)
+	if err := bd.PlacePin(ga); err != nil {
+		t.Fatal(err)
+	}
+	if err := bd.PlacePin(gb); err != nil {
+		t.Fatal(err)
+	}
+	conns := []core.Connection{{A: ga, B: gb, Net: "clk", TargetDelayPs: targetPs}}
+	r, err := core.New(bd, conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("base route failed")
+	}
+	tuner := New(bd, r, DefaultSpeeds(4), DefaultOptions())
+	return bd, r, tuner
+}
+
+func TestSpeedModel(t *testing.T) {
+	m := DefaultSpeeds(6)
+	if m.InchesPerNs[0] != 6.6 || m.InchesPerNs[5] != 6.6 {
+		t.Error("outer layers should run at 6.6 in/ns")
+	}
+	for li := 1; li <= 4; li++ {
+		if m.InchesPerNs[li] != 6.0 {
+			t.Errorf("inner layer %d speed %v", li, m.InchesPerNs[li])
+		}
+	}
+	// One cell = 33.3 mils; at 6 in/ns that is ~5.56 ps.
+	got := m.CellDelayPs(2)
+	if got < 5.4 || got > 5.7 {
+		t.Errorf("inner cell delay = %v ps", got)
+	}
+	if fast := m.CellDelayPs(0); fast >= got {
+		t.Error("outer layer should be faster per cell")
+	}
+	if m.SlowestCellPs() != got {
+		t.Error("SlowestCellPs should be the inner-layer delay")
+	}
+}
+
+func TestRouteDelayMeasuresWire(t *testing.T) {
+	bd, r, tuner := tuneRig(t, 20, 20, geom.Pt(2, 10), geom.Pt(16, 10), 0)
+	d := tuner.DelayOf(0)
+	// 14 via units = 42 grid cells ≈ minimum wire; delay must be at
+	// least that at the fastest speed and not absurdly more.
+	m := DefaultSpeeds(4)
+	minPs := 40 * m.CellDelayPs(0)
+	if d < minPs || d > 4*minPs {
+		t.Errorf("delay %v ps outside plausible band [%v, %v]", d, minPs, 4*minPs)
+	}
+	_ = bd
+	_ = r
+}
+
+func TestTuneStretchesToTarget(t *testing.T) {
+	// Base delay ≈ 42 cells × ~5.1-5.6 ps ≈ 220-235 ps; ask for 500 ps.
+	_, r, tuner := tuneRig(t, 24, 24, geom.Pt(2, 10), geom.Pt(16, 10), 500)
+	res := tuner.Tune(0)
+	if !res.Tuned {
+		t.Fatalf("not tuned: %+v", res)
+	}
+	if res.AchievedPs < 500-tuner.Opts.TolerancePs || res.AchievedPs > 500+tuner.Opts.TolerancePs {
+		t.Errorf("achieved %v ps, want 500±%v", res.AchievedPs, tuner.Opts.TolerancePs)
+	}
+	if res.AchievedPs <= res.BeforePs {
+		t.Error("tuning did not lengthen the path")
+	}
+	// The stretched route must still be electrically sound.
+	if err := verify.Routed(tuner.B, r); err != nil {
+		t.Fatalf("verify after tuning: %v", err)
+	}
+	if err := tuner.B.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuneAlreadyOnTarget(t *testing.T) {
+	_, _, tuner := tuneRig(t, 24, 24, geom.Pt(2, 10), geom.Pt(16, 10), 0)
+	base := tuner.DelayOf(0)
+	tuner.R.Conns[0].TargetDelayPs = base
+	res := tuner.Tune(0)
+	if !res.Tuned || res.Rounds != 0 {
+		t.Errorf("on-target connection should tune trivially: %+v", res)
+	}
+}
+
+func TestTuneUnachievableTarget(t *testing.T) {
+	_, _, tuner := tuneRig(t, 24, 24, geom.Pt(2, 10), geom.Pt(16, 10), 50)
+	res := tuner.Tune(0) // 50 ps is far below the minimal path delay
+	if res.Tuned {
+		t.Error("target below minimum reported as tuned")
+	}
+	if res.AchievedPs != res.BeforePs {
+		t.Error("unachievable tuning should not modify the route")
+	}
+}
+
+func TestTuneAllSelectsTargets(t *testing.T) {
+	bd, err := board.New(grid.NewConfig(24, 24, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(vx1, vy1, vx2, vy2 int, target float64) core.Connection {
+		a, b := bd.Cfg.GridOf(geom.Pt(vx1, vy1)), bd.Cfg.GridOf(geom.Pt(vx2, vy2))
+		if err := bd.PlacePin(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := bd.PlacePin(b); err != nil {
+			t.Fatal(err)
+		}
+		return core.Connection{A: a, B: b, TargetDelayPs: target}
+	}
+	conns := []core.Connection{
+		mk(2, 4, 18, 4, 450),
+		mk(2, 8, 18, 8, 0), // untuned
+		mk(2, 12, 18, 12, 480),
+	}
+	r, err := core.New(bd, conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing failed")
+	}
+	tuner := New(bd, r, DefaultSpeeds(4), DefaultOptions())
+	results := tuner.TuneAll()
+	if len(results) != 2 {
+		t.Fatalf("TuneAll handled %d connections, want 2", len(results))
+	}
+	for _, res := range results {
+		if !res.Tuned {
+			t.Errorf("connection %d not tuned: %+v", res.Conn, res)
+		}
+	}
+	if Summary(results) != "tuned 2/2 connections" {
+		t.Errorf("summary = %q", Summary(results))
+	}
+}
+
+func TestClockTreeEqualization(t *testing.T) {
+	// Three clock branches of different natural lengths; tune all to the
+	// delay of the longest so they match (the Figure 16 scenario).
+	bd, err := board.New(grid.NewConfig(30, 30, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := bd.Cfg.GridOf(geom.Pt(4, 15))
+	if err := bd.PlacePin(root); err != nil {
+		t.Fatal(err)
+	}
+	leaves := []geom.Point{geom.Pt(10, 15), geom.Pt(18, 10), geom.Pt(26, 20)}
+	var conns []core.Connection
+	for _, lv := range leaves {
+		g := bd.Cfg.GridOf(lv)
+		if err := bd.PlacePin(g); err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, core.Connection{A: root, B: g})
+	}
+	r, err := core.New(bd, conns, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing failed")
+	}
+	tuner := New(bd, r, DefaultSpeeds(4), DefaultOptions())
+	worst := 0.0
+	for i := range conns {
+		if d := tuner.DelayOf(i); d > worst {
+			worst = d
+		}
+	}
+	target := worst + 100
+	for i := range conns {
+		tuner.R.Conns[i].TargetDelayPs = target
+	}
+	results := tuner.TuneAll()
+	for _, res := range results {
+		if !res.Tuned {
+			t.Fatalf("branch %d not tuned: %+v", res.Conn, res)
+		}
+	}
+	// All branches within 2×tolerance of each other.
+	for i := range conns {
+		for j := i + 1; j < len(conns); j++ {
+			di, dj := tuner.DelayOf(i), tuner.DelayOf(j)
+			if diff := di - dj; diff > 2*tuner.Opts.TolerancePs || diff < -2*tuner.Opts.TolerancePs {
+				t.Errorf("branches %d and %d skewed: %v vs %v ps", i, j, di, dj)
+			}
+		}
+	}
+}
+
+func TestTuneByCostExists(t *testing.T) {
+	// The rejected cost-function tuner should find some solutions on an
+	// open board but typically needs several attempts (false solutions).
+	_, r, tuner := tuneRig(t, 24, 24, geom.Pt(2, 10), geom.Pt(16, 10), 500)
+	res := tuner.TuneByCost(0, 60)
+	t.Logf("cost-function tuner: ok=%v attempts=%d achieved=%.0f ps", res.Ok, res.Attempts, res.AchievedPs)
+	if res.Attempts == 0 {
+		t.Error("no attempts recorded")
+	}
+	if err := tuner.B.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Routed(tuner.B, r); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+)
+
+// routedPair builds and routes one straight connection.
+func routedPair(t *testing.T) (*board.Board, *core.Router) {
+	t.Helper()
+	b, err := board.New(grid.NewConfig(14, 14, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := b.Cfg.GridOf(geom.Pt(2, 6))
+	c := b.Cfg.GridOf(geom.Pt(11, 6))
+	if err := b.PlacePin(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlacePin(c); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b, []core.Connection{{A: a, B: c}}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); !res.Complete() {
+		t.Fatal("routing failed")
+	}
+	return b, r
+}
+
+func TestRoutedAcceptsGoodBoard(t *testing.T) {
+	b, r := routedPair(t)
+	if err := Routed(b, r); err != nil {
+		t.Fatalf("clean board rejected: %v", err)
+	}
+}
+
+func TestDetectsSeveredTrace(t *testing.T) {
+	b, r := routedPair(t)
+	// Remove one trace segment behind the verifier's back: the
+	// connection is no longer electrically continuous.
+	rt := r.RouteOf(0)
+	if len(rt.Segs) == 0 {
+		t.Fatal("no segments to sever")
+	}
+	ps := rt.Segs[0]
+	b.RemoveSegment(ps.Layer, ps.Seg)
+	err := Routed(b, r)
+	if err == nil {
+		t.Fatal("severed trace not detected")
+	}
+	// Either the ownership check or the connectivity flood must trip.
+	if !strings.Contains(err.Error(), "connection 0") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestDetectsStolenCell(t *testing.T) {
+	b, r := routedPair(t)
+	rt := r.RouteOf(0)
+	ps := rt.Segs[0]
+	ch, lo, hi := ps.Seg.Channel(), ps.Seg.Lo, ps.Seg.Hi
+	// Replace the segment with one owned by someone else.
+	b.RemoveSegment(ps.Layer, ps.Seg)
+	if b.AddSegment(ps.Layer, ch, lo, hi, 99) == nil {
+		t.Fatal("re-add failed")
+	}
+	if err := Routed(b, r); err == nil {
+		t.Fatal("foreign ownership not detected")
+	}
+}
+
+func TestDetectsMissingEndpointPin(t *testing.T) {
+	b, err := board.New(grid.NewConfig(10, 10, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := b.Cfg.GridOf(geom.Pt(1, 1))
+	c := b.Cfg.GridOf(geom.Pt(7, 7))
+	if err := b.PlacePin(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlacePin(c); err != nil {
+		t.Fatal(err)
+	}
+	conn := core.Connection{A: a, B: c}
+	// Fabricate a claimed route with no metal at all.
+	rt := &core.Route{Method: core.ZeroVia}
+	if err := Connection(b, &conn, rt, layer.ConnID(0)); err == nil {
+		t.Fatal("empty realization accepted")
+	}
+}
+
+func TestTrivialAndUnroutedSkipped(t *testing.T) {
+	b, err := board.New(grid.NewConfig(10, 10, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := b.Cfg.GridOf(geom.Pt(1, 1))
+	c := b.Cfg.GridOf(geom.Pt(7, 7))
+	if err := b.PlacePin(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlacePin(c); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(b, []core.Connection{{A: a, B: a}, {A: a, B: c}}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Route only partially: the trivial connection routes, the other is
+	// left unrouted by never calling Route. Routed() must not complain
+	// about either.
+	if err := Routed(b, r); err != nil {
+		t.Fatalf("unroutable states should be skipped: %v", err)
+	}
+}
+
+func TestDetectsViaMapDrift(t *testing.T) {
+	b, r := routedPair(t)
+	b.Vias.Inc(geom.Pt(0, 0))
+	if err := Routed(b, r); err == nil {
+		t.Fatal("via-map drift not detected")
+	}
+}

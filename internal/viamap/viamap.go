@@ -1,0 +1,85 @@
+// Package viamap implements the via map of Section 4: a dense per-site
+// count of how many signal layers currently have a segment covering each
+// via location. The count is zero for a free site, equal to the number of
+// signal layers for a drilled (or pin) via, and in between when traces on
+// some layers run over the site.
+//
+// The map exists because via-availability inquiries are two to four
+// orders of magnitude more frequent than channel updates; the package
+// counts both so the benchmark harness can verify that ratio (experiment
+// E-VMAP).
+package viamap
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Map holds one count per via site, indexed by via coordinates.
+type Map struct {
+	cols, rows int
+	counts     []uint16
+
+	// Probes and Updates count Free/Count calls and Inc/Dec calls
+	// respectively; Section 4 predicts Probes/Updates between 1e2 and
+	// 1e4 on real routing problems.
+	Probes  uint64
+	Updates uint64
+}
+
+// New builds a zeroed via map spanning cols × rows via sites.
+func New(cols, rows int) *Map {
+	return &Map{cols: cols, rows: rows, counts: make([]uint16, cols*rows)}
+}
+
+// Cols returns the number of via-grid columns.
+func (m *Map) Cols() int { return m.cols }
+
+// Rows returns the number of via-grid rows.
+func (m *Map) Rows() int { return m.rows }
+
+func (m *Map) idx(v geom.Point) int {
+	if v.X < 0 || v.X >= m.cols || v.Y < 0 || v.Y >= m.rows {
+		panic(fmt.Sprintf("viamap: via %v outside %dx%d map", v, m.cols, m.rows))
+	}
+	return v.Y*m.cols + v.X
+}
+
+// InRange reports whether via coordinates v lie on the map.
+func (m *Map) InRange(v geom.Point) bool {
+	return v.X >= 0 && v.X < m.cols && v.Y >= 0 && v.Y < m.rows
+}
+
+// Inc records that one more layer's channel structure covers site v.
+func (m *Map) Inc(v geom.Point) {
+	m.Updates++
+	m.counts[m.idx(v)]++
+}
+
+// Dec undoes one Inc. Decrementing a zero count is a bookkeeping bug and
+// panics rather than corrupting availability data.
+func (m *Map) Dec(v geom.Point) {
+	m.Updates++
+	i := m.idx(v)
+	if m.counts[i] == 0 {
+		panic(fmt.Sprintf("viamap: Dec below zero at via %v", v))
+	}
+	m.counts[i]--
+}
+
+// Count returns the number of layers occupied at site v.
+func (m *Map) Count(v geom.Point) int {
+	m.Probes++
+	return int(m.counts[m.idx(v)])
+}
+
+// Free reports whether site v is unoccupied on every layer, i.e. a via
+// may be drilled there.
+func (m *Map) Free(v geom.Point) bool {
+	m.Probes++
+	return m.counts[m.idx(v)] == 0
+}
+
+// ResetCounters clears the probe/update statistics.
+func (m *Map) ResetCounters() { m.Probes, m.Updates = 0, 0 }

@@ -1,0 +1,86 @@
+package viamap
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestIncDecCount(t *testing.T) {
+	m := New(4, 3)
+	v := geom.Pt(2, 1)
+	if !m.Free(v) {
+		t.Fatal("fresh map not free")
+	}
+	m.Inc(v)
+	m.Inc(v)
+	if m.Free(v) {
+		t.Error("occupied site reported free")
+	}
+	if m.Count(v) != 2 {
+		t.Errorf("Count = %d", m.Count(v))
+	}
+	m.Dec(v)
+	m.Dec(v)
+	if !m.Free(v) {
+		t.Error("emptied site not free")
+	}
+}
+
+func TestDecBelowZeroPanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Dec below zero should panic")
+		}
+	}()
+	m.Dec(geom.Pt(0, 0))
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	for _, v := range []geom.Point{{X: -1, Y: 0}, {X: 2, Y: 0}, {X: 0, Y: 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("access at %v should panic", v)
+				}
+			}()
+			m.Inc(v)
+		}()
+	}
+	if m.InRange(geom.Pt(1, 1)) != true || m.InRange(geom.Pt(2, 0)) {
+		t.Error("InRange misjudges")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	m := New(3, 3)
+	v := geom.Pt(1, 1)
+	m.Inc(v)
+	m.Free(v)
+	m.Free(v)
+	m.Count(v)
+	if m.Updates != 1 || m.Probes != 3 {
+		t.Errorf("updates=%d probes=%d", m.Updates, m.Probes)
+	}
+	m.ResetCounters()
+	if m.Updates != 0 || m.Probes != 0 {
+		t.Error("ResetCounters did not clear")
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	m := New(5, 5)
+	m.Inc(geom.Pt(0, 0))
+	m.Inc(geom.Pt(4, 4))
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			v := geom.Pt(x, y)
+			wantFree := !(x == 0 && y == 0) && !(x == 4 && y == 4)
+			if m.Free(v) != wantFree {
+				t.Errorf("site %v free=%v", v, m.Free(v))
+			}
+		}
+	}
+}

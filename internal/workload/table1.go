@@ -1,0 +1,74 @@
+package workload
+
+// Table 1 presets. Connection counts and layer counts come straight from
+// the paper; board dimensions are reconstructed from the described board
+// classes (16×22" Titan processor boards, a PDP-11 quad board for kdj11,
+// a mid-size board for the VAX 8800 memory controller) so that the part
+// blocks reproduce the published pins/in² within a few percent. Locality
+// is tuned so the wiring demand (%chan) lands in the published band.
+//
+// Scale produces reduced instances of the same family for fast test and
+// benchmark runs: board edge, connection count and locality all shrink by
+// the factor, keeping densities roughly constant.
+
+// Table1Specs returns the nine rows of Table 1 in the paper's order
+// (decreasing difficulty). The two kdj11 rows and two nmc rows share
+// boards but differ in layer count.
+func Table1Specs() []Spec {
+	return []Spec{
+		{Name: "kdj11-2L", ViaCols: 90, ViaRows: 105, Layers: 2, TargetConns: 1184,
+			NetSizeMin: 2, NetSizeMax: 4, Locality: 66, BusFraction: 0.5, MarginX: 2, MarginY: 2, Seed: 11},
+		{Name: "nmc-4L", ViaCols: 120, ViaRows: 140, Layers: 4, TargetConns: 2253,
+			NetSizeMin: 2, NetSizeMax: 4, Locality: 72, BusFraction: 0.5, MarginX: 2, MarginY: 2, Seed: 23},
+		{Name: "dpath", ViaCols: 160, ViaRows: 220, Layers: 6, TargetConns: 5533,
+			NetSizeMin: 2, NetSizeMax: 5, Locality: 85, BusFraction: 0.8, MarginX: 1, MarginY: 1, Seed: 13},
+		{Name: "coproc", ViaCols: 160, ViaRows: 220, Layers: 6, TargetConns: 5937,
+			NetSizeMin: 2, NetSizeMax: 5, Locality: 65, BusFraction: 0.75, MarginX: 1, MarginY: 1, Seed: 14},
+		{Name: "kdj11-4L", ViaCols: 90, ViaRows: 105, Layers: 4, TargetConns: 1184,
+			NetSizeMin: 2, NetSizeMax: 4, Locality: 66, BusFraction: 0.5, MarginX: 2, MarginY: 2, Seed: 11},
+		{Name: "icache", ViaCols: 160, ViaRows: 220, Layers: 6, TargetConns: 5795,
+			NetSizeMin: 2, NetSizeMax: 5, Locality: 64, BusFraction: 0.7, MarginX: 1, MarginY: 1, Seed: 15},
+		{Name: "nmc-6L", ViaCols: 120, ViaRows: 140, Layers: 6, TargetConns: 2253,
+			NetSizeMin: 2, NetSizeMax: 4, Locality: 72, BusFraction: 0.5, MarginX: 2, MarginY: 2, Seed: 23},
+		{Name: "dcache", ViaCols: 160, ViaRows: 220, Layers: 6, TargetConns: 5738,
+			NetSizeMin: 2, NetSizeMax: 5, Locality: 55, BusFraction: 0.7, MarginX: 1, MarginY: 1, Seed: 16},
+		{Name: "tna", ViaCols: 110, ViaRows: 160, Layers: 6, TargetConns: 2789,
+			NetSizeMin: 2, NetSizeMax: 5, Locality: 58, BusFraction: 0.6, MarginX: 1, MarginY: 0, Seed: 17},
+	}
+}
+
+// Table1Spec returns the named row, or false.
+func Table1Spec(name string) (Spec, bool) {
+	for _, s := range Table1Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Scale shrinks a spec by the given integer divisor for fast runs:
+// board edges, connection target and locality divide by it. Scale(1)
+// returns the spec unchanged.
+func (s Spec) Scale(div int) Spec {
+	if div <= 1 {
+		return s
+	}
+	out := s
+	out.Name = s.Name + "-scaled"
+	out.ViaCols = max(blockW+4, s.ViaCols/div)
+	out.ViaRows = max(blockH+4, s.ViaRows/div)
+	out.TargetConns = max(8, s.TargetConns/(div*div))
+	out.Locality = max(8, s.Locality/div)
+	out.BestEffort = true
+	return out
+}
+
+// SmallSpec is a compact board for unit and property tests: it strings
+// and routes in milliseconds while still exercising every strategy.
+func SmallSpec(seed int64) Spec {
+	return Spec{
+		Name: "small", ViaCols: 46, ViaRows: 40, Layers: 4, TargetConns: 60,
+		NetSizeMin: 2, NetSizeMax: 3, Locality: 20, MarginX: 2, MarginY: 2, Seed: seed,
+	}
+}

@@ -1,0 +1,325 @@
+// Package workload generates synthetic routing problems in the style of
+// the paper's Table 1 boards. The original Titan, kdj11 and nmc netlists
+// are proprietary, so each board is replaced by a deterministic synthetic
+// equivalent matching its externally visible parameters: board area,
+// layer count, connection count and pin density. Boards are populated
+// with 24-pin DIP logic parts, each flanked by a 12-pin SIP resistor pack
+// (the Titan coprocessor arrangement of Figure 19), and locality-biased
+// multi-pin ECL nets.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Spec parameterizes one synthetic board.
+type Spec struct {
+	Name    string
+	ViaCols int // board width in via units (100 mil each)
+	ViaRows int // board height in via units
+	Layers  int // signal layers
+
+	// TargetConns stops net generation once the stringer would emit at
+	// least this many pin-to-pin connections (each net of k pins
+	// contributes k-1, plus 1 for the ECL termination).
+	TargetConns int
+
+	// NetSizeMin/Max bound the logic pins per net (before termination).
+	NetSizeMin, NetSizeMax int
+
+	// Locality is the net spread: input parts are drawn from a window of
+	// roughly this many via units around the output part. Larger values
+	// raise Table 1's %chan (wiring demand).
+	Locality int
+
+	// BusFraction is the fraction of connections emitted as buses:
+	// groups of parallel two-pin nets between consecutive pins of two
+	// parts. Real datapath boards (the Titan dpath/coproc class) are
+	// dominated by such buses, which nest into parallel straight runs;
+	// purely random nets overstate crossing congestion at a given %chan.
+	BusFraction float64
+
+	// MarginX/Y is the spacing in via units between part blocks; smaller
+	// margins raise pin density (Table 1 "pins/in²").
+	MarginX, MarginY int
+
+	// TTLFraction assigns roughly this fraction of part columns to TTL
+	// (0 for the pure-ECL Table 1 boards; used by the mixed-technology
+	// example).
+	TTLFraction float64
+
+	// BestEffort accepts a design that falls short of TargetConns when
+	// the pin supply runs out (scaled-down boards have coarser part
+	// granularity than the originals); without it a shortfall is an
+	// error.
+	BestEffort bool
+
+	Seed int64
+}
+
+// Validate reports obviously unusable specs.
+func (s Spec) Validate() error {
+	if s.ViaCols < blockW+2 || s.ViaRows < blockH+2 {
+		return fmt.Errorf("workload: board %dx%d via units cannot fit one part block", s.ViaCols, s.ViaRows)
+	}
+	if s.Layers <= 0 {
+		return fmt.Errorf("workload: no layers")
+	}
+	if s.NetSizeMin < 2 || s.NetSizeMax < s.NetSizeMin {
+		return fmt.Errorf("workload: bad net size range %d..%d", s.NetSizeMin, s.NetSizeMax)
+	}
+	return nil
+}
+
+// Block geometry in via units: a DIP24 (two rows of 12, 3 via units
+// apart) with a SIP12 resistor pack two rows below it.
+const (
+	dipRowSpan = 3
+	blockW     = 12
+	blockH     = 6 // DIP rows at y+0 and y+3, SIP row at y+5
+)
+
+// Generate builds the synthetic design for spec. The same spec and seed
+// always produce the identical design.
+func Generate(spec Spec) (*netlist.Design, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	d := &netlist.Design{
+		Name:    spec.Name,
+		ViaCols: spec.ViaCols,
+		ViaRows: spec.ViaRows,
+		Layers:  spec.Layers,
+		Pitch:   3,
+	}
+
+	dip := netlist.DIP(24, dipRowSpan)
+	sip := netlist.SIP(12, true)
+
+	cellW := blockW + spec.MarginX
+	cellH := blockH + spec.MarginY
+	// Leave a one-via-unit rim so edge pins keep free routing space.
+	cols := (spec.ViaCols - 2) / cellW
+	rows := (spec.ViaRows - 2) / cellH
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("workload: %s: no room for part blocks", spec.Name)
+	}
+
+	type block struct {
+		dip *netlist.Part
+		at  geom.Point // block origin, via units
+	}
+	var blocks []block
+	ttlCols := int(spec.TTLFraction * float64(cols))
+	for by := 0; by < rows; by++ {
+		for bx := 0; bx < cols; bx++ {
+			at := geom.Pt(1+bx*cellW, 1+by*cellH)
+			tech := netlist.ECL
+			if bx < ttlCols {
+				tech = netlist.TTL
+			}
+			dp := &netlist.Part{
+				Name: fmt.Sprintf("U%d_%d", bx, by),
+				Pkg:  dip,
+				At:   at,
+				Tech: tech,
+			}
+			rp := &netlist.Part{
+				Name: fmt.Sprintf("R%d_%d", bx, by),
+				Pkg:  sip,
+				At:   at.Add(geom.Pt(0, blockH-1)),
+				Tech: tech,
+			}
+			d.Parts = append(d.Parts, dp, rp)
+			blocks = append(blocks, block{dip: dp, at: at})
+		}
+	}
+
+	// Free logic pins per DIP part. Pins 6 and 18 are the part's power
+	// pins (VEE/VCC in the ECL convention of power.DefaultAssignment);
+	// they connect to power planes, never to signal nets.
+	freePins := make(map[*netlist.Part][]int)
+	for _, b := range blocks {
+		var pins []int
+		for i := 1; i <= dip.Pins(); i++ {
+			if i == 6 || i == 18 {
+				continue
+			}
+			pins = append(pins, i)
+		}
+		freePins[b.dip] = pins
+	}
+	takePin := func(p *netlist.Part) (int, bool) {
+		pins := freePins[p]
+		if len(pins) == 0 {
+			return 0, false
+		}
+		i := rng.Intn(len(pins))
+		pin := pins[i]
+		pins[i] = pins[len(pins)-1]
+		freePins[p] = pins[:len(pins)-1]
+		return pin, true
+	}
+
+	// blockAt finds the block index at grid position (bx, by).
+	blockIdx := func(bx, by int) int { return by*cols + bx }
+
+	// takeRun removes up to want pins from p whose positions are
+	// consecutive along a package row, for bus generation.
+	takeRun := func(p *netlist.Part, want int) []int {
+		pins := freePins[p]
+		if len(pins) == 0 {
+			return nil
+		}
+		sort.Ints(pins)
+		bestLo, bestLen := 0, 1
+		runLo, runLen := 0, 1
+		for i := 1; i < len(pins); i++ {
+			if pins[i] == pins[i-1]+1 && pins[i] != p.Pkg.Pins()/2+1 {
+				runLen++
+			} else {
+				runLo, runLen = i, 1
+			}
+			if runLen > bestLen {
+				bestLo, bestLen = runLo, runLen
+			}
+			if bestLen >= want {
+				break
+			}
+		}
+		n := min(bestLen, want)
+		run := append([]int(nil), pins[bestLo:bestLo+n]...)
+		rest := append([]int(nil), pins[:bestLo]...)
+		rest = append(rest, pins[bestLo+n:]...)
+		freePins[p] = rest
+		return run
+	}
+
+	conns := 0
+	netNo := 0
+	stuck := 0
+	for conns < spec.TargetConns && stuck < 5000 {
+		if rng.Float64() < spec.BusFraction {
+			// A bus: parallel two-pin nets between consecutive pins of
+			// two parts within the locality window.
+			obx, oby := rng.Intn(cols), rng.Intn(rows)
+			src := blocks[blockIdx(obx, oby)]
+			radius := max(1, spec.Locality/cellW)
+			dbx := clamp(obx+rng.Intn(2*radius+1)-radius, 0, cols-1)
+			dby := clamp(oby+rng.Intn(2*radius+1)-radius, 0, rows-1)
+			dst := blocks[blockIdx(dbx, dby)]
+			if dst.dip == src.dip || dst.dip.Tech != src.dip.Tech {
+				stuck++
+				continue
+			}
+			width := 4 + rng.Intn(13) // 4..16 bits
+			srcRun := takeRun(src.dip, width)
+			dstRun := takeRun(dst.dip, len(srcRun))
+			if len(dstRun) < len(srcRun) {
+				// Return the surplus source pins.
+				freePins[src.dip] = append(freePins[src.dip], srcRun[len(dstRun):]...)
+				srcRun = srcRun[:len(dstRun)]
+			}
+			if len(srcRun) == 0 {
+				stuck++
+				continue
+			}
+			for k := range srcRun {
+				net := &netlist.Net{
+					Name: fmt.Sprintf("N%d", netNo),
+					Tech: src.dip.Tech,
+					Pins: []netlist.NetPin{
+						{Ref: netlist.PinRef{Part: src.dip, Pin: srcRun[k]}, Func: netlist.Output},
+						{Ref: netlist.PinRef{Part: dst.dip, Pin: dstRun[k]}, Func: netlist.Input},
+					},
+				}
+				d.Nets = append(d.Nets, net)
+				netNo++
+				conns++ // the one pin-to-pin link
+				if net.Tech == netlist.ECL {
+					conns++ // termination added by the stringer
+				}
+			}
+			continue
+		}
+
+		size := spec.NetSizeMin + rng.Intn(spec.NetSizeMax-spec.NetSizeMin+1)
+
+		// Output part: any block with free pins.
+		obx, oby := rng.Intn(cols), rng.Intn(rows)
+		src := blocks[blockIdx(obx, oby)]
+		outPin, ok := takePin(src.dip)
+		if !ok {
+			stuck++
+			continue
+		}
+		srcTech := src.dip.Tech
+
+		net := &netlist.Net{
+			Name: fmt.Sprintf("N%d", netNo),
+			Tech: srcTech,
+			Pins: []netlist.NetPin{{Ref: netlist.PinRef{Part: src.dip, Pin: outPin}, Func: netlist.Output}},
+		}
+
+		// Input pins: parts within the locality window of the source, of
+		// the same technology. Widen the window if the neighborhood is
+		// exhausted.
+		radius := max(1, spec.Locality/cellW)
+		for tries := 0; len(net.Pins) < size && tries < 40; tries++ {
+			r := radius
+			if tries > 20 {
+				r = radius * 4
+			}
+			ibx := clamp(obx+rng.Intn(2*r+1)-r, 0, cols-1)
+			iby := clamp(oby+rng.Intn(2*r+1)-r, 0, rows-1)
+			cand := blocks[blockIdx(ibx, iby)]
+			if cand.dip == src.dip || cand.dip.Tech != srcTech {
+				continue
+			}
+			pin, ok := takePin(cand.dip)
+			if !ok {
+				continue
+			}
+			net.Pins = append(net.Pins, netlist.NetPin{
+				Ref: netlist.PinRef{Part: cand.dip, Pin: pin}, Func: netlist.Input,
+			})
+		}
+		if len(net.Pins) < 2 {
+			// Give the output pin back and note the failure.
+			freePins[src.dip] = append(freePins[src.dip], outPin)
+			stuck++
+			continue
+		}
+		d.Nets = append(d.Nets, net)
+		netNo++
+		conns += len(net.Pins) - 1
+		if net.Tech == netlist.ECL {
+			conns++ // termination connection added by the stringer
+		}
+	}
+	if conns < spec.TargetConns && !spec.BestEffort {
+		return nil, fmt.Errorf("workload: %s: only %d of %d connections generated before pin exhaustion",
+			spec.Name, conns, spec.TargetConns)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

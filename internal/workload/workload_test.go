@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(SmallSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(SmallSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Parts) != len(b.Parts) || len(a.Nets) != len(b.Nets) {
+		t.Fatalf("runs differ: %d/%d parts, %d/%d nets", len(a.Parts), len(b.Parts), len(a.Nets), len(b.Nets))
+	}
+	for i := range a.Nets {
+		if a.Nets[i].Name != b.Nets[i].Name || len(a.Nets[i].Pins) != len(b.Nets[i].Pins) {
+			t.Fatalf("net %d differs", i)
+		}
+		for j := range a.Nets[i].Pins {
+			if a.Nets[i].Pins[j].Ref.Pos() != b.Nets[i].Pins[j].Ref.Pos() {
+				t.Fatalf("net %d pin %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	d, err := Generate(SmallSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("generated design invalid: %v", err)
+	}
+}
+
+func TestGenerateMeetsTarget(t *testing.T) {
+	spec := SmallSpec(2)
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := 0
+	for _, n := range d.Nets {
+		conns += len(n.Pins) - 1
+		if n.Tech == netlist.ECL {
+			conns++
+		}
+	}
+	if conns < spec.TargetConns {
+		t.Errorf("conns %d < target %d", conns, spec.TargetConns)
+	}
+}
+
+func TestNoPinReuseAcrossNets(t *testing.T) {
+	d, err := Generate(SmallSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for _, n := range d.Nets {
+		for _, p := range n.Pins {
+			key := p.Ref.String()
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("pin %s in nets %s and %s", key, prev, n.Name)
+			}
+			seen[key] = n.Name
+		}
+	}
+}
+
+func TestEveryNetHasOneOutputFirst(t *testing.T) {
+	d, err := Generate(SmallSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range d.Nets {
+		if len(n.Pins) < 2 {
+			t.Fatalf("net %s too small", n.Name)
+		}
+		if n.Pins[0].Func != netlist.Output {
+			t.Errorf("net %s does not start with an output", n.Name)
+		}
+	}
+}
+
+func TestBusNetsAreParallel(t *testing.T) {
+	spec := SmallSpec(6)
+	spec.BusFraction = 1.0
+	spec.TargetConns = 40
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All nets must be 2-pin, and consecutive nets of one bus shift both
+	// endpoints by the same offset (parallel bits).
+	for _, n := range d.Nets {
+		if len(n.Pins) != 2 {
+			t.Fatalf("bus net %s has %d pins", n.Name, len(n.Pins))
+		}
+	}
+	parallel := 0
+	for i := 1; i < len(d.Nets); i++ {
+		a0 := d.Nets[i-1].Pins[0].Ref.Pos()
+		a1 := d.Nets[i-1].Pins[1].Ref.Pos()
+		b0 := d.Nets[i].Pins[0].Ref.Pos()
+		b1 := d.Nets[i].Pins[1].Ref.Pos()
+		if b0.Sub(a0) == b1.Sub(a1) {
+			parallel++
+		}
+	}
+	if parallel == 0 {
+		t.Error("no parallel consecutive bus bits found")
+	}
+}
+
+func TestTable1SpecsComplete(t *testing.T) {
+	specs := Table1Specs()
+	if len(specs) != 9 {
+		t.Fatalf("%d specs, want 9 (Table 1 rows)", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		names[s.Name] = true
+	}
+	for _, want := range []string{"kdj11-2L", "kdj11-4L", "nmc-4L", "nmc-6L", "dpath", "coproc", "icache", "dcache", "tna"} {
+		if !names[want] {
+			t.Errorf("missing board %s", want)
+		}
+	}
+	if _, ok := Table1Spec("coproc"); !ok {
+		t.Error("Table1Spec lookup failed")
+	}
+	if _, ok := Table1Spec("nosuch"); ok {
+		t.Error("Table1Spec found a ghost")
+	}
+}
+
+func TestKdj11RowsShareBoards(t *testing.T) {
+	a, _ := Table1Spec("kdj11-2L")
+	b, _ := Table1Spec("kdj11-4L")
+	a.Name, b.Name = "", ""
+	a.Layers, b.Layers = 0, 0
+	if a != b {
+		t.Error("kdj11 rows should differ only in layer count")
+	}
+}
+
+func TestScale(t *testing.T) {
+	spec, _ := Table1Spec("coproc")
+	s := spec.Scale(2)
+	if s.ViaCols != spec.ViaCols/2 || s.TargetConns != spec.TargetConns/4 {
+		t.Errorf("scale wrong: %+v", s)
+	}
+	if !s.BestEffort {
+		t.Error("scaled specs must be best-effort")
+	}
+	if spec.Scale(1) != spec {
+		t.Error("Scale(1) must be identity")
+	}
+	if _, err := Generate(s.Scale(2)); err != nil {
+		t.Errorf("doubly scaled spec fails: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := Spec{ViaCols: 5, ViaRows: 5, Layers: 2, NetSizeMin: 2, NetSizeMax: 3}
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny board accepted")
+	}
+	bad = SmallSpec(1)
+	bad.Layers = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero layers accepted")
+	}
+	bad = SmallSpec(1)
+	bad.NetSizeMin = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("1-pin nets accepted")
+	}
+}
+
+func TestTTLFractionTagsParts(t *testing.T) {
+	spec := SmallSpec(7)
+	spec.TTLFraction = 0.5
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ecl, ttl int
+	for _, p := range d.Parts {
+		switch p.Tech {
+		case netlist.ECL:
+			ecl++
+		case netlist.TTL:
+			ttl++
+		}
+	}
+	if ecl == 0 || ttl == 0 {
+		t.Errorf("ecl=%d ttl=%d; want a mix", ecl, ttl)
+	}
+	// Nets must be technology-pure.
+	for _, n := range d.Nets {
+		for _, p := range n.Pins {
+			if p.Ref.Part.Tech != n.Tech {
+				t.Fatalf("net %s (%v) uses %v part", n.Name, n.Tech, p.Ref.Part.Tech)
+			}
+		}
+	}
+}
