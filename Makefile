@@ -1,0 +1,25 @@
+# Repo-wide checks. `make check` is what CI (and pre-commit discipline)
+# runs: vet, build everything, then the full test suite under the race
+# detector — the parallel Table 1 sweep only counts as exercised when it
+# runs race-clean.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -156,9 +156,11 @@ type chanOp struct {
 
 // channelTrace builds a deterministic router-like trace: bursts of nearby
 // probes with occasional inserts and removals, the cursor-friendly
-// pattern the paper describes.
-func channelTrace(length, n int) []chanOp {
-	rng := rand.New(rand.NewSource(99))
+// pattern the paper describes. The trace is a pure function of its own
+// local rng — never the global math/rand stream — so the two structure
+// benchmarks always replay identical operations.
+func channelTrace(seed int64, length, n int) []chanOp {
+	rng := rand.New(rand.NewSource(seed))
 	ops := make([]chanOp, 0, n)
 	center := length / 2
 	for len(ops) < n {
@@ -190,7 +192,7 @@ func channelTrace(length, n int) []chanOp {
 
 func BenchmarkChannel_List(b *testing.B) {
 	const length = 660 // a 22-inch board edge in grid units
-	ops := channelTrace(length, 4096)
+	ops := channelTrace(99, length, 4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l := layer.NewLayer(grid.Vertical, 0, 1, length)
@@ -212,7 +214,7 @@ func BenchmarkChannel_List(b *testing.B) {
 
 func BenchmarkChannel_Tree(b *testing.B) {
 	const length = 660
-	ops := channelTrace(length, 4096)
+	ops := channelTrace(99, length, 4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tc := layer.NewTreeChannel(length)
@@ -378,12 +380,12 @@ func BenchmarkRadius_3(b *testing.B) { benchBoard(b, "coproc", func(o *core.Opti
 // wires." The cost-function arm reproduces the rejected first
 // implementation.
 
-func tuningBoard(b *testing.B, tunedNets int) (*board.Board, *core.Router, *tuning.Tuner) {
+func tuningBoard(b *testing.B, seed int64, tunedNets int) (*board.Board, *core.Router, *tuning.Tuner) {
 	bd, err := board.New(grid.NewConfig(110, 110, 3, 4))
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(seed))
 	var conns []core.Connection
 	for i := 0; i < tunedNets; i++ {
 		for {
@@ -415,7 +417,7 @@ func tuningBoard(b *testing.B, tunedNets int) (*board.Board, *core.Router, *tuni
 func benchTuning(b *testing.B, nets int) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		_, _, tn := tuningBoard(b, nets)
+		_, _, tn := tuningBoard(b, 7, nets)
 		b.StartTimer()
 		results := tn.TuneAll()
 		b.StopTimer()
@@ -436,7 +438,7 @@ func BenchmarkTuning_Hundreds(b *testing.B) { benchTuning(b, 200) }
 func BenchmarkTuning_CostFunction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		_, r, tn := tuningBoard(b, 20)
+		_, r, tn := tuningBoard(b, 7, 20)
 		b.StartTimer()
 		ok, attempts := 0, 0
 		for ci := range r.Conns {

@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/board"
@@ -41,6 +44,7 @@ func main() {
 		svgDir = flag.String("svg-dir", "", "write figure SVGs (placement, problem, layers, routes) here")
 		table1 = flag.Bool("table1", false, "route every Table 1 board and print the table")
 		scale  = flag.Int("scale", 1, "with -table1: shrink boards by this factor")
+		jobs   = flag.Int("j", 1, "with -table1: boards routed concurrently (0 = one per CPU)")
 		check  = flag.Bool("check", true, "verify connectivity of every routed connection")
 		report = flag.Bool("report", false, "print the timing report and the 5 most critical nets")
 		runDRC = flag.Bool("drc", false, "run the design-rule checker on the routed board")
@@ -52,8 +56,14 @@ func main() {
 		sort   = flag.Bool("sort", true, "sort connections before routing (Section 6)")
 		cost   = flag.String("cost", "dist*hops", "Lee cost function: dist*hops, plus-one, distance")
 		bidi   = flag.Bool("bidirectional", true, "spread Lee wavefronts from both ends")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile here")
+		memprofile = flag.String("memprofile", "", "write a heap profile here on exit")
 	)
 	flag.Parse()
+
+	stopProfiles = startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	opts := core.DefaultOptions()
 	opts.Radius = *radius
@@ -71,7 +81,7 @@ func main() {
 	}
 
 	if *table1 {
-		rows, err := experiment.Table1(*scale, opts)
+		rows, err := experiment.Table1Parallel(*scale, opts, *jobs)
 		if err != nil {
 			fatal(err)
 		}
@@ -233,7 +243,54 @@ func main() {
 	}
 }
 
+// stopProfiles flushes any active profiles. fatal exits through os.Exit,
+// which skips deferred calls, so it flushes explicitly; sync.Once inside
+// keeps the success path's deferred call harmless after that.
+var stopProfiles = func() {}
+
+// startProfiles begins CPU profiling (if cpu is non-empty) and returns
+// an idempotent stop function that also snapshots the heap to mem (if
+// non-empty) after a final GC.
+func startProfiles(cpu, mem string) func() {
+	var stopCPU func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if stopCPU != nil {
+				stopCPU()
+			}
+			if mem == "" {
+				return
+			}
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "grr:", err)
+				return
+			}
+			runtime.GC() // fold pending garbage into accurate live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "grr:", err)
+			}
+			f.Close()
+		})
+	}
+}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "grr:", err)
 	os.Exit(1)
 }

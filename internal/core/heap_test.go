@@ -1,0 +1,102 @@
+package core
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// refHeap is a container/heap oracle with the exact (cost, seq) order the
+// typed leeHeap implements. Since seq is unique per push, the order is a
+// strict total order, so any correct heap must pop the same sequence.
+type refHeap []leeItem
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return leeItemLess(h[i], h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(leeItem)) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// TestLeeHeapMatchesContainerHeap fuzzes the typed heap against the
+// container/heap oracle with random push/pop interleavings: every pop
+// must return the identical item. This is the property that makes the
+// container/heap → leeHeap swap behavior-preserving for routing.
+func TestLeeHeapMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for trial := 0; trial < 50; trial++ {
+		var got leeHeap
+		ref := &refHeap{}
+		seq := 0
+		for op := 0; op < 400; op++ {
+			if got.len() == 0 || rng.Intn(3) != 0 {
+				it := leeItem{
+					cost: int64(rng.Intn(40)), // narrow range forces cost ties
+					seq:  seq,
+					p:    geom.Pt(rng.Intn(100), rng.Intn(100)),
+				}
+				seq++
+				got.push(it)
+				heap.Push(ref, it)
+				if got.top() != (*ref)[0] {
+					t.Fatalf("trial %d op %d: top %+v, oracle %+v", trial, op, got.top(), (*ref)[0])
+				}
+			} else {
+				g, w := got.pop(), heap.Pop(ref).(leeItem)
+				if g != w {
+					t.Fatalf("trial %d op %d: popped %+v, oracle popped %+v", trial, op, g, w)
+				}
+			}
+		}
+		for got.len() > 0 {
+			g, w := got.pop(), heap.Pop(ref).(leeItem)
+			if g != w {
+				t.Fatalf("trial %d drain: popped %+v, oracle popped %+v", trial, g, w)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: oracle still holds %d items", trial, ref.Len())
+		}
+	}
+}
+
+// TestLeeHeapSeqTieBreak pushes equal-cost items in shuffled order and
+// checks they pop in push (seq) order — the FIFO-among-ties rule the
+// original container/heap search relied on for deterministic expansion.
+func TestLeeHeapSeqTieBreak(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h leeHeap
+	perm := rng.Perm(64)
+	for _, s := range perm {
+		h.push(leeItem{cost: 17, seq: s, p: geom.Pt(s, s)})
+	}
+	for want := 0; want < 64; want++ {
+		it := h.pop()
+		if it.seq != want {
+			t.Fatalf("equal-cost items popped out of seq order: got seq %d, want %d", it.seq, want)
+		}
+	}
+}
+
+// TestLeeHeapReuseAfterReset verifies reset recycles the backing array:
+// steady-state searches must not re-grow the heap.
+func TestLeeHeapReuseAfterReset(t *testing.T) {
+	var h leeHeap
+	for i := 0; i < 1000; i++ {
+		h.push(leeItem{cost: int64(i % 13), seq: i})
+	}
+	h.reset()
+	if h.len() != 0 {
+		t.Fatalf("len after reset = %d", h.len())
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 1000; i++ {
+			h.push(leeItem{cost: int64((i * 7) % 13), seq: i})
+		}
+		h.reset()
+	})
+	if allocs != 0 {
+		t.Errorf("push after reset allocated %.1f times per refill; backing array not reused", allocs)
+	}
+}

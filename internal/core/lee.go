@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/layer"
@@ -18,6 +16,10 @@ import (
 //     blocked as soon as either wavefront exhausts;
 //  3. wavefronts are priority queues under a selectable cost function,
 //     trading the minimum-via guarantee for search speed.
+//
+// The search state (marks, heaps, ban set, goal table) lives in the
+// Router's searchScratch (scratch.go) and is reset generationally, so a
+// steady-state search allocates nothing per expanded node.
 
 // leeMark records how a via site was reached.
 type leeMark struct {
@@ -36,22 +38,6 @@ type leeItem struct {
 	p    geom.Point
 }
 
-type leeHeap []leeItem
-
-func (h leeHeap) Len() int { return len(h) }
-func (h leeHeap) Less(i, j int) bool {
-	if h[i].cost != h[j].cost {
-		return h[i].cost < h[j].cost
-	}
-	return h[i].seq < h[j].seq
-}
-func (h leeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *leeHeap) Push(x any)         { *h = append(*h, x.(leeItem)) }
-func (h *leeHeap) Pop() any           { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-func (h leeHeap) top() leeItem        { return h[0] }
-func (h *leeHeap) popItem() leeItem   { return heap.Pop(h).(leeItem) }
-func (h *leeHeap) pushItem(i leeItem) { heap.Push(h, i) }
-
 // hop is one single-layer link of a retraced path.
 type hop struct {
 	u, v  geom.Point
@@ -63,12 +49,13 @@ type hop struct {
 // call saw). Banned hops are skipped on the retry searches.
 type banSet map[hop]struct{}
 
-// leeSearch carries the state of one bidirectional search.
+// leeSearch carries the state of one bidirectional search. The heavy
+// stores are reached through sc; leeSearch itself is embedded in the
+// scratch and reset in place per search.
 type leeSearch struct {
 	r       *Router
+	sc      *searchScratch
 	sources [2]geom.Point
-	marks   map[geom.Point]leeMark
-	heaps   [2]leeHeap
 	banned  banSet
 	// best remembers the least-cost point ever inserted into each
 	// wavefront; when a wavefront exhausts, its best point made the most
@@ -81,21 +68,14 @@ type leeSearch struct {
 	costCap  int64 // abandon threshold; 0 = unlimited
 
 	// Delay-targeting mode for the rejected cost-function tuner
-	// (tunedlee.go). delayFs accumulates each mark's path delay in
-	// fixed-point picoseconds.
+	// (tunedlee.go). The per-point path delays live in the scratch's
+	// mark store, in fixed-point picoseconds.
 	tuned    bool
 	uni      bool // force a single wavefront regardless of router options
 	targetFs int64
 	cellFs   []int64
 	fastFs   int64
-	delayFs  map[geom.Point]int64
 	bridge   hop // set by chainThrough on a meet
-	// goalFrom defers the meet test to pop time in tuned mode: reaching
-	// a point of b's ring only completes the search when that point is
-	// popped in cost order, so the delay-targeting cost actually steers
-	// the path length. Keyed by the ring point; the value is the
-	// A-side hop that first reached it.
-	goalFrom map[geom.Point]hop
 }
 
 // neighborBox returns the box passed to sla.Vias when expanding p on a
@@ -138,7 +118,8 @@ func (r *Router) lee(i int) (Route, geom.Point, bool) {
 
 // leePts is lee for arbitrary endpoints.
 func (r *Router) leePts(a, b geom.Point, id layer.ConnID) (Route, geom.Point, bool) {
-	banned := make(banSet)
+	banned := r.scratch.banned
+	clear(banned)
 	const maxRetraceRetries = 6
 	for try := 0; ; try++ {
 		rt, failed, victim, ok := r.leeOnce(a, b, id, banned)
@@ -156,14 +137,8 @@ func (r *Router) leePts(a, b geom.Point, id layer.ConnID) (Route, geom.Point, bo
 // success; the hop whose retrace failed (nil if the search itself was
 // blocked); the rip-up victim point; success.
 func (r *Router) leeOnce(a, b geom.Point, id layer.ConnID, banned banSet) (Route, *hop, geom.Point, bool) {
-	s := &leeSearch{
-		r:       r,
-		sources: [2]geom.Point{a, b},
-		marks:   make(map[geom.Point]leeMark),
-		banned:  banned,
-	}
-	s.marks[a] = leeMark{from: a, side: 0}
-	s.marks[b] = leeMark{from: b, side: 1}
+	s := r.scratch.beginSearch(r, a, b)
+	s.banned = banned
 	if f := int64(r.Opts.CostCapFactor); f > 0 {
 		d0 := int64(a.ManhattanDist(b))
 		if r.Opts.Cost == CostPlusOne {
@@ -192,7 +167,7 @@ func (r *Router) leeOnce(a, b geom.Point, id layer.ConnID, banned banSet) (Route
 			r.metrics.LeeBlocked++
 			return Route{}, nil, s.victim(side), false
 		}
-		it := s.heaps[side].popItem()
+		it := s.sc.heaps[side].pop()
 		if s.costCap > 0 && it.cost > s.costCap {
 			// Every remaining entry on both heaps costs at least this
 			// much (pickSide chose the cheaper side): the search is
@@ -211,18 +186,19 @@ func (r *Router) leeOnce(a, b geom.Point, id layer.ConnID, banned banSet) (Route
 // entry costs less. It returns ok=false, naming the exhausted side, when
 // the search is blocked.
 func (s *leeSearch) pickSide() (int, bool) {
+	h := &s.sc.heaps
 	if !s.r.Opts.Bidirectional || s.uni {
-		if len(s.heaps[0]) == 0 {
+		if h[0].len() == 0 {
 			return 0, false
 		}
 		return 0, true
 	}
 	switch {
-	case len(s.heaps[0]) == 0:
+	case h[0].len() == 0:
 		return 0, false
-	case len(s.heaps[1]) == 0:
+	case h[1].len() == 0:
 		return 1, false
-	case s.heaps[0].top().cost <= s.heaps[1].top().cost:
+	case h[0].top().cost <= h[1].top().cost:
 		return 0, true
 	default:
 		return 1, true
@@ -244,31 +220,32 @@ func (s *leeSearch) victim(side int) geom.Point {
 // full via chain is returned.
 func (s *leeSearch) expand(p geom.Point, side int) (bool, []hop) {
 	r := s.r
+	sc := s.sc
 	target := s.sources[1-side]
-	hops := s.marks[p].hops + 1
-	viaFree := func(q geom.Point) bool { return r.B.ViaFree(q) }
+	pm, _ := sc.lookMark(p)
+	hops := pm.hops + 1
 
 	for li, l := range r.B.Layers {
 		box := r.neighborBox(p, l.Orient)
 		r.metrics.ViasCalls++
-		for _, n := range r.search.Vias(l, p, box, viaFree) {
+		for _, n := range r.search.Vias(l, p, box, r.viaFree) {
 			if _, bad := s.banned[hop{u: p, v: n, layer: li}]; bad {
 				continue
 			}
-			if m, marked := s.marks[n]; marked {
+			if m, marked := sc.lookMark(n); marked {
 				if int(m.side) != side {
 					if s.uni && s.tuned {
 						// Defer: queue the goal point under the tuned
 						// cost; the meet happens when it pops.
-						if _, seen := s.goalFrom[n]; !seen {
-							s.goalFrom[n] = hop{u: p, v: n, layer: li}
-							d := s.delayFs[p] + int64(p.ManhattanDist(n))*s.cellFs[li]
+						if _, seen := sc.goalFrom[n]; !seen {
+							sc.goalFrom[n] = hop{u: p, v: n, layer: li}
+							d := sc.delayOf(p) + int64(p.ManhattanDist(n))*s.cellFs[li]
 							est := d + int64(n.ManhattanDist(target))*s.fastFs - s.targetFs
 							if est < 0 {
 								est = -est
 							}
 							s.seq++
-							s.heaps[0].pushItem(leeItem{cost: est, seq: s.seq, p: n})
+							sc.heaps[0].push(leeItem{cost: est, seq: s.seq, p: n})
 						}
 						continue
 					}
@@ -278,11 +255,11 @@ func (s *leeSearch) expand(p geom.Point, side int) (bool, []hop) {
 				}
 				continue
 			}
-			s.marks[n] = leeMark{from: p, layer: int8(li), hops: hops, side: uint8(side)}
+			sc.setMark(n, leeMark{from: p, layer: int8(li), hops: hops, side: uint8(side)})
 			var cost int64
 			if s.tuned {
-				d := s.delayFs[p] + int64(p.ManhattanDist(n))*s.cellFs[li]
-				s.delayFs[n] = d
+				d := sc.delayOf(p) + int64(p.ManhattanDist(n))*s.cellFs[li]
+				sc.setDelay(n, d)
 				est := d + int64(n.ManhattanDist(target))*s.fastFs - s.targetFs
 				if est < 0 {
 					est = -est
@@ -296,7 +273,7 @@ func (s *leeSearch) expand(p geom.Point, side int) (bool, []hop) {
 			}
 			if side == 0 || (r.Opts.Bidirectional && !s.uni) {
 				s.seq++
-				s.heaps[side].pushItem(leeItem{cost: cost, seq: s.seq, p: n})
+				sc.heaps[side].push(leeItem{cost: cost, seq: s.seq, p: n})
 			}
 		}
 	}
@@ -313,7 +290,7 @@ func (s *leeSearch) chainThrough(p, n geom.Point, li, side int) []hop {
 	walk := func(q geom.Point) []hop {
 		var hs []hop
 		for {
-			m := s.marks[q]
+			m, _ := s.sc.lookMark(q)
 			if m.from == q {
 				return hs
 			}

@@ -80,23 +80,26 @@ func (r *Router) oneViaPts(a, b geom.Point, id layer.ConnID) (Route, bool) {
 		cfg.NearestViaSite(geom.Pt(a.X, b.Y)),
 	}
 
-	tried := make(map[geom.Point]struct{}, 2*(2*rad+1)*(2*rad+1))
+	// Candidate dedup runs on the scratch's generation-stamped dense
+	// store instead of a per-call map: oneVia is probed for nearly every
+	// connection, so the map allocation was pure routing overhead.
+	sc := &r.scratch
+	sc.beginVisited()
 	for d := 0; d <= 2*rad; d++ {
 		for dx := -rad; dx <= rad; dx++ {
 			dy := d - absInt(dx)
 			if dy < 0 || dy > rad {
 				continue
 			}
-			for _, sy := range []int{1, -1} {
+			for _, sy := range [2]int{1, -1} {
 				if dy == 0 && sy == -1 {
 					continue
 				}
 				for _, corner := range corners {
 					v := geom.Pt(corner.X+dx*pitch, corner.Y+sy*dy*pitch)
-					if _, dup := tried[v]; dup {
+					if !sc.tryVisit(v) {
 						continue
 					}
-					tried[v] = struct{}{}
 					if rt, ok := r.tryOneViaCandidate(a, b, id, v, bounds); ok {
 						return rt, true
 					}

@@ -23,6 +23,12 @@ type Router struct {
 	ripped  map[int]rippedRoute
 	search  *sla.Searcher
 	metrics Metrics
+
+	// scratch is the reusable Lee/one-via search state (scratch.go);
+	// viaFree caches the B.ViaFree method value so the hot expansion
+	// loop does not materialize a new closure per call.
+	scratch searchScratch
+	viaFree func(geom.Point) bool
 }
 
 // New builds a router for the given board and connections. The
@@ -61,6 +67,8 @@ func New(b *board.Board, conns []Connection, opts Options) (*Router, error) {
 	r.ripped = make(map[int]rippedRoute)
 	r.search = sla.NewSearcher(b.Cfg)
 	r.order = SortOrder(b, r.Conns, opts.Sort)
+	r.scratch.init(b.Cfg)
+	r.viaFree = b.ViaFree
 	return r, nil
 }
 

@@ -55,7 +55,8 @@ func (r *Router) TunedLee(i int, targetPs, tolPs float64, cellPs []float64, maxA
 	}
 
 	res := TunedLeeResult{}
-	banned := make(banSet)
+	banned := r.scratch.banned
+	clear(banned)
 	for res.Attempts < maxAttempts {
 		res.Attempts++
 		rt, failedHop, _, ok := r.tunedLeeOnce(c.A, c.B, id, banned, targetFs, cellFs, fastFs)
@@ -98,21 +99,12 @@ func (r *Router) tunedLeeOnce(a, b geom.Point, id layer.ConnID, banned banSet,
 	// near-minimal path no matter the target. With a single wavefront,
 	// b's one-hop ring acts as the goal set and points are only expanded
 	// in target-cost order.
-	s := &leeSearch{
-		r:        r,
-		sources:  [2]geom.Point{a, b},
-		marks:    make(map[geom.Point]leeMark),
-		banned:   banned,
-		tuned:    true,
-		uni:      true,
-		targetFs: targetFs,
-		cellFs:   cellFs,
-		fastFs:   fastFs,
-		delayFs:  make(map[geom.Point]int64),
-		goalFrom: make(map[geom.Point]hop),
-	}
-	s.marks[a] = leeMark{from: a, side: 0}
-	s.marks[b] = leeMark{from: b, side: 1}
+	sc := &r.scratch
+	s := sc.beginSearch(r, a, b)
+	s.banned = banned
+	s.tuned, s.uni = true, true
+	s.targetFs, s.cellFs, s.fastFs = targetFs, cellFs, fastFs
+	clear(sc.goalFrom)
 
 	finish := func(chain []hop) (Route, *hop, geom.Point, bool) {
 		rt, failed, victim, ok := r.retrace(a, b, id, chain)
@@ -136,11 +128,13 @@ func (r *Router) tunedLeeOnce(a, b geom.Point, id layer.ConnID, banned banSet,
 		if !ok {
 			return Route{}, nil, s.victim(side), false
 		}
-		it := s.heaps[side].popItem()
-		if gf, isGoal := s.goalFrom[it.p]; isGoal && s.marks[it.p].side == 1 {
-			// A b-ring point popped in cost order: the path delay is as
-			// close to the target as the frontier allows.
-			return finish(s.chainThrough(gf.u, it.p, gf.layer, 0))
+		it := sc.heaps[side].pop()
+		if gf, isGoal := sc.goalFrom[it.p]; isGoal {
+			if m, _ := sc.lookMark(it.p); m.side == 1 {
+				// A b-ring point popped in cost order: the path delay is
+				// as close to the target as the frontier allows.
+				return finish(s.chainThrough(gf.u, it.p, gf.layer, 0))
+			}
 		}
 		r.metrics.LeeExpansions++
 		if meet, chain := s.expand(it.p, side); meet {

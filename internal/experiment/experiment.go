@@ -6,6 +6,8 @@
 package experiment
 
 import (
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/board"
@@ -78,13 +80,53 @@ func (r *Run) Row() stats.Row {
 // Table1 routes every Table 1 board (optionally scaled down by div > 1)
 // and returns the rows in the paper's order.
 func Table1(div int, opts core.Options) ([]stats.Row, error) {
-	var rows []stats.Row
-	for _, spec := range workload.Table1Specs() {
-		run, err := RouteSpec(spec.Scale(div), opts)
+	return Table1Parallel(div, opts, 1)
+}
+
+// Table1Parallel is Table1 with the boards spread over up to workers
+// goroutines. The boards are independent problems and every worker
+// routes on its own Board/Router/Searcher, so the sweep shares nothing
+// but the job queue; each board's result is identical to a sequential
+// run. Rows still come back in the paper's order regardless of which
+// worker finished first. workers <= 0 means one worker per available
+// CPU.
+func Table1Parallel(div int, opts core.Options, workers int) ([]stats.Row, error) {
+	specs := workload.Table1Specs()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	rows := make([]stats.Row, len(specs))
+	errs := make([]error, len(specs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run, err := RouteSpec(specs[i].Scale(div), opts)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				rows[i] = run.Row()
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, run.Row())
 	}
 	return rows, nil
 }

@@ -49,6 +49,33 @@ func TestScaledTable1RunsQuickly(t *testing.T) {
 	}
 }
 
+// TestTable1ParallelMatchesSequential checks that spreading the sweep
+// over goroutines changes nothing but wall time: every board routes on
+// its own Board/Router, so each row must be field-for-field identical to
+// the sequential run (Elapsed excepted — it is the one nondeterministic
+// column).
+func TestTable1ParallelMatchesSequential(t *testing.T) {
+	opts := core.DefaultOptions()
+	seq, err := Table1(6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table1Parallel(6, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel returned %d rows, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		a.Elapsed, b.Elapsed = 0, 0
+		if a != b {
+			t.Errorf("row %d differs:\n sequential %+v\n parallel   %+v", i, a, b)
+		}
+	}
+}
+
 // TestTable1Shape runs the full-size Table 1 and asserts the paper's
 // qualitative results (~15 s; skipped with -short):
 //

@@ -15,11 +15,10 @@
 package sla
 
 import (
-	"sort"
-
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/layer"
+	"sort"
 )
 
 // Run is one materializable piece of a trace: an occupied interval of one
@@ -51,6 +50,7 @@ type Searcher struct {
 	outVias  []geom.Point
 	outConns []layer.ConnID
 	nbuf     []node
+	sbuf     []node // start nodes; separate from nbuf, which Trace's DFS owns
 	viaFree  func(geom.Point) bool
 	seenConn map[layer.ConnID]struct{}
 }
@@ -166,6 +166,11 @@ func (s *Searcher) Trace(l *layer.Layer, a, b geom.Point, box geom.Rect) ([]Run,
 				return true
 			})
 		}
+		// Candidate lists here can exceed a dozen entries, and the exact
+		// permutation sort.Slice gives equal-distance candidates steers
+		// the DFS; replacing it with a differently tie-ordered sort
+		// changes route choices (and so the recorded Table 1 metrics)
+		// even though any order is "correct".
 		cand := s.nbuf[base:]
 		sort.Slice(cand, func(i, j int) bool {
 			di := absInt(cand[i].ch-dstCh) + cand[i].eff.DistTo(dstPos)
@@ -184,10 +189,13 @@ func (s *Searcher) Trace(l *layer.Layer, a, b geom.Point, box geom.Rect) ([]Run,
 	}
 
 	s.nbuf = s.nbuf[:0]
-	starts := s.startNodes(nil, a)
-	sort.Slice(starts, func(i, j int) bool {
-		return starts[i].eff.DistTo(dstPos) < starts[j].eff.DistTo(dstPos)
-	})
+	s.sbuf = s.startNodes(s.sbuf[:0], a)
+	starts := s.sbuf
+	for i := 1; i < len(starts); i++ {
+		for j := i; j > 0 && starts[j].eff.DistTo(dstPos) < starts[j-1].eff.DistTo(dstPos); j-- {
+			starts[j], starts[j-1] = starts[j-1], starts[j]
+		}
+	}
 	for _, st := range starts {
 		if dfs(st) {
 			reverse(s.path) // built during unwinding, b-end first
@@ -260,9 +268,11 @@ func (s *Searcher) Vias(l *layer.Layer, a geom.Point, box geom.Rect, viaFree fun
 	s.outVias = s.outVias[:0]
 	s.viaFree = viaFree
 
-	s.nbuf = s.nbuf[:0]
-	starts := s.startNodes(nil, a)
-	for _, st := range starts {
+	// viasDFS never touches nbuf, so the start nodes can live in it
+	// directly; startNodes(nil, ...) would allocate a fresh slice on
+	// every call, and Vias runs once per layer per wavefront expansion.
+	s.nbuf = s.startNodes(s.nbuf[:0], a)
+	for _, st := range s.nbuf {
 		s.viasDFS(st)
 	}
 	return s.outVias
@@ -324,8 +334,8 @@ func (s *Searcher) Obstructions(l *layer.Layer, a geom.Point, box geom.Rect) []l
 			return true
 		})
 	}
-	s.nbuf = s.nbuf[:0]
-	for _, st := range s.startNodes(nil, a) {
+	s.nbuf = s.startNodes(s.nbuf[:0], a)
+	for _, st := range s.nbuf {
 		s.obstructionsDFS(st)
 	}
 	return s.outConns
