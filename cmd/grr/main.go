@@ -7,18 +7,36 @@
 //
 //	grr -design coproc.brd -routes coproc.rte -svg-dir figs/
 //	grr -design coproc.brd -conns coproc.con
+//	grr -design coproc.brd -time-budget 30s -node-budget 50000
 //	grr -table1            # regenerate the paper's Table 1 end to end
 //	grr -table1 -scale 2   # quick, reduced-size variant
+//
+// Exit codes:
+//
+//	0  every connection routed and (with -check) verified
+//	1  internal error: bad input, I/O failure, failed verification
+//	2  usage error
+//	3  incomplete but consistent: the route ran out of budget, was
+//	   interrupted, or left connections unrouted, yet the board state
+//	   is valid and any requested artifacts were still written
+//
+// SIGINT/SIGTERM cancel the route at its next checkpoint; the partial
+// result is reported and artifacts are written, exactly as when a
+// -time-budget expires.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/board"
@@ -27,6 +45,7 @@ import (
 	"repro/internal/drc"
 	"repro/internal/experiment"
 	"repro/internal/grid"
+	"repro/internal/netlist"
 	"repro/internal/photoplot"
 	"repro/internal/render"
 	"repro/internal/stats"
@@ -36,7 +55,16 @@ import (
 	"repro/internal/verify"
 )
 
-func main() {
+const (
+	exitOK         = 0
+	exitInternal   = 1
+	exitUsage      = 2
+	exitIncomplete = 3
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		design = flag.String("design", "", "input .brd design")
 		connsF = flag.String("conns", "", "pre-strung .con connection list (default: string the design's nets)")
@@ -44,7 +72,7 @@ func main() {
 		svgDir = flag.String("svg-dir", "", "write figure SVGs (placement, problem, layers, routes) here")
 		table1 = flag.Bool("table1", false, "route every Table 1 board and print the table")
 		scale  = flag.Int("scale", 1, "with -table1: shrink boards by this factor")
-		jobs   = flag.Int("j", 1, "with -table1: boards routed concurrently (0 = one per CPU)")
+		jobs   = flag.Int("j", 1, "with -table1: boards routed concurrently (0 = one worker per CPU, capped at the board count)")
 		check  = flag.Bool("check", true, "verify connectivity of every routed connection")
 		report = flag.Bool("report", false, "print the timing report and the 5 most critical nets")
 		runDRC = flag.Bool("drc", false, "run the design-rule checker on the routed board")
@@ -57,18 +85,31 @@ func main() {
 		cost   = flag.String("cost", "dist*hops", "Lee cost function: dist*hops, plus-one, distance")
 		bidi   = flag.Bool("bidirectional", true, "spread Lee wavefronts from both ends")
 
+		timeBudget = flag.Duration("time-budget", 0, "stop routing after this much wall-clock time (0 = none); partial results exit 3")
+		nodeBudget = flag.Int("node-budget", 0, "fail any connection whose search expands more than this many nodes (0 = none)")
+		paranoid   = flag.Bool("paranoid", false, "audit board invariants between routing passes; a broken invariant aborts with exit 1")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile here")
 		memprofile = flag.String("memprofile", "", "write a heap profile here on exit")
 	)
 	flag.Parse()
 
-	stopProfiles = startProfiles(*cpuprofile, *memprofile)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return fail(err)
+	}
 	defer stopProfiles()
 
 	opts := core.DefaultOptions()
 	opts.Radius = *radius
 	opts.Sort = *sort
 	opts.Bidirectional = *bidi
+	opts.TimeBudget = *timeBudget
+	opts.NodeBudget = *nodeBudget
+	opts.Paranoid = *paranoid
 	switch *cost {
 	case "dist*hops":
 		opts.Cost = core.CostDistTimesHops
@@ -77,82 +118,131 @@ func main() {
 	case "distance":
 		opts.Cost = core.CostDistance
 	default:
-		fatal(fmt.Errorf("unknown cost function %q", *cost))
+		fmt.Fprintf(os.Stderr, "grr: unknown cost function %q\n", *cost)
+		return exitUsage
 	}
 
 	if *table1 {
-		rows, err := experiment.Table1Parallel(*scale, opts, *jobs)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(stats.FormatTable(rows))
-		return
+		return runTable1(ctx, *scale, opts, *jobs)
 	}
-
 	if *design == "" {
 		fmt.Fprintln(os.Stderr, "grr: -design or -table1 is required")
-		os.Exit(2)
+		return exitUsage
 	}
-	f, err := os.Open(*design)
-	if err != nil {
-		fatal(err)
+	return runSingle(ctx, singleConfig{
+		design: *design, connsF: *connsF, routes: *routes, svgDir: *svgDir,
+		gerber: *gerber, trees: *trees, check: *check, report: *report,
+		runDRC: *runDRC, congst: *congst,
+	}, opts)
+}
+
+// runTable1 sweeps the Table 1 boards. Boards that failed outright are
+// reported to stderr and drop out of the table; boards the context or a
+// budget cut short stay in the table with their partial counts.
+func runTable1(ctx context.Context, scale int, opts core.Options, jobs int) int {
+	rows, err := experiment.Table1ParallelContext(ctx, scale, opts, jobs)
+
+	printable := rows[:0:0]
+	incomplete := 0
+	for _, r := range rows {
+		if r.Board == "" {
+			continue // failed board; its error is in err
+		}
+		printable = append(printable, r)
+		if r.Routed < r.Conns {
+			incomplete++
+		}
 	}
-	d, err := boardio.ReadDesign(f)
-	f.Close()
+	fmt.Print(stats.FormatTable(printable))
+
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "grr:", err)
+		return exitInternal
+	}
+	if incomplete > 0 {
+		fmt.Fprintf(os.Stderr, "grr: %d board(s) incomplete\n", incomplete)
+		return exitIncomplete
+	}
+	return exitOK
+}
+
+type singleConfig struct {
+	design, connsF, routes, svgDir, gerber string
+	trees, check, report, runDRC, congst   bool
+}
+
+// runSingle routes one design. Artifacts (.rte, SVGs, photoplots) are
+// written even when the route is aborted or incomplete — a partial
+// result the operator can inspect beats an empty directory.
+func runSingle(ctx context.Context, cfg singleConfig, opts core.Options) int {
+	d, err := readDesign(cfg.design)
+	if err != nil {
+		return fail(err)
 	}
 
 	b, err := board.New(d.GridConfig())
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if err := d.PlacePins(b); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	var conns []core.Connection
-	if *connsF != "" {
-		cf, err := os.Open(*connsF)
+	if cfg.connsF != "" {
+		cf, err := os.Open(cfg.connsF)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		conns, err = boardio.ReadConnections(cf)
 		cf.Close()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	} else {
-		sr, err := stringer.String(d, stringer.Options{Trees: *trees})
+		sr, err := stringer.String(d, stringer.Options{Trees: cfg.trees})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		conns = sr.Conns
 	}
 
 	r, err := core.New(b, conns, opts)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	start := time.Now()
-	res := r.Route()
+	res := r.RouteContext(ctx)
 	elapsed := time.Since(start)
 
 	row := stats.NewRow(d, b, conns, res, elapsed)
 	fmt.Println(stats.Header())
 	fmt.Println(row.Format())
-	if !res.Complete() {
+	if res.Aborted != core.AbortNone {
+		fmt.Printf("aborted: %s\n", res.Aborted)
+	}
+	if len(res.FailedConns) > 0 {
 		fmt.Printf("unrouted: %d connections\n", len(res.FailedConns))
 	}
 
-	if *check {
-		if err := verify.Routed(b, r); err != nil {
-			fatal(fmt.Errorf("verification failed: %w", err))
-		}
-		fmt.Println("connectivity verified")
+	code := exitOK
+	if res.Aborted == core.AbortInvariant {
+		fmt.Fprintln(os.Stderr, "grr: invariant broken:", res.Invariant)
+		code = exitInternal
+	} else if !res.Complete() {
+		code = exitIncomplete
 	}
 
-	if *report {
+	if cfg.check {
+		if err := verify.Routed(b, r); err != nil {
+			fmt.Fprintln(os.Stderr, "grr: verification failed:", err)
+			code = exitInternal
+		} else {
+			fmt.Println("connectivity verified")
+		}
+	}
+
+	if cfg.report {
 		model := tuning.DefaultSpeeds(b.NumLayers())
 		reports := timing.Analyze(b, r, model)
 		fmt.Println("\ncritical paths:")
@@ -162,12 +252,12 @@ func main() {
 		}
 	}
 
-	if *congst {
+	if cfg.congst {
 		fmt.Println("\nchannel occupancy (8x8 via-unit regions):")
 		fmt.Print(stats.MeasureCongestion(b, 8).Heatmap())
 	}
 
-	if *runDRC {
+	if cfg.runDRC {
 		violations := drc.Check(b, grid.DefaultProcess)
 		if len(violations) == 0 {
 			fmt.Println("drc clean")
@@ -178,88 +268,119 @@ func main() {
 		}
 	}
 
-	if *gerber != "" {
-		if err := os.MkdirAll(*gerber, 0o755); err != nil {
-			fatal(err)
+	if cfg.gerber != "" {
+		if err := writeGerber(cfg.gerber, b, r); err != nil {
+			return fail(err)
 		}
-		for li := range b.Layers {
-			path := filepath.Join(*gerber, fmt.Sprintf("layer%d.gbr", li))
-			f, err := os.Create(path)
-			if err != nil {
-				fatal(err)
-			}
-			if err := photoplot.WriteLayer(f, b, r, li); err != nil {
-				fatal(err)
-			}
-			f.Close()
-			fmt.Println("wrote", path)
-		}
-		drillPath := filepath.Join(*gerber, "board.drl")
-		f, err := os.Create(drillPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := photoplot.WriteDrill(f, b); err != nil {
-			fatal(err)
-		}
-		f.Close()
-		fmt.Println("wrote", drillPath)
 	}
 
-	if *routes != "" {
-		rf, err := os.Create(*routes)
-		if err != nil {
-			fatal(err)
+	if cfg.routes != "" {
+		if err := writeFile(cfg.routes, func(w io.Writer) error {
+			return boardio.WriteRoutes(w, r)
+		}); err != nil {
+			return fail(err)
 		}
-		if err := boardio.WriteRoutes(rf, r); err != nil {
-			fatal(err)
-		}
-		rf.Close()
 	}
 
-	if *svgDir != "" {
-		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			fatal(err)
+	if cfg.svgDir != "" {
+		if err := writeSVGs(cfg.svgDir, d, b, r, conns); err != nil {
+			return fail(err)
 		}
-		emit := func(name string, draw func(w *os.File) error) {
-			path := filepath.Join(*svgDir, name)
-			file, err := os.Create(path)
-			if err != nil {
-				fatal(err)
-			}
-			if err := draw(file); err != nil {
-				fatal(err)
-			}
-			file.Close()
-			fmt.Println("wrote", path)
-		}
-		emit("placement.svg", func(w *os.File) error { return render.Placement(w, d) })
-		emit("problem.svg", func(w *os.File) error { return render.Problem(w, b, conns) })
-		for li := range b.Layers {
-			li := li
-			emit(fmt.Sprintf("layer%d.svg", li), func(w *os.File) error { return render.SignalLayer(w, b, li) })
-		}
-		emit("routes.svg", func(w *os.File) error { return render.Routes(w, b, r) })
 	}
+	return code
 }
 
-// stopProfiles flushes any active profiles. fatal exits through os.Exit,
-// which skips deferred calls, so it flushes explicitly; sync.Once inside
-// keeps the success path's deferred call harmless after that.
-var stopProfiles = func() {}
+func readDesign(path string) (*netlist.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return boardio.ReadDesign(f)
+}
+
+func writeGerber(dir string, b *board.Board, r *core.Router) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for li := range b.Layers {
+		path := filepath.Join(dir, fmt.Sprintf("layer%d.gbr", li))
+		if err := writeFile(path, func(w io.Writer) error {
+			return photoplot.WriteLayer(w, b, r, li)
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	drillPath := filepath.Join(dir, "board.drl")
+	if err := writeFile(drillPath, func(w io.Writer) error {
+		return photoplot.WriteDrill(w, b)
+	}); err != nil {
+		return err
+	}
+	fmt.Println("wrote", drillPath)
+	return nil
+}
+
+func writeSVGs(dir string, d *netlist.Design, b *board.Board, r *core.Router, conns []core.Connection) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	emit := func(name string, draw func(w io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		if err := writeFile(path, draw); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	if err := emit("placement.svg", func(w io.Writer) error { return render.Placement(w, d) }); err != nil {
+		return err
+	}
+	if err := emit("problem.svg", func(w io.Writer) error { return render.Problem(w, b, conns) }); err != nil {
+		return err
+	}
+	for li := range b.Layers {
+		li := li
+		if err := emit(fmt.Sprintf("layer%d.svg", li), func(w io.Writer) error { return render.SignalLayer(w, b, li) }); err != nil {
+			return err
+		}
+	}
+	return emit("routes.svg", func(w io.Writer) error { return render.Routes(w, b, r) })
+}
+
+// writeFile creates path and runs write against it, reporting creation,
+// write and close errors alike; the handle never leaks, even when write
+// fails. Close errors matter here: every artifact goes through buffered
+// writers whose final flush can be the first to see a full disk.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
 
 // startProfiles begins CPU profiling (if cpu is non-empty) and returns
 // an idempotent stop function that also snapshots the heap to mem (if
 // non-empty) after a final GC.
-func startProfiles(cpu, mem string) func() {
+func startProfiles(cpu, mem string) (func(), error) {
 	var stopCPU func()
 	if cpu != "" {
 		f, err := os.Create(cpu)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			f.Close()
+			return nil, err
 		}
 		stopCPU = func() {
 			pprof.StopCPUProfile()
@@ -275,22 +396,18 @@ func startProfiles(cpu, mem string) func() {
 			if mem == "" {
 				return
 			}
-			f, err := os.Create(mem)
+			err := writeFile(mem, func(w io.Writer) error {
+				runtime.GC() // fold pending garbage into accurate live-heap numbers
+				return pprof.WriteHeapProfile(w)
+			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "grr:", err)
-				return
 			}
-			runtime.GC() // fold pending garbage into accurate live-heap numbers
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "grr:", err)
-			}
-			f.Close()
 		})
-	}
+	}, nil
 }
 
-func fatal(err error) {
-	stopProfiles()
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "grr:", err)
-	os.Exit(1)
+	return exitInternal
 }

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// grrBin is the binary under test, built once by TestMain.
+var grrBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "grr-test")
+	if err != nil {
+		panic(err)
+	}
+	grrBin = filepath.Join(dir, "grr")
+	if out, err := exec.Command("go", "build", "-o", grrBin, ".").CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		panic("building grr: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// a small but non-trivial design every CLI test shares.
+const testDesign = `board cli-test 12 12 2 3
+package dip4 0 0,0 1,0 0,1 1,1
+part u1 dip4 1 1 TTL
+part u2 dip4 8 8 TTL
+part u3 dip4 1 8 TTL
+net n1 TTL 0 u1.1/out u2.2/in
+net n2 TTL 0 u1.4/out u3.1/in
+net n3 TTL 0 u3.4/out u2.1/in
+`
+
+func writeDesignFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.brd")
+	if err := os.WriteFile(path, []byte(testDesign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runGrr executes the binary and returns (combined output, exit code).
+func runGrr(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(grrBin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var ee *exec.ExitError
+	if !asExitError(err, &ee) {
+		t.Fatalf("running grr: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func asExitError(err error, target **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*target = ee
+	}
+	return ok
+}
+
+func TestExitUsageWithoutDesign(t *testing.T) {
+	out, code := runGrr(t)
+	if code != exitUsage {
+		t.Fatalf("exit code = %d, want %d\n%s", code, exitUsage, out)
+	}
+	if !strings.Contains(out, "-design or -table1") {
+		t.Errorf("usage message missing: %s", out)
+	}
+}
+
+func TestExitOKWritesArtifacts(t *testing.T) {
+	brd := writeDesignFile(t)
+	rte := filepath.Join(t.TempDir(), "out.rte")
+	out, code := runGrr(t, "-design", brd, "-routes", rte)
+	if code != exitOK {
+		t.Fatalf("exit code = %d, want %d\n%s", code, exitOK, out)
+	}
+	if !strings.Contains(out, "connectivity verified") {
+		t.Errorf("verification line missing: %s", out)
+	}
+	data, err := os.ReadFile(rte)
+	if err != nil {
+		t.Fatalf("routes artifact not written: %v", err)
+	}
+	if !strings.Contains(string(data), "route 0") {
+		t.Errorf(".rte content looks wrong: %q", data)
+	}
+}
+
+// TestExitIncompleteOnTimeBudget is the CLI half of the issue's
+// acceptance scenario: an expired budget must exit 3 — incomplete but
+// consistent — and still write the requested artifacts for inspection.
+func TestExitIncompleteOnTimeBudget(t *testing.T) {
+	brd := writeDesignFile(t)
+	rte := filepath.Join(t.TempDir(), "out.rte")
+	out, code := runGrr(t, "-design", brd, "-routes", rte, "-time-budget", "1ns")
+	if code != exitIncomplete {
+		t.Fatalf("exit code = %d, want %d\n%s", code, exitIncomplete, out)
+	}
+	if !strings.Contains(out, "aborted: time budget exhausted") {
+		t.Errorf("abort reason missing from output: %s", out)
+	}
+	if !strings.Contains(out, "connectivity verified") {
+		t.Errorf("partial board failed verification: %s", out)
+	}
+	if _, err := os.Stat(rte); err != nil {
+		t.Errorf("partial .rte artifact not written: %v", err)
+	}
+}
+
+func TestExitUsageOnBadCost(t *testing.T) {
+	brd := writeDesignFile(t)
+	out, code := runGrr(t, "-design", brd, "-cost", "bogus")
+	if code != exitUsage {
+		t.Fatalf("exit code = %d, want %d\n%s", code, exitUsage, out)
+	}
+}
+
+func TestParanoidFlagCleanRun(t *testing.T) {
+	brd := writeDesignFile(t)
+	out, code := runGrr(t, "-design", brd, "-paranoid")
+	if code != exitOK {
+		t.Fatalf("paranoid clean run exit code = %d, want %d\n%s", code, exitOK, out)
+	}
+}
+
+func TestNodeBudgetFlagAccepted(t *testing.T) {
+	brd := writeDesignFile(t)
+	out, code := runGrr(t, "-design", brd, "-node-budget", "100000")
+	if code != exitOK {
+		t.Fatalf("node-budget run exit code = %d, want %d\n%s", code, exitOK, out)
+	}
+}

@@ -30,7 +30,26 @@ type Board struct {
 	// them — it is indexed by via coordinates — so the power-plane
 	// generator consults this list separately.
 	OffGridHoles []geom.Point
+
+	// interposer, when set, may veto mutations (see Interpose).
+	interposer Interposer
 }
+
+// Interposer intercepts board mutations before they are applied. A
+// vetoed AddSegment returns nil and a vetoed PlaceVia returns false —
+// indistinguishable from a genuine collision, which is the point: the
+// internal/faultinject package uses the seam to drive the router's
+// rollback, put-back-denied and re-route paths on a deterministic
+// schedule. Removals are never intercepted (they cannot fail), so a veto
+// can never corrupt board state. Production boards leave it unset; the
+// cost is one nil check per mutation.
+type Interposer interface {
+	AllowAddSegment(li, ch, lo, hi int, owner layer.ConnID) bool
+	AllowPlaceVia(p geom.Point, owner layer.ConnID) bool
+}
+
+// Interpose installs the mutation interposer; nil removes it.
+func (b *Board) Interpose(i Interposer) { b.interposer = i }
 
 // New builds an empty board for the given configuration.
 func New(cfg grid.Config) (*Board, error) {
@@ -66,6 +85,9 @@ func (b *Board) NumLayers() int { return len(b.Layers) }
 // and updates the via map for every via site the segment covers. It
 // returns nil if the space is not free.
 func (b *Board) AddSegment(li, ch, lo, hi int, owner layer.ConnID) *layer.Segment {
+	if b.interposer != nil && !b.interposer.AllowAddSegment(li, ch, lo, hi, owner) {
+		return nil
+	}
 	s := b.Layers[li].Add(ch, lo, hi, owner)
 	if s != nil {
 		b.bumpVias(li, ch, lo, hi, +1)
@@ -134,6 +156,9 @@ type PlacedVia struct {
 // every signal layer, since a hole potentially connects all layers. It
 // returns false without side effects if any layer is blocked at p.
 func (b *Board) PlaceVia(p geom.Point, owner layer.ConnID) (PlacedVia, bool) {
+	if b.interposer != nil && !b.interposer.AllowPlaceVia(p, owner) {
+		return PlacedVia{}, false
+	}
 	pv := PlacedVia{At: p, Segs: make([]*layer.Segment, 0, len(b.Layers))}
 	for li, l := range b.Layers {
 		ch, pos := b.Cfg.ChanPos(l.Orient, p)

@@ -99,6 +99,12 @@ func ReadDesign(r io.Reader) (*netlist.Design, error) {
 			if d.Pitch, err = strconv.Atoi(f[5]); err != nil {
 				return nil, fail(err.Error())
 			}
+			// Geometry must be positive: a design with, say, -3 layers
+			// parses numerically but poisons every later grid/board
+			// computation (found by FuzzReadDesign).
+			if d.ViaCols < 1 || d.ViaRows < 1 || d.Layers < 1 || d.Pitch < 1 {
+				return nil, fail("board dimensions must be positive")
+			}
 		case "package":
 			if len(f) < 4 {
 				return nil, fail("package needs name terminator offsets...")

@@ -1,0 +1,80 @@
+package boardio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDesign asserts the .brd parser never panics and that every
+// accepted design survives a write/re-read round trip. The parser is
+// pure (no board allocation), so arbitrary dimensions cannot OOM the
+// fuzzer — ReadDesign must reject anything a later board.New would
+// choke on.
+func FuzzReadDesign(f *testing.F) {
+	f.Add("board b1 8 8 2 3\n")
+	f.Add("board b1 8 8 2 3\npackage dip 0 0,0 1,0\npart u1 dip 1 1 TTL\npart u2 dip 4 4 ECL\nnet n1 TTL 0 u1.1/out u2.2/in\n")
+	f.Add("# comment\n\nboard x 2 2 1 3\n")
+	f.Add("board b -3 5 2 3\n")
+	f.Add("board b 5 5 -2 3\npart")
+	f.Add("net n TTL 1e309 a.1/out\n")
+	f.Add("package p 1 9999999999999999999,0\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadDesign(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		if d.ViaCols < 1 || d.ViaRows < 1 || d.Layers < 1 || d.Pitch < 1 {
+			t.Fatalf("accepted non-positive geometry: %dx%d layers=%d pitch=%d",
+				d.ViaCols, d.ViaRows, d.Layers, d.Pitch)
+		}
+		var buf bytes.Buffer
+		if err := WriteDesign(&buf, d); err != nil {
+			t.Fatalf("accepted design fails to serialize: %v", err)
+		}
+		d2, err := ReadDesign(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q\nwritten: %q", err, in, buf.String())
+		}
+		if len(d2.Parts) != len(d.Parts) || len(d2.Nets) != len(d.Nets) {
+			t.Fatalf("round trip lost content: %d/%d parts, %d/%d nets",
+				len(d2.Parts), len(d.Parts), len(d2.Nets), len(d.Nets))
+		}
+	})
+}
+
+// FuzzReadConnections asserts the .con parser never panics and accepted
+// lists survive a write/re-read round trip with coordinates intact.
+func FuzzReadConnections(f *testing.F) {
+	f.Add("conn 1 1 4 4 n1 bus 0\n")
+	f.Add("conn 0 0 0 0 - - 0\n# trailing comment\n")
+	f.Add("conn 1 1 4 4 n1 bus NaN\n")
+	f.Add("conn -5 2 4 999999999999 x y 1.5\n")
+	f.Add("conn 1 1\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		conns, err := ReadConnections(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteConnections(&buf, conns); err != nil {
+			t.Fatalf("accepted connections fail to serialize: %v", err)
+		}
+		conns2, err := ReadConnections(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nwritten: %q", err, buf.String())
+		}
+		if len(conns2) != len(conns) {
+			t.Fatalf("round trip lost connections: %d -> %d", len(conns), len(conns2))
+		}
+		for i := range conns {
+			// Delay is deliberately excluded: NaN never compares equal.
+			if conns2[i].A != conns[i].A || conns2[i].B != conns[i].B ||
+				conns2[i].Net != conns[i].Net || conns2[i].Class != conns[i].Class {
+				t.Fatalf("connection %d changed: %+v -> %+v", i, conns[i], conns2[i])
+			}
+		}
+	})
+}

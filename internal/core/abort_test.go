@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+)
+
+// TestPreCancelledContextAborts: a context cancelled before RouteContext
+// even starts must stop the run before the first connection, reporting
+// AbortCancelled with every connection failed and the board untouched.
+func TestPreCancelledContextAborts(t *testing.T) {
+	b := emptyBoard(t, 12, 12, 2)
+	a := pinAt(t, b, geom.Pt(1, 5))
+	c := pinAt(t, b, geom.Pt(9, 5))
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, DefaultOptions())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := r.RouteContext(ctx)
+	if res.Aborted != AbortCancelled {
+		t.Fatalf("Aborted = %v, want %v", res.Aborted, AbortCancelled)
+	}
+	if res.Complete() {
+		t.Error("aborted result claims completeness")
+	}
+	if res.Metrics.Routed != 0 || len(res.FailedConns) != 1 {
+		t.Errorf("pre-cancelled run still routed: %+v", res.Metrics)
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board inconsistent after aborted run: %v", err)
+	}
+	if !strings.Contains(res.String(), "cancelled") {
+		t.Errorf("result string hides the abort: %q", res.String())
+	}
+}
+
+// TestTimeBudgetAbortsBeforeWork: an already-expired time budget stops
+// the run at the first checkpoint with AbortTime.
+func TestTimeBudgetAbortsBeforeWork(t *testing.T) {
+	b := emptyBoard(t, 12, 12, 2)
+	a := pinAt(t, b, geom.Pt(1, 5))
+	c := pinAt(t, b, geom.Pt(9, 5))
+	opts := DefaultOptions()
+	opts.TimeBudget = time.Nanosecond
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
+
+	res := r.Route()
+	if res.Aborted != AbortTime {
+		t.Fatalf("Aborted = %v, want %v", res.Aborted, AbortTime)
+	}
+	if res.Metrics.Routed != 0 {
+		t.Errorf("routed %d connections on an expired budget", res.Metrics.Routed)
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board inconsistent: %v", err)
+	}
+}
+
+// TestTimeBudgetAbortsMidFlood starts a Lee flood that can never succeed
+// (the target is walled off) under a budget that expires while the
+// wavefront is growing: the stride checkpoint inside the search must cut
+// it short instead of letting the flood exhaust the board.
+func TestTimeBudgetAbortsMidFlood(t *testing.T) {
+	b := emptyBoard(t, 40, 40, 2)
+	a := pinAt(t, b, geom.Pt(2, 2))
+	c := pinAt(t, b, geom.Pt(35, 35))
+	wallOff(t, b, c)
+	opts := DefaultOptions()
+	opts.Bidirectional = false
+	opts.CostCapFactor = 0 // the flood would cover the whole board
+	opts.Escalate = false
+	opts.TimeBudget = time.Millisecond
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
+
+	// Burn the budget so the mid-search checkpoint, not the
+	// per-connection one, has to trigger... unless the clock already
+	// expired, which the first checkpoint catches equally well.
+	start := time.Now()
+	res := r.Route()
+	elapsed := time.Since(start)
+	if res.Aborted != AbortTime {
+		t.Fatalf("Aborted = %v, want %v", res.Aborted, AbortTime)
+	}
+	// The full flood is >500 expansions of real work plus rip-up rounds;
+	// an entire unbudgeted Route here takes well over a millisecond. The
+	// abort must land quickly — allow generous slack for slow machines.
+	if elapsed > 2*time.Second {
+		t.Errorf("aborted route took %v", elapsed)
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board inconsistent after mid-search abort: %v", err)
+	}
+}
+
+// TestNodeBudgetFailsConnection caps a hopeless flood at 200 expansions:
+// the connection must fail with FailNodeBudget counted and the search
+// charged no more than the budget, while the run itself finishes
+// normally (a node budget is per-connection, not per-route).
+func TestNodeBudgetFailsConnection(t *testing.T) {
+	b := emptyBoard(t, 40, 40, 2)
+	a := pinAt(t, b, geom.Pt(2, 2))
+	c := pinAt(t, b, geom.Pt(35, 35))
+	wallOff(t, b, c)
+	opts := DefaultOptions()
+	opts.Bidirectional = false
+	opts.CostCapFactor = 0
+	opts.Escalate = false
+	opts.NodeBudget = 200
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
+
+	res := r.Route()
+	if res.Aborted != AbortNone {
+		t.Fatalf("node budget aborted the whole run: %v", res.Aborted)
+	}
+	if len(res.FailedConns) != 1 {
+		t.Fatalf("walled connection routed? %+v", res.Metrics)
+	}
+	if res.Metrics.FailNodeBudget == 0 {
+		t.Error("FailNodeBudget not counted")
+	}
+	// Each pass retries the connection once; every attempt is clamped to
+	// the budget. Without the budget this flood runs >500 expansions per
+	// attempt (see TestLeeSteadyStateAllocs).
+	perAttempt := res.Metrics.LeeExpansions / res.Metrics.Passes
+	if perAttempt > opts.NodeBudget {
+		t.Errorf("%d expansions per attempt, budget %d", perAttempt, opts.NodeBudget)
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board inconsistent: %v", err)
+	}
+}
+
+// TestBudgetsUnsetChangeNothing pins the bit-identical guarantee: with
+// no budget, no deadline and a background context, the new abort
+// machinery must be fully dormant — same metrics, same realization as a
+// plain Route on an identical board.
+func TestBudgetsUnsetChangeNothing(t *testing.T) {
+	_, r1, res1 := buildDense(t)
+	b2, r2 := buildDenseRouter(t)
+	res2 := r2.RouteContext(context.Background())
+
+	if res1.Metrics != res2.Metrics {
+		t.Errorf("metrics differ:\n Route        %+v\n RouteContext %+v", res1.Metrics, res2.Metrics)
+	}
+	if res2.Aborted != AbortNone || res2.Invariant != nil {
+		t.Errorf("unbudgeted run reports abort state: %+v", res2)
+	}
+	for i := range r1.Conns {
+		if r1.RouteOf(i).Method != r2.RouteOf(i).Method {
+			t.Errorf("connection %d method differs: %v vs %v",
+				i, r1.RouteOf(i).Method, r2.RouteOf(i).Method)
+		}
+	}
+	if err := b2.Audit(); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildDenseRouter is buildDense stopping short of the Route call.
+func buildDenseRouter(t testing.TB) (*board.Board, *Router) {
+	t.Helper()
+	b := emptyBoard(t, 20, 8, 2)
+	var conns []Connection
+	for i := 0; i < 6; i++ {
+		a := pinAt(t, b, geom.Pt(1, 1+i))
+		c := pinAt(t, b, geom.Pt(18, 1+i))
+		conns = append(conns, Connection{A: a, B: c})
+	}
+	for i := 0; i < 4; i++ {
+		a := pinAt(t, b, geom.Pt(4+3*i, 0))
+		c := pinAt(t, b, geom.Pt(5+3*i, 7))
+		conns = append(conns, Connection{A: a, B: c})
+	}
+	return b, mustRouter(t, b, conns, DefaultOptions())
+}

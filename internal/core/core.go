@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/board"
 	"repro/internal/geom"
@@ -148,6 +149,26 @@ type Options struct {
 	// crack. Disabled for ablation runs that measure the plain
 	// algorithm.
 	Escalate bool
+	// TimeBudget bounds the wall-clock time of the whole Route call.
+	// When it expires the router stops at the next abort checkpoint —
+	// between connections, or mid-Lee-search on a coarse expansion
+	// stride — rolls back any in-flight placement, puts rip-up victims
+	// back, and returns with Result.Aborted set to AbortTime. The board
+	// is always left consistent. Zero means unlimited.
+	TimeBudget time.Duration
+	// NodeBudget caps the Lee expansions any single connection may
+	// spend (summed over its rip-up rounds and retrace retries). A
+	// connection that exhausts it fails for the pass — counted in
+	// Metrics.FailNodeBudget — instead of flooding the board; routing
+	// continues with the next connection. Zero means unlimited.
+	NodeBudget int
+	// Paranoid re-audits the board between passes: the full
+	// board.Audit invariant sweep plus a cross-check that every routed
+	// connection still owns the metal its Route records. The first
+	// violation aborts routing with Result.Aborted = AbortInvariant and
+	// an error naming the pass and connection. For debugging and
+	// fault-injection tests; costs one board sweep per pass.
+	Paranoid bool
 }
 
 // DefaultOptions returns the configuration used for all Table 1 runs.
@@ -181,12 +202,13 @@ type Metrics struct {
 	LeeBlocked    int // Lee searches that exhausted a wavefront
 
 	// Failure reasons (per failed routeOne attempt).
-	FailNoVictims int // blocked with nothing rippable nearby
-	FailRounds    int // rip-up round limit exhausted
-	TraceCalls    int
-	ViasCalls     int
-	Passes        int
-	WireLength    int // total grid cells of placed trace segments
+	FailNoVictims  int // blocked with nothing rippable nearby
+	FailRounds     int // rip-up round limit exhausted
+	FailNodeBudget int // Options.NodeBudget exhausted
+	TraceCalls     int
+	ViasCalls      int
+	Passes         int
+	WireLength     int // total grid cells of placed trace segments
 }
 
 // OptimalShare returns the fraction of routed connections completed by
@@ -234,20 +256,59 @@ type PlacedSeg struct {
 	Seg   *layer.Segment
 }
 
+// AbortReason says why a Route call stopped before running the full
+// algorithm. AbortNone means it ran to its natural end (which may still
+// leave connections unrouted on an infeasible board).
+type AbortReason uint8
+
+const (
+	AbortNone      AbortReason = iota
+	AbortTime                  // Options.TimeBudget expired
+	AbortCancelled             // the RouteContext context was cancelled
+	AbortInvariant             // a Paranoid audit found a broken invariant
+)
+
+func (a AbortReason) String() string {
+	switch a {
+	case AbortTime:
+		return "time budget exhausted"
+	case AbortCancelled:
+		return "cancelled"
+	case AbortInvariant:
+		return "invariant violated"
+	default:
+		return "none"
+	}
+}
+
 // Result reports the outcome of a Route call.
 type Result struct {
 	Metrics Metrics
 	// FailedConns lists the indices (into the input slice) of
 	// connections left unrouted.
 	FailedConns []int
+	// Aborted is non-zero when routing stopped early (budget exhausted,
+	// context cancelled, paranoid audit failure). The metrics then
+	// describe the partial run; every connection the router did place is
+	// fully realized and the board is consistent.
+	Aborted AbortReason
+	// Invariant carries the detail of an AbortInvariant stop: which
+	// pass's audit failed and on what.
+	Invariant error
 }
 
-// Complete reports whether every connection was routed.
-func (r Result) Complete() bool { return len(r.FailedConns) == 0 }
+// Complete reports whether the run finished naturally with every
+// connection routed. An aborted run is never complete, even if the
+// abort arrived after the last connection.
+func (r Result) Complete() bool { return len(r.FailedConns) == 0 && r.Aborted == AbortNone }
 
 func (r Result) String() string {
 	m := r.Metrics
-	return fmt.Sprintf("routed %d/%d (zerovia %d, onevia %d, lee %d, putback %d, trivial %d), ripups %d, vias %d, passes %d",
+	s := fmt.Sprintf("routed %d/%d (zerovia %d, onevia %d, lee %d, putback %d, trivial %d), ripups %d, vias %d, passes %d",
 		m.Routed, m.Connections, m.ByMethod[ZeroVia], m.ByMethod[OneVia], m.ByMethod[Lee],
 		m.ByMethod[PutBack], m.ByMethod[Trivial], m.RipUps, m.ViasAdded, m.Passes)
+	if r.Aborted != AbortNone {
+		s += ", aborted: " + r.Aborted.String()
+	}
+	return s
 }

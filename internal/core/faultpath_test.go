@@ -1,0 +1,259 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/board"
+
+	"repro/internal/faultinject"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+)
+
+// routeAcross builds a small open board with one straight connection and
+// routes it, returning the board and router with the connection realized.
+func routeAcross(t *testing.T) (*board.Board, *Router) {
+	t.Helper()
+	b := emptyBoard(t, 12, 12, 2)
+	a := pinAt(t, b, geom.Pt(1, 5))
+	c := pinAt(t, b, geom.Pt(9, 5))
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, DefaultOptions())
+	if res := r.Route(); !res.Complete() {
+		t.Fatalf("setup route failed: %+v", res.Metrics)
+	}
+	return b, r
+}
+
+// TestPutBackReRoutesDeniedVictim rips up a routed connection, then
+// denies exactly the first reinsertion attempt with a fault injector:
+// putBack must fall through to routeLadder and re-route the victim fresh
+// (ReRouted counted, board audit clean).
+func TestPutBackReRoutesDeniedVictim(t *testing.T) {
+	b, r := routeAcross(t)
+
+	r.ripUp(0)
+	if r.RouteOf(0).Method != NotRouted {
+		t.Fatal("ripUp left the route realized")
+	}
+
+	inj := faultinject.FirstN(1, 0)
+	b.Interpose(inj)
+	r.putBack([]int{0})
+	b.Interpose(nil)
+
+	if inj.Injected() == 0 {
+		t.Fatal("injector never fired; the test exercised nothing")
+	}
+	if got := r.metrics.ReRouted; got != 1 {
+		t.Errorf("ReRouted = %d, want 1", got)
+	}
+	if got := r.metrics.PutBacks; got != 0 {
+		t.Errorf("PutBacks = %d, want 0 (reinsertion was denied)", got)
+	}
+	if m := r.RouteOf(0).Method; m == NotRouted || m == PutBack {
+		t.Errorf("method = %v, want a fresh ladder route", m)
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board inconsistent after denied put-back: %v", err)
+	}
+	if err := r.auditRoutes("test"); err != nil {
+		t.Errorf("route ownership broken: %v", err)
+	}
+}
+
+// TestPutBackLeavesUnroutableVictimFailed denies every mutation during
+// put-back: reinsertion and the routeLadder retry both fail, so the
+// victim must stay NotRouted — cleanly, with nothing half-placed.
+func TestPutBackLeavesUnroutableVictimFailed(t *testing.T) {
+	b, r := routeAcross(t)
+
+	r.ripUp(0)
+	inj := faultinject.EveryNth(1, 1) // veto everything
+	b.Interpose(inj)
+	r.putBack([]int{0})
+	b.Interpose(nil)
+
+	if inj.Injected() == 0 {
+		t.Fatal("injector never fired")
+	}
+	if m := r.RouteOf(0).Method; m != NotRouted {
+		t.Errorf("method = %v, want unrouted when every placement is denied", m)
+	}
+	if got := r.metrics.ReRouted; got != 1 {
+		t.Errorf("ReRouted = %d, want 1", got)
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board inconsistent: %v", err)
+	}
+	if err := r.auditRoutes("test"); err != nil {
+		t.Errorf("route ownership broken: %v", err)
+	}
+}
+
+// TestEscalateRescuesRadiusBoundConnection drives the escalation phase:
+// every free via site is blocked with keepout metal, so the only possible
+// realization is a single zero-via trace — and the pins sit 2 via units
+// apart vertically, one more than Radius 1 allows. The normal passes must
+// fail (keepouts are unrippable: FailNoVictims), and only escalation,
+// which widens the radius stage by stage, can complete the route.
+func TestEscalateRescuesRadiusBoundConnection(t *testing.T) {
+	build := func(escalate bool) (*Router, Result) {
+		b := emptyBoard(t, 14, 14, 2)
+		a := pinAt(t, b, geom.Pt(2, 4))
+		c := pinAt(t, b, geom.Pt(10, 6))
+		vert := 0
+		if b.Layers[1].Orient == grid.Vertical {
+			vert = 1
+		}
+		for vx := 0; vx < 14; vx++ {
+			for vy := 0; vy < 14; vy++ {
+				p := b.Cfg.GridOf(geom.Pt(vx, vy))
+				if !b.ViaFree(p) {
+					continue // pin sites stay as they are
+				}
+				ch, pos := b.Cfg.ChanPos(b.Layers[vert].Orient, p)
+				if b.AddSegment(vert, ch, pos, pos, layer.KeepoutOwner) == nil {
+					t.Fatal("via-block setup failed")
+				}
+			}
+		}
+		opts := DefaultOptions()
+		opts.Escalate = escalate
+		r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
+		res := r.Route()
+		if err := b.Audit(); err != nil {
+			t.Fatalf("board inconsistent (escalate=%v): %v", escalate, err)
+		}
+		return r, res
+	}
+
+	// Without escalation the radius bound must be fatal — otherwise the
+	// escalating variant below proves nothing.
+	_, res := build(false)
+	if res.Complete() {
+		t.Fatal("radius 1 no longer blocks this geometry; escalate test needs a tighter setup")
+	}
+	if res.Metrics.FailNoVictims == 0 {
+		t.Errorf("expected FailNoVictims (keepouts are unrippable): %+v", res.Metrics)
+	}
+	r, res := build(true)
+	if !res.Complete() {
+		t.Fatalf("escalation failed to rescue the connection: %+v", res.Metrics)
+	}
+	if got := r.RouteOf(0).Method; got != ZeroVia {
+		t.Errorf("method = %v, want zerovia found by the widened radius", got)
+	}
+}
+
+// TestEveryNthFaultDrivesRollback routes the congested buildDense board
+// while every 7th AddSegment is vetoed. The router sees the vetoes as
+// collisions and takes its rollback/rip-up/put-back/re-route paths; the
+// acceptance bar is that whatever happens, the final board passes a full
+// audit and every surviving route still owns its metal.
+func TestEveryNthFaultDrivesRollback(t *testing.T) {
+	b, r := buildDenseRouter(t)
+	inj := faultinject.EveryNth(7, 0)
+	b.Interpose(inj)
+	res := r.Route()
+	b.Interpose(nil)
+
+	if inj.Injected() == 0 {
+		t.Fatal("schedule never fired on a dense board; test is vacuous")
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board audit failed after fault-injected run: %v", err)
+	}
+	if err := r.auditRoutes("fault-injected run"); err != nil {
+		t.Errorf("route ownership audit failed: %v", err)
+	}
+	// Faults only remove capacity, never add it: some connections may
+	// fail, but the run itself must terminate normally.
+	if res.Aborted != AbortNone {
+		t.Errorf("fault injection aborted the run: %v", res.Aborted)
+	}
+	t.Logf("injected %d faults; routed %d/%d, rip-ups %d, re-routed %d",
+		inj.Injected(), res.Metrics.Routed, res.Metrics.Connections,
+		res.Metrics.RipUps, res.Metrics.ReRouted)
+}
+
+// TestSeededViaFaultsKeepBoardConsistent is the via-flavored companion:
+// a seeded Bernoulli schedule denies half of all via placements on a
+// board of diagonal connections that each need a layer change. The
+// schedule is deterministic (seeded), so the assertion that faults fired
+// is stable.
+func TestSeededViaFaultsKeepBoardConsistent(t *testing.T) {
+	b := emptyBoard(t, 12, 12, 2)
+	var conns []Connection
+	// dy = 2 via units with Radius 1: no zero-via solution exists, so
+	// every connection must drill at least one via.
+	for i := 0; i < 5; i++ {
+		a := pinAt(t, b, geom.Pt(1, 2*i+1))
+		c := pinAt(t, b, geom.Pt(9, 2*i+3))
+		conns = append(conns, Connection{A: a, B: c})
+	}
+	r := mustRouter(t, b, conns, DefaultOptions())
+
+	inj := faultinject.Seeded(42, 0, 0.5)
+	b.Interpose(inj)
+	res := r.Route()
+	b.Interpose(nil)
+
+	if inj.Injected() == 0 {
+		t.Fatal("seeded schedule fired no via faults; test is vacuous")
+	}
+	if _, vias := inj.Calls(); vias == 0 {
+		t.Fatal("no via placements intercepted — geometry no longer forces vias")
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board audit failed: %v", err)
+	}
+	if err := r.auditRoutes("seeded via faults"); err != nil {
+		t.Errorf("route ownership audit failed: %v", err)
+	}
+	t.Logf("vetoed %d of %d via attempts; routed %d/%d",
+		inj.Injected(), func() int { _, v := inj.Calls(); return v }(),
+		res.Metrics.Routed, res.Metrics.Connections)
+}
+
+// TestParanoidCatchesExternalCorruption removes a routed segment behind
+// the router's back and asserts auditRoutes reports it, naming the
+// connection; the clean board before the sabotage must audit green.
+func TestParanoidCatchesExternalCorruption(t *testing.T) {
+	b, r := routeAcross(t)
+
+	if err := r.auditRoutes("clean"); err != nil {
+		t.Fatalf("audit of an intact route failed: %v", err)
+	}
+
+	rt := r.RouteOf(0)
+	if len(rt.Segs) == 0 {
+		t.Fatal("routed connection has no segments to sabotage")
+	}
+	s := rt.Segs[0]
+	b.RemoveSegment(s.Layer, s.Seg)
+
+	err := r.auditRoutes("sabotage")
+	if err == nil {
+		t.Fatal("audit missed a segment removed behind the router's back")
+	}
+	if !strings.Contains(err.Error(), "connection 0") {
+		t.Errorf("audit error does not name the connection: %v", err)
+	}
+}
+
+// TestParanoidRunStaysClean routes the dense board with Paranoid on: all
+// the between-pass audits must pass and the result must carry no
+// invariant error — paranoia on a healthy router is free of false alarms.
+func TestParanoidRunStaysClean(t *testing.T) {
+	b, r := buildDenseRouter(t)
+	r.Opts.Paranoid = true
+	res := r.Route()
+	if res.Aborted == AbortInvariant || res.Invariant != nil {
+		t.Fatalf("paranoid audit false alarm: %v", res.Invariant)
+	}
+	if err := b.Audit(); err != nil {
+		t.Error(err)
+	}
+}

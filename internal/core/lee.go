@@ -49,6 +49,30 @@ type hop struct {
 // call saw). Banned hops are skipped on the retry searches.
 type banSet map[hop]struct{}
 
+// abortStride is how many Lee expansions may pass between abort
+// checkpoints. Coarse enough that the time.Now/atomic-load cost vanishes
+// against the expansion work, fine enough that a budget or cancellation
+// lands within a few hundred nodes. Must be a power of two.
+const abortStride = 256
+
+// searchAborted is the per-expansion checkpoint: free when no budget or
+// context is armed, one modulo plus the latched-flag test otherwise, and
+// a full clock/cancellation check every abortStride expansions. It also
+// charges the expansion against the connection's node budget.
+func (r *Router) searchAborted() bool {
+	if cap := r.Opts.NodeBudget; cap > 0 && r.metrics.LeeExpansions-r.connExpBase >= cap {
+		r.nodeBudgetHit = true
+		return true
+	}
+	if !r.abortArmed {
+		return false
+	}
+	if r.abortReason != AbortNone {
+		return true
+	}
+	return r.metrics.LeeExpansions&(abortStride-1) == 0 && r.abortCheck()
+}
+
 // leeSearch carries the state of one bidirectional search. The heavy
 // stores are reached through sc; leeSearch itself is embedded in the
 // scratch and reset in place per search.
@@ -165,6 +189,13 @@ func (r *Router) leeOnce(a, b geom.Point, id layer.ConnID, banned banSet) (Route
 		side, ok := s.pickSide()
 		if !ok {
 			r.metrics.LeeBlocked++
+			return Route{}, nil, s.victim(side), false
+		}
+		if r.searchAborted() {
+			// Nothing has been placed yet (retrace only runs on a meet),
+			// so failing here leaves the board untouched. The caller
+			// decides whether the victim is usable; after a whole-route
+			// abort it never rips up.
 			return Route{}, nil, s.victim(side), false
 		}
 		it := s.sc.heaps[side].pop()

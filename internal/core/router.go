@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/board"
 	"repro/internal/geom"
@@ -29,6 +32,21 @@ type Router struct {
 	// loop does not materialize a new closure per call.
 	scratch searchScratch
 	viaFree func(geom.Point) bool
+
+	// Abort state (see RouteContext). abortArmed is true only when a
+	// time budget or a cancellable context is in play, so unbudgeted
+	// runs skip even the cheap checks and stay bit-identical. The
+	// cancelled flag is the only field another goroutine touches.
+	abortArmed  bool
+	deadline    time.Time
+	cancelled   atomic.Bool
+	abortReason AbortReason
+	invariant   error
+
+	// Per-connection node-budget state: LeeExpansions at the start of
+	// the connection being routed, and whether its budget ran out.
+	connExpBase   int
+	nodeBudgetHit bool
 }
 
 // New builds a router for the given board and connections. The
@@ -112,16 +130,79 @@ func (r *Router) Metrics() Metrics { return r.metrics }
 
 // Route runs the complete algorithm of Section 8.4 and returns the
 // result. It may be called only once per Router.
-func (r *Router) Route() Result {
+func (r *Router) Route() Result { return r.RouteContext(context.Background()) }
+
+// RouteContext is Route under a context: cancelling ctx (or exceeding
+// Options.TimeBudget) stops routing at the next abort checkpoint.
+// Checkpoints sit between connections and, inside a Lee search, on a
+// coarse expansion stride, so an abort lands within milliseconds without
+// taxing the zero-allocation hot loop. The board is always left
+// consistent — any in-flight placement is rolled back and rip-up victims
+// are put back — and the Result reports the reason in Aborted alongside
+// the metrics of the partial run.
+func (r *Router) RouteContext(ctx context.Context) Result {
+	if d := r.Opts.TimeBudget; d > 0 {
+		r.deadline = time.Now().Add(d)
+		r.abortArmed = true
+	}
+	if ctx != nil && ctx.Done() != nil {
+		r.abortArmed = true
+		if ctx.Err() != nil {
+			// Already cancelled: don't race the watcher goroutine.
+			r.cancelled.Store(true)
+		} else {
+			stop := context.AfterFunc(ctx, func() { r.cancelled.Store(true) })
+			defer stop()
+		}
+	}
+	return r.run()
+}
+
+// abortCheck latches and reports the abort decision. Cheap enough for
+// per-connection use; the Lee inner loop additionally gates it on
+// abortArmed and a stride so unbudgeted searches pay nothing.
+func (r *Router) abortCheck() bool {
+	if r.abortReason != AbortNone {
+		return true
+	}
+	if !r.abortArmed {
+		return false
+	}
+	if r.cancelled.Load() {
+		r.abortReason = AbortCancelled
+		return true
+	}
+	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+		r.abortReason = AbortTime
+		return true
+	}
+	return false
+}
+
+// beginConnBudget opens a fresh node-budget window for one connection.
+func (r *Router) beginConnBudget() {
+	r.connExpBase = r.metrics.LeeExpansions
+	r.nodeBudgetHit = false
+}
+
+// run is the Section 8.4 outer loop.
+func (r *Router) run() Result {
 	r.metrics.Connections = len(r.Conns)
 	prevUnrouted := len(r.Conns) + 1
+passes:
 	for pass := 0; pass < r.Opts.MaxPasses; pass++ {
 		for _, i := range r.order {
+			if r.abortCheck() {
+				break passes
+			}
 			if r.routes[i].Method == NotRouted {
 				r.routeOne(i)
 			}
 		}
 		r.metrics.Passes++
+		if !r.paranoidCheck(fmt.Sprintf("pass %d", pass)) {
+			break
+		}
 		// Count what is actually unrouted at the end of the pass: rip-up
 		// victims whose put-back failed are unrouted again even though
 		// their own routeOne call succeeded earlier in the pass.
@@ -139,7 +220,7 @@ func (r *Router) Route() Result {
 		prevUnrouted = unrouted
 	}
 
-	if r.Opts.Escalate {
+	if r.Opts.Escalate && r.abortReason == AbortNone {
 		unrouted := 0
 		for i := range r.routes {
 			if r.routes[i].Method == NotRouted {
@@ -152,6 +233,7 @@ func (r *Router) Route() Result {
 		// would multiply the runtime without completing the board.
 		if unrouted > 0 && unrouted <= max(20, len(r.Conns)/50) {
 			r.escalate()
+			r.paranoidCheck("escalation")
 		}
 	}
 
@@ -164,7 +246,63 @@ func (r *Router) Route() Result {
 	r.metrics.Routed = len(r.Conns) - len(res.FailedConns)
 	r.metrics.Failed = len(res.FailedConns)
 	res.Metrics = r.metrics
+	res.Aborted = r.abortReason
+	res.Invariant = r.invariant
 	return res
+}
+
+// paranoidCheck, under Options.Paranoid, audits the board and
+// cross-checks route ownership after the named phase. It reports false —
+// recording the violation and aborting the run — on the first breach.
+func (r *Router) paranoidCheck(phase string) bool {
+	if !r.Opts.Paranoid {
+		return true
+	}
+	if err := r.auditRoutes(phase); err != nil {
+		r.abortReason = AbortInvariant
+		r.invariant = err
+		return false
+	}
+	return true
+}
+
+// auditRoutes is the paranoid invariant sweep: the board's own channel
+// and via-map audit, then a check that every routed connection still owns
+// the exact metal its Route records (segments stored and carrying the
+// connection's ID, via segments likewise).
+func (r *Router) auditRoutes(phase string) error {
+	if err := r.B.Audit(); err != nil {
+		return fmt.Errorf("core: paranoid audit after %s: %w", phase, err)
+	}
+	for i := range r.routes {
+		rt := &r.routes[i]
+		if rt.Method == NotRouted || rt.Method == Trivial {
+			continue
+		}
+		id := r.connID(i)
+		for _, ps := range rt.Segs {
+			if !ps.Seg.Stored() {
+				return fmt.Errorf("core: paranoid audit after %s: connection %d (%s): segment on layer %d removed behind the route's back",
+					phase, i, rt.Method, ps.Layer)
+			}
+			if ps.Seg.Owner != id {
+				return fmt.Errorf("core: paranoid audit after %s: connection %d (%s): segment on layer %d owned by %d, want %d",
+					phase, i, rt.Method, ps.Layer, ps.Seg.Owner, id)
+			}
+		}
+		for _, pv := range rt.Vias {
+			for li, s := range pv.Segs {
+				if s == nil {
+					continue
+				}
+				if !s.Stored() || s.Owner != id {
+					return fmt.Errorf("core: paranoid audit after %s: connection %d (%s): via %v layer %d no longer owned",
+						phase, i, rt.Method, pv.At, li)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // escalate retries the stragglers under progressively stronger, slower
@@ -182,6 +320,9 @@ func (r *Router) escalate() {
 		for pass := 0; pass < r.Opts.MaxPasses; pass++ {
 			unrouted := 0
 			for _, i := range r.order {
+				if r.abortCheck() {
+					return
+				}
 				if r.routes[i].Method == NotRouted {
 					r.routeOne(i)
 				}
@@ -212,6 +353,7 @@ func (r *Router) routeOne(i int) bool {
 		r.metrics.ByMethod[Trivial]++
 		return true
 	}
+	r.beginConnBudget()
 
 	var ripped []int
 	defer func() { r.putBack(ripped) }()
@@ -229,6 +371,16 @@ func (r *Router) routeOne(i int) bool {
 		if ok {
 			r.commit(i, rt, Lee)
 			return true
+		}
+		// An aborted or budget-exhausted search failed for reasons no
+		// rip-up can cure: give up on the connection (the deferred
+		// putBack still restores this round's victims).
+		if r.abortReason != AbortNone {
+			return false
+		}
+		if r.nodeBudgetHit {
+			r.metrics.FailNodeBudget++
+			return false
 		}
 		if round >= r.Opts.MaxRipupRounds {
 			r.metrics.FailRounds++
@@ -393,6 +545,12 @@ func (r *Router) putBack(victims []int) {
 // routeLadder runs the zero-via/one-via/Lee ladder once for connection i
 // with no rip-up. It is used for re-routing put-back casualties.
 func (r *Router) routeLadder(i int) bool {
+	if r.abortCheck() {
+		// Leave the victim for FailedConns rather than burn post-abort
+		// time on a fresh search; the board stays consistent either way.
+		return false
+	}
+	r.beginConnBudget()
 	if rt, ok := r.zeroVia(i); ok {
 		r.commit(i, rt, ZeroVia)
 		return true

@@ -27,6 +27,7 @@ func (r *Router) RouteThrough(i int, waypoints []geom.Point) bool {
 		}
 	}
 	oldMethod := r.routes[i].Method
+	r.beginConnBudget()
 	rec := r.unrealize(i)
 
 	var rt Route

@@ -33,6 +33,7 @@ func (r *Router) TunedLee(i int, targetPs, tolPs float64, cellPs []float64, maxA
 	c := &r.Conns[i]
 	id := r.connID(i)
 	oldMethod := r.routes[i].Method
+	r.beginConnBudget()
 	rec := r.unrealize(i)
 
 	const fsPerPs = 1024 // fixed-point scale for integral heap costs
@@ -126,6 +127,9 @@ func (r *Router) tunedLeeOnce(a, b geom.Point, id layer.ConnID, banned banSet,
 	for {
 		side, ok := s.pickSide()
 		if !ok {
+			return Route{}, nil, s.victim(side), false
+		}
+		if r.searchAborted() {
 			return Route{}, nil, s.victim(side), false
 		}
 		it := sc.heaps[side].pop()

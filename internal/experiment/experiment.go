@@ -6,7 +6,11 @@
 package experiment
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -30,21 +34,37 @@ type Run struct {
 
 // RouteSpec generates the workload for spec and routes it.
 func RouteSpec(spec workload.Spec, opts core.Options) (*Run, error) {
-	return RouteSpecStrung(spec, opts, stringer.Options{})
+	return RouteSpecContext(context.Background(), spec, opts)
+}
+
+// RouteSpecContext is RouteSpec under a context: cancellation stops the
+// router at its next abort checkpoint (see core.RouteContext).
+func RouteSpecContext(ctx context.Context, spec workload.Spec, opts core.Options) (*Run, error) {
+	return RouteSpecStrungContext(ctx, spec, opts, stringer.Options{})
 }
 
 // RouteSpecStrung is RouteSpec with explicit stringer options (the E-STR
 // experiment passes Random here).
 func RouteSpecStrung(spec workload.Spec, opts core.Options, sopts stringer.Options) (*Run, error) {
+	return RouteSpecStrungContext(context.Background(), spec, opts, sopts)
+}
+
+// RouteSpecStrungContext is RouteSpecStrung under a context.
+func RouteSpecStrungContext(ctx context.Context, spec workload.Spec, opts core.Options, sopts stringer.Options) (*Run, error) {
 	d, err := workload.Generate(spec)
 	if err != nil {
 		return nil, err
 	}
-	return RouteDesign(d, opts, sopts)
+	return RouteDesignContext(ctx, d, opts, sopts)
 }
 
 // RouteDesign strings and routes an existing design.
 func RouteDesign(d *netlist.Design, opts core.Options, sopts stringer.Options) (*Run, error) {
+	return RouteDesignContext(context.Background(), d, opts, sopts)
+}
+
+// RouteDesignContext is RouteDesign under a context.
+func RouteDesignContext(ctx context.Context, d *netlist.Design, opts core.Options, sopts stringer.Options) (*Run, error) {
 	b, err := board.New(d.GridConfig())
 	if err != nil {
 		return nil, err
@@ -61,7 +81,7 @@ func RouteDesign(d *netlist.Design, opts core.Options, sopts stringer.Options) (
 		return nil, err
 	}
 	start := time.Now()
-	res := r.Route()
+	res := r.RouteContext(ctx)
 	return &Run{
 		Design:  d,
 		Board:   b,
@@ -77,6 +97,24 @@ func (r *Run) Row() stats.Row {
 	return stats.NewRow(r.Design, r.Board, r.Strung.Conns, r.Result, r.Elapsed)
 }
 
+// BoardError is one board of a sweep that could not be routed. When the
+// failure was a panic inside the routing stack, Stack carries the
+// recovering goroutine's stack and Attempts counts the tries (a panicked
+// board is retried once on a completely fresh board and Router before
+// being declared failed).
+type BoardError struct {
+	Board    string
+	Attempts int
+	Err      error
+	Stack    []byte // non-nil when the failure was a recovered panic
+}
+
+func (e *BoardError) Error() string {
+	return fmt.Sprintf("board %s failed after %d attempt(s): %v", e.Board, e.Attempts, e.Err)
+}
+
+func (e *BoardError) Unwrap() error { return e.Err }
+
 // Table1 routes every Table 1 board (optionally scaled down by div > 1)
 // and returns the rows in the paper's order.
 func Table1(div int, opts core.Options) ([]stats.Row, error) {
@@ -89,15 +127,23 @@ func Table1(div int, opts core.Options) ([]stats.Row, error) {
 // but the job queue; each board's result is identical to a sequential
 // run. Rows still come back in the paper's order regardless of which
 // worker finished first. workers <= 0 means one worker per available
-// CPU.
+// CPU; either way the count is clamped to the number of boards.
+//
+// The sweep is panic-isolated: a panic while routing one board is
+// recovered into a *BoardError (with the board's name and the stack
+// attached), the board is retried once from scratch, and the remaining
+// boards keep routing. The returned rows are always complete for every
+// board that succeeded; the error, if non-nil, joins one *BoardError per
+// failed board.
 func Table1Parallel(div int, opts core.Options, workers int) ([]stats.Row, error) {
+	return Table1ParallelContext(context.Background(), div, opts, workers)
+}
+
+// Table1ParallelContext is Table1Parallel under a context; cancellation
+// aborts in-flight boards at their next checkpoint.
+func Table1ParallelContext(ctx context.Context, div int, opts core.Options, workers int) ([]stats.Row, error) {
 	specs := workload.Table1Specs()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(specs) {
-		workers = len(specs)
-	}
+	workers = clampWorkers(workers, len(specs))
 
 	rows := make([]stats.Row, len(specs))
 	errs := make([]error, len(specs))
@@ -108,12 +154,7 @@ func Table1Parallel(div int, opts core.Options, workers int) ([]stats.Row, error
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				run, err := RouteSpec(specs[i].Scale(div), opts)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				rows[i] = run.Row()
+				rows[i], errs[i] = routeBoard(ctx, specs[i].Scale(div), opts)
 			}
 		}()
 	}
@@ -123,10 +164,68 @@ func Table1Parallel(div int, opts core.Options, workers int) ([]stats.Row, error
 	close(jobs)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	return rows, errors.Join(errs...)
+}
+
+// clampWorkers resolves a requested worker count: n <= 0 asks for one
+// worker per available CPU, and anything beyond the board count would
+// only park idle goroutines on the job channel, so the result is clamped
+// to [1, boards].
+func clampWorkers(n, boards int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	return rows, nil
+	if n > boards {
+		n = boards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// routeSpecHook is what a sweep worker runs per board; tests substitute
+// failing or panicking implementations.
+var routeSpecHook = RouteSpecContext
+
+// routeBoard routes one sweep board with panic isolation: a panic is
+// recovered into a *BoardError and the board is retried once on a fresh
+// Board/Router (a crash can depend on rip-up state that a clean rebuild
+// avoids). Deterministic errors — generation or validation failures —
+// are not retried; rebuilding the same input reproduces them.
+func routeBoard(ctx context.Context, spec workload.Spec, opts core.Options) (stats.Row, error) {
+	const maxAttempts = 2
+	for attempt := 1; ; attempt++ {
+		row, err := routeBoardOnce(ctx, spec, opts)
+		if err == nil {
+			return row, nil
+		}
+		var be *BoardError
+		if errors.As(err, &be) {
+			be.Attempts = attempt
+			if be.Stack != nil && attempt < maxAttempts {
+				continue
+			}
+		}
+		return stats.Row{}, err
+	}
+}
+
+// routeBoardOnce runs one attempt, converting a panic anywhere in the
+// generation/stringing/routing stack into a *BoardError.
+func routeBoardOnce(ctx context.Context, spec workload.Spec, opts core.Options) (row stats.Row, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &BoardError{
+				Board: spec.Name,
+				Err:   fmt.Errorf("panic: %v", p),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	run, err := routeSpecHook(ctx, spec, opts)
+	if err != nil {
+		return stats.Row{}, &BoardError{Board: spec.Name, Err: err}
+	}
+	return run.Row(), nil
 }

@@ -1,0 +1,223 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// withRouteSpecHook substitutes the sweep's per-board routing function
+// for one test.
+func withRouteSpecHook(t *testing.T, fn func(context.Context, workload.Spec, core.Options) (*Run, error)) {
+	t.Helper()
+	orig := routeSpecHook
+	routeSpecHook = fn
+	t.Cleanup(func() { routeSpecHook = orig })
+}
+
+// TestSweepSurvivesPanickingBoard makes one board's router panic on
+// every attempt: the sweep must finish the other eight boards and report
+// the casualty as a *BoardError carrying the board name and a stack.
+func TestSweepSurvivesPanickingBoard(t *testing.T) {
+	var attempts atomic.Int32
+	withRouteSpecHook(t, func(ctx context.Context, spec workload.Spec, opts core.Options) (*Run, error) {
+		if strings.HasPrefix(spec.Name, "tna") {
+			attempts.Add(1)
+			panic("injected router crash")
+		}
+		return RouteSpecContext(ctx, spec, opts)
+	})
+
+	rows, err := Table1Parallel(8, core.DefaultOptions(), 4)
+	if err == nil {
+		t.Fatal("sweep with a permanently panicking board reported no error")
+	}
+	var be *BoardError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is not a *BoardError: %v", err)
+	}
+	if !strings.HasPrefix(be.Board, "tna") {
+		t.Errorf("BoardError names %q, want the tna board", be.Board)
+	}
+	if be.Attempts != 2 {
+		t.Errorf("panicked board tried %d times, want 2 (one retry)", be.Attempts)
+	}
+	if !bytes.Contains(be.Stack, []byte("panic")) && !bytes.Contains(be.Stack, []byte("routeBoardOnce")) {
+		t.Errorf("BoardError stack looks empty: %q", be.Stack)
+	}
+	if !strings.Contains(be.Error(), "injected router crash") {
+		t.Errorf("error lost the panic value: %v", be)
+	}
+
+	completed := 0
+	for _, r := range rows {
+		if r.Board != "" {
+			completed++
+		}
+	}
+	if completed != len(rows)-1 {
+		t.Errorf("sweep completed %d of %d boards; the panic should cost exactly one", completed, len(rows))
+	}
+}
+
+// TestSweepRetriesTransientPanic panics a board's first attempt only:
+// the retry on a fresh router must succeed and the sweep report no
+// error at all.
+func TestSweepRetriesTransientPanic(t *testing.T) {
+	var attempts atomic.Int32
+	withRouteSpecHook(t, func(ctx context.Context, spec workload.Spec, opts core.Options) (*Run, error) {
+		if strings.HasPrefix(spec.Name, "coproc") && attempts.Add(1) == 1 {
+			panic("transient crash")
+		}
+		return RouteSpecContext(ctx, spec, opts)
+	})
+
+	rows, err := Table1Parallel(8, core.DefaultOptions(), 2)
+	if err != nil {
+		t.Fatalf("transient panic not healed by the retry: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("coproc attempted %d times, want 2", got)
+	}
+	for _, r := range rows {
+		if r.Board == "" {
+			t.Error("a row is missing after a healed retry")
+		}
+	}
+}
+
+// TestSweepDoesNotRetryPlainErrors: deterministic failures (generation,
+// validation) reproduce on a rebuild, so the sweep must not waste a
+// second attempt on them.
+func TestSweepDoesNotRetryPlainErrors(t *testing.T) {
+	var attempts atomic.Int32
+	withRouteSpecHook(t, func(ctx context.Context, spec workload.Spec, opts core.Options) (*Run, error) {
+		if strings.HasPrefix(spec.Name, "dpath") {
+			attempts.Add(1)
+			return nil, errors.New("deterministic generation failure")
+		}
+		return RouteSpecContext(ctx, spec, opts)
+	})
+
+	_, err := Table1Parallel(8, core.DefaultOptions(), 2)
+	if err == nil {
+		t.Fatal("sweep swallowed a board error")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("plain error retried: %d attempts, want 1", got)
+	}
+	var be *BoardError
+	if !errors.As(err, &be) || be.Stack != nil {
+		t.Errorf("plain error should carry no stack: %+v", err)
+	}
+}
+
+func TestClampWorkers(t *testing.T) {
+	cases := []struct{ n, boards, want int }{
+		{1, 9, 1},
+		{4, 9, 4},
+		{100, 9, 9}, // more workers than boards is wasted
+		{-3, 9, -1}, // -1 = "GOMAXPROCS, clamped to boards" (checked below)
+		{0, 1, 1},
+	}
+	for _, c := range cases {
+		got := clampWorkers(c.n, c.boards)
+		want := c.want
+		if want == -1 {
+			want = min(9, maxProcs())
+		}
+		if got != want {
+			t.Errorf("clampWorkers(%d, %d) = %d, want %d", c.n, c.boards, got, want)
+		}
+		if got < 1 || got > c.boards {
+			t.Errorf("clampWorkers(%d, %d) = %d out of [1,%d]", c.n, c.boards, got, c.boards)
+		}
+	}
+}
+
+func maxProcs() int { return clampWorkers(0, 1<<30) }
+
+// TestTimeBudgetOnTable1Board is the issue's acceptance scenario: a
+// tight wall-clock budget on a full-size Table 1 board must stop the
+// route promptly with AbortTime and partial metrics, and leave the board
+// in a state that passes both the channel audit and route verification.
+func TestTimeBudgetOnTable1Board(t *testing.T) {
+	spec, ok := workload.Table1Spec("coproc")
+	if !ok {
+		t.Fatal("coproc spec missing from Table 1")
+	}
+	opts := core.DefaultOptions()
+	opts.TimeBudget = 100 * time.Millisecond
+
+	start := time.Now()
+	run, err := RouteSpec(spec, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.Aborted != core.AbortTime {
+		t.Fatalf("Aborted = %v, want AbortTime (board finished in %v? raise difficulty)",
+			run.Result.Aborted, elapsed)
+	}
+	// The unbudgeted coproc run takes over a second; the budgeted one must
+	// come back close to its 100ms allowance. Generous slack for slow or
+	// loaded machines — the point is "promptly", not "exactly".
+	if elapsed > 5*time.Second {
+		t.Errorf("budgeted route took %v", elapsed)
+	}
+	m := run.Result.Metrics
+	if m.Routed == 0 {
+		t.Error("no partial progress before the abort")
+	}
+	if m.Routed == m.Connections {
+		t.Error("abort reported but every connection routed")
+	}
+	if run.Result.Complete() {
+		t.Error("aborted run claims completeness")
+	}
+	if err := run.Board.Audit(); err != nil {
+		t.Errorf("board audit after abort: %v", err)
+	}
+	if err := verify.Routed(run.Board, run.Router); err != nil {
+		t.Errorf("partial routes do not verify: %v", err)
+	}
+}
+
+// TestSweepHonorsCancellation cancels the sweep context up front: every
+// board must come back promptly with an aborted (but consistent) result
+// rather than routing to completion.
+func TestSweepHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	rows, err := Table1ParallelContext(ctx, 8, core.DefaultOptions(), 3)
+	if err != nil {
+		t.Fatalf("cancelled sweep errored: %v", err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// A div-8 sweep takes well under a second even uncancelled; this
+	// bound only has to catch "cancellation ignored entirely" without
+	// being flaky on slow machines.
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("cancelled sweep still took %v", d)
+	}
+	aborted := 0
+	for _, r := range rows {
+		if r.Routed < r.Conns {
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		t.Error("pre-cancelled sweep routed every board fully; cancellation had no effect")
+	}
+}

@@ -1,0 +1,168 @@
+// Package faultinject drives the router's failure paths — rollback,
+// put-back denial, re-route — deterministically. An Injector implements
+// board.Interposer: installed with Board.Interpose, it vetoes segment and
+// via placements on a reproducible schedule (every Nth call, or a seeded
+// Bernoulli draw per call). A vetoed mutation is indistinguishable from a
+// genuine collision, so the router exercises exactly the code it would
+// run on a congested board, but where and when the test chooses.
+//
+// Mutations by permanent owners (pins, keepouts, plane fill) are never
+// vetoed: they belong to board setup, not routing, and failing them would
+// break the test scaffolding rather than the code under test.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// Op names one interceptable mutation.
+type Op uint8
+
+const (
+	AddSegment Op = iota
+	PlaceVia
+)
+
+func (o Op) String() string {
+	if o == PlaceVia {
+		return "PlaceVia"
+	}
+	return "AddSegment"
+}
+
+// Fault records one injected failure.
+type Fault struct {
+	Op    Op
+	Call  int // 1-based count of intercepted calls of this op at injection
+	Owner layer.ConnID
+	At    geom.Point // via site for PlaceVia; zero for AddSegment
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s #%d owner %d at %v", f.Op, f.Call, f.Owner, f.At)
+}
+
+// Injector is a deterministic fault schedule over the board mutation
+// surface. It is safe for concurrent use (parallel sweeps route several
+// boards at once), though its schedule is only reproducible when a
+// single board consults it.
+type Injector struct {
+	mu sync.Mutex
+
+	// every-Nth schedule; 0 disables the op.
+	everyAdd, everyVia int
+	// first-N schedule: fail calls 1..firstAdd / 1..firstVia; 0 disables.
+	firstAdd, firstVia int
+	// seeded Bernoulli schedule; rng nil disables it.
+	rng        *rand.Rand
+	pAdd, pVia float64
+
+	armed    bool
+	addCalls int
+	viaCalls int
+	faults   []Fault
+}
+
+// EveryNth builds an injector failing every addN-th AddSegment and every
+// viaN-th PlaceVia (1-based; 0 disables that op). It starts armed.
+func EveryNth(addN, viaN int) *Injector {
+	return &Injector{everyAdd: addN, everyVia: viaN, armed: true}
+}
+
+// FirstN builds an injector failing the first addN AddSegment and the
+// first viaN PlaceVia attempts, then letting everything through. Useful
+// for denying exactly the next placement — a put-back, say — and
+// watching the recovery succeed. It starts armed.
+func FirstN(addN, viaN int) *Injector {
+	return &Injector{firstAdd: addN, firstVia: viaN, armed: true}
+}
+
+// Seeded builds an injector failing each AddSegment with probability
+// pAdd and each PlaceVia with probability pVia, drawn from a generator
+// seeded with seed: the schedule is arbitrary but exactly reproducible.
+// It starts armed.
+func Seeded(seed int64, pAdd, pVia float64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), pAdd: pAdd, pVia: pVia, armed: true}
+}
+
+// Arm enables fault injection; Disarm suspends it (calls pass through
+// uncounted). Disarming lets a test place scaffolding mid-run without
+// perturbing the schedule.
+func (in *Injector) Arm() { in.mu.Lock(); in.armed = true; in.mu.Unlock() }
+
+// Disarm suspends fault injection.
+func (in *Injector) Disarm() { in.mu.Lock(); in.armed = false; in.mu.Unlock() }
+
+// Faults returns a copy of the injected-failure log, in order.
+func (in *Injector) Faults() []Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault(nil), in.faults...)
+}
+
+// Injected returns how many mutations have been vetoed so far.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.faults)
+}
+
+// Calls returns how many armed AddSegment and PlaceVia attempts have
+// been intercepted (vetoed or not).
+func (in *Injector) Calls() (addSegment, placeVia int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.addCalls, in.viaCalls
+}
+
+// AllowAddSegment implements board.Interposer.
+func (in *Injector) AllowAddSegment(li, ch, lo, hi int, owner layer.ConnID) bool {
+	if owner.Permanent() {
+		return true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.armed {
+		return true
+	}
+	in.addCalls++
+	if in.due(in.everyAdd, in.firstAdd, in.pAdd, in.addCalls) {
+		in.faults = append(in.faults, Fault{Op: AddSegment, Call: in.addCalls, Owner: owner})
+		return false
+	}
+	return true
+}
+
+// AllowPlaceVia implements board.Interposer.
+func (in *Injector) AllowPlaceVia(p geom.Point, owner layer.ConnID) bool {
+	if owner.Permanent() {
+		return true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.armed {
+		return true
+	}
+	in.viaCalls++
+	if in.due(in.everyVia, in.firstVia, in.pVia, in.viaCalls) {
+		in.faults = append(in.faults, Fault{Op: PlaceVia, Call: in.viaCalls, Owner: owner, At: p})
+		return false
+	}
+	return true
+}
+
+// due decides whether the schedule fires on this call. Callers hold mu.
+func (in *Injector) due(every, first int, p float64, call int) bool {
+	if every > 0 && call%every == 0 {
+		return true
+	}
+	if first > 0 && call <= first {
+		return true
+	}
+	return in.rng != nil && p > 0 && in.rng.Float64() < p
+}

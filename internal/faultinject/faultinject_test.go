@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/layer"
+)
+
+func newBoard(t *testing.T) *board.Board {
+	t.Helper()
+	b, err := board.New(grid.NewConfig(10, 10, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEveryNthAddSegment(t *testing.T) {
+	b := newBoard(t)
+	in := EveryNth(3, 0)
+	b.Interpose(in)
+
+	placed := 0
+	for i := 0; i < 9; i++ {
+		if b.AddSegment(0, 0, i*2, i*2, layer.ConnID(1)) != nil {
+			placed++
+		}
+	}
+	if placed != 6 {
+		t.Errorf("placed %d of 9 segments with every-3rd failing, want 6", placed)
+	}
+	if got := in.Injected(); got != 3 {
+		t.Errorf("injected %d faults, want 3", got)
+	}
+	for _, f := range in.Faults() {
+		if f.Op != AddSegment || f.Call%3 != 0 {
+			t.Errorf("unexpected fault %v", f)
+		}
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board inconsistent after injected failures: %v", err)
+	}
+}
+
+func TestEveryNthPlaceVia(t *testing.T) {
+	b := newBoard(t)
+	in := EveryNth(0, 2)
+	b.Interpose(in)
+
+	ok1, ok2 := false, false
+	if _, ok := b.PlaceVia(b.Cfg.GridOf(geom.Pt(1, 1)), 1); ok {
+		ok1 = true
+	}
+	if _, ok := b.PlaceVia(b.Cfg.GridOf(geom.Pt(2, 2)), 1); ok {
+		ok2 = true
+	}
+	if !ok1 || ok2 {
+		t.Errorf("every-2nd via: first=%v second=%v, want true,false", ok1, ok2)
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board inconsistent: %v", err)
+	}
+}
+
+func TestPermanentOwnersExempt(t *testing.T) {
+	b := newBoard(t)
+	in := EveryNth(1, 1) // fail everything that is failable
+	b.Interpose(in)
+
+	if err := b.PlacePin(b.Cfg.GridOf(geom.Pt(3, 3))); err != nil {
+		t.Errorf("pin placement vetoed: %v", err)
+	}
+	if s := b.AddSegment(0, 0, 0, 2, layer.KeepoutOwner); s == nil {
+		t.Error("keepout vetoed")
+	}
+	if s := b.AddSegment(0, 3, 0, 2, layer.ConnID(0)); s != nil {
+		t.Error("routable segment not vetoed")
+	}
+	if add, _ := in.Calls(); add != 1 {
+		t.Errorf("intercepted %d AddSegment calls, want 1 (permanent owners uncounted)", add)
+	}
+}
+
+func TestSeededScheduleIsReproducible(t *testing.T) {
+	run := func() []Fault {
+		b := newBoard(t)
+		in := Seeded(42, 0.5, 0)
+		b.Interpose(in)
+		for i := 0; i < 8; i++ {
+			b.AddSegment(0, 0, i*2, i*2, layer.ConnID(2))
+		}
+		return in.Faults()
+	}
+	a, c := run(), run()
+	if len(a) == 0 {
+		t.Fatal("seeded schedule with p=0.5 injected nothing in 8 calls")
+	}
+	if len(a) != len(c) {
+		t.Fatalf("runs differ: %d vs %d faults", len(a), len(c))
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Errorf("fault %d differs: %v vs %v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestDisarmSuspendsSchedule(t *testing.T) {
+	b := newBoard(t)
+	in := EveryNth(1, 1)
+	b.Interpose(in)
+	in.Disarm()
+	if s := b.AddSegment(0, 0, 0, 0, layer.ConnID(5)); s == nil {
+		t.Error("disarmed injector still vetoed")
+	}
+	in.Arm()
+	if s := b.AddSegment(0, 0, 4, 4, layer.ConnID(5)); s != nil {
+		t.Error("re-armed injector let a doomed call through")
+	}
+}
