@@ -1,13 +1,15 @@
 # Repo-wide checks. `make check` is what CI (and pre-commit discipline)
 # runs: vet, build everything, then the full test suite under the race
 # detector — the parallel Table 1 sweep only counts as exercised when it
-# runs race-clean.
+# runs race-clean — and a vulnerability scan when govulncheck is
+# available (the scan needs the tool and network access, so it is
+# skipped, loudly, where either is missing).
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench vulncheck
 
-check: vet build race
+check: vet build race vulncheck
 
 vet:
 	$(GO) vet ./...
@@ -23,3 +25,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi

@@ -8,21 +8,29 @@
 //	grr -design coproc.brd -routes coproc.rte -svg-dir figs/
 //	grr -design coproc.brd -conns coproc.con
 //	grr -design coproc.brd -time-budget 30s -node-budget 50000
+//	grr -design coproc.brd -checkpoint run.snap -checkpoint-every 64
+//	grr -resume run.snap   # continue a crashed or aborted run
 //	grr -table1            # regenerate the paper's Table 1 end to end
 //	grr -table1 -scale 2   # quick, reduced-size variant
 //
 // Exit codes:
 //
-//	0  every connection routed and (with -check) verified
-//	1  internal error: bad input, I/O failure, failed verification
+//	0  every connection routed and (with -check) verified; for -resume,
+//	   the resumed run completed the board
+//	1  internal error: bad input, I/O failure, failed verification, a
+//	   corrupt or truncated -resume snapshot, or a -checkpoint snapshot
+//	   that could not be written
 //	2  usage error
 //	3  incomplete but consistent: the route ran out of budget, was
 //	   interrupted, or left connections unrouted, yet the board state
-//	   is valid and any requested artifacts were still written
+//	   is valid and any requested artifacts were still written (a
+//	   -checkpoint run can be continued with -resume)
 //
 // SIGINT/SIGTERM cancel the route at its next checkpoint; the partial
 // result is reported and artifacts are written, exactly as when a
-// -time-budget expires.
+// -time-budget expires. With -checkpoint the run is additionally
+// resumable: because the router is deterministic, -resume finishes with
+// the exact board an uninterrupted run would have produced.
 package main
 
 import (
@@ -89,6 +97,10 @@ func run() int {
 		nodeBudget = flag.Int("node-budget", 0, "fail any connection whose search expands more than this many nodes (0 = none)")
 		paranoid   = flag.Bool("paranoid", false, "audit board invariants between routing passes; a broken invariant aborts with exit 1")
 
+		checkpoint = flag.String("checkpoint", "", "periodically save a resumable snapshot here (atomic rename; survives SIGKILL)")
+		ckEvery    = flag.Int("checkpoint-every", 64, "with -checkpoint: snapshot every N routing attempts")
+		resume     = flag.String("resume", "", "resume an interrupted run from this snapshot (written by -checkpoint)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile here")
 		memprofile = flag.String("memprofile", "", "write a heap profile here on exit")
 	)
@@ -122,18 +134,27 @@ func run() int {
 		return exitUsage
 	}
 
+	cfg := singleConfig{
+		design: *design, connsF: *connsF, routes: *routes, svgDir: *svgDir,
+		gerber: *gerber, trees: *trees, check: *check, report: *report,
+		runDRC: *runDRC, congst: *congst,
+		checkpoint: *checkpoint, ckEvery: *ckEvery,
+	}
+	if *resume != "" {
+		if *table1 || *design != "" {
+			fmt.Fprintln(os.Stderr, "grr: -resume excludes -design and -table1")
+			return exitUsage
+		}
+		return runResume(ctx, cfg, *resume, opts)
+	}
 	if *table1 {
 		return runTable1(ctx, *scale, opts, *jobs)
 	}
 	if *design == "" {
-		fmt.Fprintln(os.Stderr, "grr: -design or -table1 is required")
+		fmt.Fprintln(os.Stderr, "grr: -design, -table1 or -resume is required")
 		return exitUsage
 	}
-	return runSingle(ctx, singleConfig{
-		design: *design, connsF: *connsF, routes: *routes, svgDir: *svgDir,
-		gerber: *gerber, trees: *trees, check: *check, report: *report,
-		runDRC: *runDRC, congst: *congst,
-	}, opts)
+	return runSingle(ctx, cfg, opts)
 }
 
 // runTable1 sweeps the Table 1 boards. Boards that failed outright are
@@ -169,6 +190,23 @@ func runTable1(ctx context.Context, scale int, opts core.Options, jobs int) int 
 type singleConfig struct {
 	design, connsF, routes, svgDir, gerber string
 	trees, check, report, runDRC, congst   bool
+	checkpoint                             string
+	ckEvery                                int
+}
+
+// attachCheckpointSink wires a periodic snapshot writer into opts. The
+// serialized options are a copy taken now, before core.New: they are the
+// algorithmic inputs a -resume run needs to replay the remainder of the
+// route deterministically.
+func attachCheckpointSink(opts *core.Options, path string, every int, d *netlist.Design, conns []core.Connection) {
+	opts.CheckpointEvery = every
+	serial := *opts
+	serial.CheckpointSink = nil
+	opts.CheckpointSink = func(cp *core.Checkpoint) error {
+		return boardio.SaveSnapshot(path, &boardio.Snapshot{
+			Design: d, Conns: conns, Opts: serial, Check: cp,
+		})
+	}
 }
 
 // runSingle routes one design. Artifacts (.rte, SVGs, photoplots) are
@@ -207,10 +245,44 @@ func runSingle(ctx context.Context, cfg singleConfig, opts core.Options) int {
 		conns = sr.Conns
 	}
 
+	if cfg.checkpoint != "" {
+		attachCheckpointSink(&opts, cfg.checkpoint, cfg.ckEvery, d, conns)
+	}
 	r, err := core.New(b, conns, opts)
 	if err != nil {
 		return fail(err)
 	}
+	return routeAndReport(ctx, cfg, d, b, conns, r)
+}
+
+// runResume reloads a -checkpoint snapshot and routes the rest of the
+// board. Algorithmic options come from the snapshot — replaying the
+// remainder with different knobs would diverge from the uninterrupted
+// run — while operational ones (budget, checkpointing) come from this
+// command line.
+func runResume(ctx context.Context, cfg singleConfig, path string, flagOpts core.Options) int {
+	snap, err := boardio.LoadSnapshot(path)
+	if err != nil {
+		return fail(err)
+	}
+	snap.Opts.TimeBudget = flagOpts.TimeBudget
+	snap.Opts.Paranoid = snap.Opts.Paranoid || flagOpts.Paranoid
+	snap.Opts.CheckpointEvery = 0
+	if cfg.checkpoint != "" {
+		attachCheckpointSink(&snap.Opts, cfg.checkpoint, cfg.ckEvery, snap.Design, snap.Conns)
+	}
+	b, r, err := snap.Restore()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("resumed %s: pass %d, connection %d/%d\n",
+		snap.Design.Name, snap.Check.Pass+1, snap.Check.NextPos, len(snap.Conns))
+	return routeAndReport(ctx, cfg, snap.Design, b, snap.Conns, r)
+}
+
+// routeAndReport runs a prepared router to completion and handles all
+// reporting and artifact emission shared by fresh and resumed runs.
+func routeAndReport(ctx context.Context, cfg singleConfig, d *netlist.Design, b *board.Board, conns []core.Connection, r *core.Router) int {
 	start := time.Now()
 	res := r.RouteContext(ctx)
 	elapsed := time.Since(start)
@@ -228,6 +300,9 @@ func runSingle(ctx context.Context, cfg singleConfig, opts core.Options) int {
 	code := exitOK
 	if res.Aborted == core.AbortInvariant {
 		fmt.Fprintln(os.Stderr, "grr: invariant broken:", res.Invariant)
+		code = exitInternal
+	} else if res.Aborted == core.AbortCheckpoint {
+		fmt.Fprintln(os.Stderr, "grr: checkpoint write failed:", res.Invariant)
 		code = exitInternal
 	} else if !res.Complete() {
 		code = exitIncomplete

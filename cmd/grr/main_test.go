@@ -73,8 +73,61 @@ func TestExitUsageWithoutDesign(t *testing.T) {
 	if code != exitUsage {
 		t.Fatalf("exit code = %d, want %d\n%s", code, exitUsage, out)
 	}
-	if !strings.Contains(out, "-design or -table1") {
+	if !strings.Contains(out, "-design, -table1 or -resume") {
 		t.Errorf("usage message missing: %s", out)
+	}
+}
+
+// TestCheckpointResume drives the full operator workflow: route with
+// periodic snapshots, resume from the snapshot (exit 0, same verified
+// board), then corrupt the snapshot and demand a clean exit-1 rejection.
+func TestCheckpointResume(t *testing.T) {
+	brd := writeDesignFile(t)
+	snap := filepath.Join(t.TempDir(), "run.snap")
+
+	out, code := runGrr(t, "-design", brd, "-checkpoint", snap, "-checkpoint-every", "1")
+	if code != exitOK {
+		t.Fatalf("checkpointed run exit code = %d, want %d\n%s", code, exitOK, out)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if _, err := os.Stat(snap + ".tmp"); err == nil {
+		t.Error("temporary snapshot file left behind")
+	}
+
+	out, code = runGrr(t, "-resume", snap)
+	if code != exitOK {
+		t.Fatalf("resume exit code = %d, want %d\n%s", code, exitOK, out)
+	}
+	if !strings.Contains(out, "resumed cli-test") {
+		t.Errorf("resume banner missing: %s", out)
+	}
+	if !strings.Contains(out, "connectivity verified") {
+		t.Errorf("resumed board failed verification: %s", out)
+	}
+
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runGrr(t, "-resume", snap)
+	if code != exitInternal {
+		t.Fatalf("corrupt snapshot exit code = %d, want %d\n%s", code, exitInternal, out)
+	}
+	if !strings.Contains(out, "checksum") {
+		t.Errorf("corruption diagnosis missing: %s", out)
+	}
+}
+
+func TestResumeExcludesDesign(t *testing.T) {
+	out, code := runGrr(t, "-resume", "x.snap", "-design", "y.brd")
+	if code != exitUsage {
+		t.Fatalf("exit code = %d, want %d\n%s", code, exitUsage, out)
 	}
 }
 

@@ -31,8 +31,27 @@ type Board struct {
 	// generator consults this list separately.
 	OffGridHoles []geom.Point
 
+	// VerifyRollbacks makes a successful Tx.Rollback verify that the
+	// board fingerprint returned to its Begin-time value. The check only
+	// applies when no other transaction committed in between (see
+	// commitEpoch) — a rip-up transaction held open across a successful
+	// re-route legitimately rolls back onto a changed board. The router
+	// sets it under Options.Paranoid; the cost is two Fingerprint passes
+	// per verified rollback.
+	VerifyRollbacks bool
+
 	// interposer, when set, may veto mutations (see Interpose).
 	interposer Interposer
+	// observer, when set, is notified after every applied mutation.
+	observer MutationObserver
+
+	// seq counts applied mutations; openTxs counts transactions holding
+	// unresolved journal entries (see OpenTxs); commitEpoch counts
+	// transactions whose mutations became permanent, so a rollback can
+	// tell whether the board may legally differ from its Begin-time state.
+	seq         uint64
+	openTxs     int
+	commitEpoch uint64
 }
 
 // Interposer intercepts board mutations before they are applied. A
@@ -48,8 +67,32 @@ type Interposer interface {
 	AllowPlaceVia(p geom.Point, owner layer.ConnID) bool
 }
 
-// Interpose installs the mutation interposer; nil removes it.
-func (b *Board) Interpose(i Interposer) { b.interposer = i }
+// MutationObserver is an optional extension of Interposer: an interposer
+// that also implements it is notified after every applied mutation,
+// including removals (which Interposer cannot veto). The crash-injection
+// harness uses it to kill a run at exactly the Nth mutation.
+type MutationObserver interface {
+	ObserveMutation(rec Record)
+}
+
+// Interpose installs the mutation interposer; nil removes it. If the
+// interposer also implements MutationObserver it is installed as the
+// board's mutation observer.
+func (b *Board) Interpose(i Interposer) {
+	b.interposer = i
+	b.observer, _ = i.(MutationObserver)
+}
+
+// Mutations returns the number of mutations applied to the board so far.
+func (b *Board) Mutations() uint64 { return b.seq }
+
+// mutated records one applied mutation and notifies the observer.
+func (b *Board) mutated(rec Record) {
+	b.seq++
+	if b.observer != nil {
+		b.observer.ObserveMutation(rec)
+	}
+}
 
 // New builds an empty board for the given configuration.
 func New(cfg grid.Config) (*Board, error) {
@@ -88,9 +131,17 @@ func (b *Board) AddSegment(li, ch, lo, hi int, owner layer.ConnID) *layer.Segmen
 	if b.interposer != nil && !b.interposer.AllowAddSegment(li, ch, lo, hi, owner) {
 		return nil
 	}
+	return b.applySegment(li, ch, lo, hi, owner)
+}
+
+// applySegment is AddSegment without the interposer veto — the internal
+// mutation path, also used by rollback recovery (which must not be
+// vetoed; see Tx.redoFrom).
+func (b *Board) applySegment(li, ch, lo, hi int, owner layer.ConnID) *layer.Segment {
 	s := b.Layers[li].Add(ch, lo, hi, owner)
 	if s != nil {
 		b.bumpVias(li, ch, lo, hi, +1)
+		b.mutated(Record{Kind: OpAddSegment, Layer: li, Ch: ch, Span: geom.Iv(lo, hi), Owner: owner})
 	}
 	return s
 }
@@ -99,8 +150,10 @@ func (b *Board) AddSegment(li, ch, lo, hi int, owner layer.ConnID) *layer.Segmen
 // updates the via map.
 func (b *Board) RemoveSegment(li int, s *layer.Segment) {
 	ch, lo, hi := s.Channel(), s.Lo, s.Hi
+	owner := s.Owner
 	b.Layers[li].Remove(s)
 	b.bumpVias(li, ch, lo, hi, -1)
+	b.mutated(Record{Kind: OpRemoveSegment, Layer: li, Ch: ch, Span: geom.Iv(lo, hi), Owner: owner})
 }
 
 // bumpVias adjusts the via-map counts for every via site covered by the
@@ -159,10 +212,25 @@ func (b *Board) PlaceVia(p geom.Point, owner layer.ConnID) (PlacedVia, bool) {
 	if b.interposer != nil && !b.interposer.AllowPlaceVia(p, owner) {
 		return PlacedVia{}, false
 	}
+	return b.drillVia(p, owner, false)
+}
+
+// placeViaQuiet is PlaceVia without any interposer veto — the internal
+// via path used by rollback recovery (see Tx.redoFrom).
+func (b *Board) placeViaQuiet(p geom.Point, owner layer.ConnID) (PlacedVia, bool) {
+	return b.drillVia(p, owner, true)
+}
+
+func (b *Board) drillVia(p geom.Point, owner layer.ConnID, quiet bool) (PlacedVia, bool) {
 	pv := PlacedVia{At: p, Segs: make([]*layer.Segment, 0, len(b.Layers))}
 	for li, l := range b.Layers {
 		ch, pos := b.Cfg.ChanPos(l.Orient, p)
-		s := b.AddSegment(li, ch, pos, pos, owner)
+		var s *layer.Segment
+		if quiet {
+			s = b.applySegment(li, ch, pos, pos, owner)
+		} else {
+			s = b.AddSegment(li, ch, pos, pos, owner)
+		}
 		if s == nil {
 			b.RemoveVia(pv)
 			return PlacedVia{}, false
@@ -228,10 +296,46 @@ func (b *Board) FreeAt(li int, p geom.Point) bool {
 	return b.OwnerAt(li, p) == layer.NoConn
 }
 
+// Fingerprint returns an FNV-64a hash of the complete board state:
+// every segment on every layer (in canonical channel order), the
+// off-grid hole list, and the via-map counts. Two boards with the same
+// fingerprint hold bit-identical routing state; Tx rollback verification
+// and the checkpoint/resume equivalence tests are built on it.
+func (b *Board) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	for li, l := range b.Layers {
+		mix(uint64(li))
+		l.VisitSegments(func(ch int, s *layer.Segment) bool {
+			mix(uint64(ch))
+			mix(uint64(int64(s.Lo)))
+			mix(uint64(int64(s.Hi)))
+			mix(uint64(int64(s.Owner)))
+			return true
+		})
+	}
+	for _, p := range b.OffGridHoles {
+		mix(uint64(int64(p.X)))
+		mix(uint64(int64(p.Y)))
+	}
+	mix(b.Vias.Checksum())
+	return h
+}
+
 // Audit cross-checks every layer's channel invariants and recomputes the
 // via map from scratch, returning an error describing the first
 // inconsistency. Integration tests call it after routing.
 func (b *Board) Audit() error {
+	if err := b.Vias.Invariant(); err != nil {
+		return err
+	}
 	for _, l := range b.Layers {
 		if err := l.Audit(); err != nil {
 			return err

@@ -1,0 +1,174 @@
+package boardio
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+// TestRoundTripProperty is one property harness over both persistence
+// codecs: for a spread of generated designs, the text formats
+// (WriteDesign/ReadDesign, WriteConnections/ReadConnections) and the
+// snapshot codec must all be write/read idempotent — re-serializing the
+// parse of a serialization reproduces the bytes exactly. The snapshot
+// half runs against a real mid-route checkpoint, not a synthetic one.
+func TestRoundTripProperty(t *testing.T) {
+	specs := []workload.Spec{
+		workload.Table1Specs()[0].Scale(4),
+		workload.Table1Specs()[3].Scale(6),
+		workload.Table1Specs()[7].Scale(8),
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			d, err := workload.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Design text format: serialize, parse, re-serialize, compare.
+			var d1 bytes.Buffer
+			if err := WriteDesign(&d1, d); err != nil {
+				t.Fatal(err)
+			}
+			d2, err := ReadDesign(bytes.NewReader(d1.Bytes()))
+			if err != nil {
+				t.Fatalf("generated design does not parse: %v", err)
+			}
+			var d3 bytes.Buffer
+			if err := WriteDesign(&d3, d2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(d1.Bytes(), d3.Bytes()) {
+				t.Error("design serialization is not idempotent")
+			}
+
+			// Connections text format, on the design's strung connections.
+			strung, err := stringer.String(d, stringer.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c1 bytes.Buffer
+			if err := WriteConnections(&c1, strung.Conns); err != nil {
+				t.Fatal(err)
+			}
+			conns, err := ReadConnections(bytes.NewReader(c1.Bytes()))
+			if err != nil {
+				t.Fatalf("strung connections do not parse: %v", err)
+			}
+			var c2 bytes.Buffer
+			if err := WriteConnections(&c2, conns); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+				t.Error("connection serialization is not idempotent")
+			}
+
+			// Snapshot codec, against a checkpoint cut mid-route.
+			cp := cutCheckpoint(t, d2, conns)
+			snap := &Snapshot{Design: d2, Conns: conns, Opts: core.DefaultOptions(), Check: cp}
+			var s1 bytes.Buffer
+			if err := WriteSnapshot(&s1, snap); err != nil {
+				t.Fatal(err)
+			}
+			snap2, err := ReadSnapshot(bytes.NewReader(s1.Bytes()))
+			if err != nil {
+				t.Fatalf("snapshot does not parse: %v", err)
+			}
+			var s2 bytes.Buffer
+			if err := WriteSnapshot(&s2, snap2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+				t.Error("snapshot serialization is not idempotent")
+			}
+			if snap2.Check.Pass != cp.Pass || snap2.Check.NextPos != cp.NextPos ||
+				snap2.Check.PrevUnrouted != cp.PrevUnrouted || snap2.Check.Metrics != cp.Metrics {
+				t.Error("snapshot round trip changed the cursor or metrics")
+			}
+			if _, _, err := snap2.Restore(); err != nil {
+				t.Errorf("round-tripped snapshot does not restore: %v", err)
+			}
+
+			// Every single-byte corruption of the body must be rejected:
+			// the trailer checksum is whole-file.
+			corrupt := append([]byte(nil), s1.Bytes()...)
+			for _, i := range []int{0, len(corrupt) / 2, len(corrupt) - 20} {
+				orig := corrupt[i]
+				corrupt[i] ^= 0x20
+				if _, err := ReadSnapshot(bytes.NewReader(corrupt)); err == nil {
+					t.Errorf("corrupted byte %d accepted", i)
+				}
+				corrupt[i] = orig
+			}
+			// Truncation — the expected crash-time corruption — likewise.
+			if _, err := ReadSnapshot(bytes.NewReader(s1.Bytes()[:s1.Len()*2/3])); err == nil {
+				t.Error("truncated snapshot accepted")
+			}
+		})
+	}
+}
+
+// cutCheckpoint routes conns on a fresh board built from d, cutting a
+// checkpoint after every attempt, and returns the last one.
+func cutCheckpoint(t *testing.T, d *netlist.Design, conns []core.Connection) *core.Checkpoint {
+	t.Helper()
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.CheckpointEvery = 1
+	var last *core.Checkpoint
+	opts.CheckpointSink = func(cp *core.Checkpoint) error { last = cp; return nil }
+	r, err := core.New(b, conns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Route(); res.Aborted != core.AbortNone {
+		t.Fatalf("checkpointed route aborted: %v (%v)", res.Aborted, res.Invariant)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint was cut")
+	}
+	return last
+}
+
+// TestSaveSnapshotAtomic checks the tmp+rename discipline: a successful
+// save leaves no temporary behind, and the saved file loads back.
+func TestSaveSnapshotAtomic(t *testing.T) {
+	d, err := workload.Generate(workload.Table1Specs()[0].Scale(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strung, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := cutCheckpoint(t, d, strung.Conns)
+	snap := &Snapshot{Design: d, Conns: strung.Conns, Opts: core.DefaultOptions(), Check: cp}
+
+	path := filepath.Join(t.TempDir(), "run.snap")
+	if err := SaveSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path + ".tmp"); err == nil {
+		t.Error("temporary file left behind after a successful save")
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Check.Metrics != cp.Metrics {
+		t.Error("loaded snapshot lost metrics")
+	}
+}

@@ -167,8 +167,22 @@ type Options struct {
 	// connection still owns the metal its Route records. The first
 	// violation aborts routing with Result.Aborted = AbortInvariant and
 	// an error naming the pass and connection. For debugging and
-	// fault-injection tests; costs one board sweep per pass.
+	// fault-injection tests; costs one board sweep per pass. Paranoid
+	// also arms board.VerifyRollbacks, so every transaction rollback is
+	// checked to restore a bit-identical board.
 	Paranoid bool
+	// CheckpointEvery, with CheckpointSink set, emits a Checkpoint after
+	// every CheckpointEvery-th routing attempt, at a connection boundary
+	// (never mid-placement: the router asserts no transaction is open).
+	// Zero disables checkpointing; the routing fast path is then
+	// untouched and bit-identical to a checkpoint-free build.
+	CheckpointEvery int
+	// CheckpointSink receives each emitted Checkpoint. An error aborts
+	// the run with AbortCheckpoint — a router that was asked to be
+	// resumable but cannot persist its progress should stop, not burn
+	// hours of unrecoverable work. The sink is a function, not a path, so
+	// core stays free of serialization concerns (boardio owns the codec).
+	CheckpointSink func(*Checkpoint) error
 }
 
 // DefaultOptions returns the configuration used for all Table 1 runs.
@@ -248,6 +262,12 @@ type Route struct {
 	Segs []PlacedSeg
 	// Vias holds every via drilled for the connection.
 	Vias []board.PlacedVia
+
+	// tx is the open transaction journaling this route's placements while
+	// it is still speculative. Committing the route (commit) seals it;
+	// abandoning the route (rollback) undoes it. Always nil on a route
+	// stored in Router.routes.
+	tx *board.Tx
 }
 
 // PlacedSeg pairs a live channel segment with its layer.
@@ -262,10 +282,11 @@ type PlacedSeg struct {
 type AbortReason uint8
 
 const (
-	AbortNone      AbortReason = iota
-	AbortTime                  // Options.TimeBudget expired
-	AbortCancelled             // the RouteContext context was cancelled
-	AbortInvariant             // a Paranoid audit found a broken invariant
+	AbortNone       AbortReason = iota
+	AbortTime                   // Options.TimeBudget expired
+	AbortCancelled              // the RouteContext context was cancelled
+	AbortInvariant              // a Paranoid audit found a broken invariant
+	AbortCheckpoint             // Options.CheckpointSink returned an error
 )
 
 func (a AbortReason) String() string {
@@ -276,6 +297,8 @@ func (a AbortReason) String() string {
 		return "cancelled"
 	case AbortInvariant:
 		return "invariant violated"
+	case AbortCheckpoint:
+		return "checkpoint write failed"
 	default:
 		return "none"
 	}

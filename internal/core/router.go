@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -23,7 +24,7 @@ type Router struct {
 
 	routes  []Route // indexed like Conns
 	order   []int   // routing order (indices into Conns)
-	ripped  map[int]rippedRoute
+	ripped  map[int]*board.Tx
 	search  *sla.Searcher
 	metrics Metrics
 
@@ -47,6 +48,15 @@ type Router struct {
 	// the connection being routed, and whether its budget ran out.
 	connExpBase   int
 	nodeBudgetHit bool
+
+	// Checkpoint/resume state. sinceCk counts routing attempts since the
+	// last checkpoint; the start* fields are the resume cursor installed
+	// by Resume (zero for a fresh run).
+	sinceCk    int
+	startPass  int
+	startPos   int
+	resumePrev int
+	resumed    bool
 }
 
 // New builds a router for the given board and connections. The
@@ -76,13 +86,16 @@ func New(b *board.Board, conns []Connection, opts Options) (*Router, error) {
 			return nil, fmt.Errorf("core: connection %d endpoint off via grid: %v-%v (set AllowOffGrid to permit)", i, c.A, c.B)
 		}
 	}
+	if opts.Paranoid {
+		b.VerifyRollbacks = true
+	}
 	r := &Router{
 		B:     b,
 		Opts:  opts,
 		Conns: append([]Connection(nil), conns...),
 	}
 	r.routes = make([]Route, len(r.Conns))
-	r.ripped = make(map[int]rippedRoute)
+	r.ripped = make(map[int]*board.Tx)
 	r.search = sla.NewSearcher(b.Cfg)
 	r.order = SortOrder(b, r.Conns, opts.Sort)
 	r.scratch.init(b.Cfg)
@@ -185,20 +198,35 @@ func (r *Router) beginConnBudget() {
 	r.nodeBudgetHit = false
 }
 
-// run is the Section 8.4 outer loop.
+// run is the Section 8.4 outer loop. A resumed router (see Resume)
+// re-enters the loop at the checkpointed cursor — pass, position within
+// the pass, and the previous pass's unrouted count — and from there
+// behaves exactly like the uninterrupted run: the algorithm consumes no
+// other history.
 func (r *Router) run() Result {
 	r.metrics.Connections = len(r.Conns)
 	prevUnrouted := len(r.Conns) + 1
+	startPos := 0
+	if r.resumed {
+		prevUnrouted = r.resumePrev
+		startPos = r.startPos
+	}
 passes:
-	for pass := 0; pass < r.Opts.MaxPasses; pass++ {
-		for _, i := range r.order {
+	for pass := r.startPass; pass < r.Opts.MaxPasses; pass++ {
+		for pi := startPos; pi < len(r.order); pi++ {
+			i := r.order[pi]
 			if r.abortCheck() {
 				break passes
 			}
 			if r.routes[i].Method == NotRouted {
 				r.routeOne(i)
+				r.maybeCheckpoint(pass, pi+1, prevUnrouted)
+				if r.abortReason != AbortNone {
+					break passes
+				}
 			}
 		}
+		startPos = 0
 		r.metrics.Passes++
 		if !r.paranoidCheck(fmt.Sprintf("pass %d", pass)) {
 			break
@@ -398,8 +426,12 @@ func (r *Router) routeOne(i int) bool {
 	}
 }
 
-// commit records a successful route.
+// commit records a successful route, sealing its transaction.
 func (r *Router) commit(i int, rt Route, m Method) {
+	if rt.tx != nil {
+		rt.tx.Commit()
+		rt.tx = nil
+	}
 	rt.Method = m
 	r.routes[i] = rt
 	r.metrics.ByMethod[m]++
@@ -412,6 +444,24 @@ func (r *Router) commit(i int, rt Route, m Method) {
 // connID maps a connection index to its segment-owner ID.
 func (r *Router) connID(i int) layer.ConnID { return layer.ConnID(i + r.Opts.IDBase) }
 
+// tx returns rt's open transaction, beginning it lazily on the first
+// placement so routes that never touch the board never open one.
+func (r *Router) tx(rt *Route) *board.Tx {
+	if rt.tx == nil {
+		rt.tx = r.B.Begin()
+	}
+	return rt.tx
+}
+
+// invariantStop aborts the run on a broken journal invariant, keeping
+// the first error.
+func (r *Router) invariantStop(err error) {
+	if r.invariant == nil {
+		r.invariant = err
+	}
+	r.abortReason = AbortInvariant
+}
+
 // materialize places the runs of one single-layer trace, appending the
 // created segments to rt. On a collision it rolls the whole route back
 // and reports failure; collisions here are rare (they require a via
@@ -419,7 +469,7 @@ func (r *Router) connID(i int) layer.ConnID { return layer.ConnID(i + r.Opts.IDB
 // junction needed) and the caller simply tries another strategy.
 func (r *Router) materialize(rt *Route, li int, runs []sla.Run, id layer.ConnID) bool {
 	for _, run := range runs {
-		s := r.B.AddSegment(li, run.Chan, run.Span.Lo, run.Span.Hi, id)
+		s := r.tx(rt).AddSegment(li, run.Chan, run.Span.Lo, run.Span.Hi, id)
 		if s == nil {
 			r.rollback(rt)
 			return false
@@ -429,20 +479,23 @@ func (r *Router) materialize(rt *Route, li int, runs []sla.Run, id layer.ConnID)
 	return true
 }
 
-// rollback removes everything rt has placed.
+// rollback undoes everything rt has placed by rolling back its
+// transaction. rt holds only placements, so the journal inverses are
+// removals and cannot conflict; any error is a broken invariant
+// (rollback-verification failure under Paranoid) and aborts the run.
 func (r *Router) rollback(rt *Route) {
-	for _, ps := range rt.Segs {
-		r.B.RemoveSegment(ps.Layer, ps.Seg)
-	}
-	for _, pv := range rt.Vias {
-		r.B.RemoveVia(pv)
+	if rt.tx != nil {
+		if _, err := rt.tx.Rollback(); err != nil {
+			r.invariantStop(err)
+		}
+		rt.tx = nil
 	}
 	rt.Segs, rt.Vias = nil, nil
 }
 
 // drill places a via for rt at p.
 func (r *Router) drill(rt *Route, p geom.Point, id layer.ConnID) bool {
-	pv, ok := r.B.PlaceVia(p, id)
+	pv, ok := r.tx(rt).PlaceVia(p, id)
 	if !ok {
 		return false
 	}
@@ -450,72 +503,75 @@ func (r *Router) drill(rt *Route, p geom.Point, id layer.ConnID) bool {
 	return true
 }
 
-// unrealize removes connection i's realization from the board, adjusting
-// the metrics and returning an exact record of where it was.
-func (r *Router) unrealize(i int) rippedRoute {
-	old := r.routes[i]
-	shadowSegs := make([]rippedSeg, 0, len(old.Segs))
-	for _, ps := range old.Segs {
-		shadowSegs = append(shadowSegs, rippedSeg{
-			layer: ps.Layer, ch: ps.Seg.Channel(), span: ps.Seg.Interval(),
-		})
-		r.metrics.WireLength -= ps.Seg.Interval().Len()
-		r.B.RemoveSegment(ps.Layer, ps.Seg)
+// absorb merges a completed leg placement — and its open transaction —
+// into rt, so the combined route commits or rolls back as one unit.
+func (r *Router) absorb(rt *Route, leg *Route) {
+	rt.Segs = append(rt.Segs, leg.Segs...)
+	rt.Vias = append(rt.Vias, leg.Vias...)
+	if leg.tx != nil {
+		if rt.tx == nil {
+			rt.tx = leg.tx
+		} else {
+			rt.tx.Adopt(leg.tx)
+		}
+		leg.tx = nil
 	}
-	shadowVias := make([]geom.Point, 0, len(old.Vias))
+}
+
+// unrealize removes connection i's realization from the board through a
+// fresh transaction, adjusting the metrics. Rolling the returned
+// transaction back re-creates the realization exactly (restore);
+// committing it makes the removal permanent.
+func (r *Router) unrealize(i int) *board.Tx {
+	old := r.routes[i]
+	tx := r.B.Begin()
+	for _, ps := range old.Segs {
+		r.metrics.WireLength -= ps.Seg.Interval().Len()
+		tx.RemoveSegment(ps.Layer, ps.Seg)
+	}
 	for _, pv := range old.Vias {
-		shadowVias = append(shadowVias, pv.At)
-		r.B.RemoveVia(pv)
+		tx.RemoveVia(pv)
 	}
 	r.metrics.ViasAdded -= len(old.Vias)
 	r.metrics.ByMethod[old.Method]--
 	r.routes[i] = Route{Method: NotRouted}
-	return rippedRoute{segs: shadowSegs, vias: shadowVias}
+	return tx
 }
 
-// reinsert re-creates a previously removed realization exactly. It
-// reports failure (with everything rolled back) if any of the space has
-// been taken.
-func (r *Router) reinsert(i int, rec rippedRoute, method Method) bool {
-	var rt Route
-	id := r.connID(i)
-	for _, p := range rec.vias {
-		if !r.drill(&rt, p, id) {
-			r.rollback(&rt)
+// restore re-creates connection i's unrealized route by rolling back its
+// rip transaction. It reports failure if any of the space has been taken
+// (the board is then back in the ripped state); a journal invariant
+// breach additionally aborts the run, which the caller must check.
+func (r *Router) restore(i int, tx *board.Tx, method Method) bool {
+	undo, err := tx.Rollback()
+	if err != nil {
+		var ce *board.ConflictError
+		if errors.As(err, &ce) {
 			return false
 		}
+		r.invariantStop(err)
+		return false
 	}
-	for _, rs := range rec.segs {
-		s := r.B.AddSegment(rs.layer, rs.ch, rs.span.Lo, rs.span.Hi, id)
-		if s == nil {
-			r.rollback(&rt)
-			return false
-		}
-		rt.Segs = append(rt.Segs, PlacedSeg{Layer: rs.layer, Seg: s})
+	// The undo lists run newest-removal-first; reverse them so the
+	// rebuilt Route carries its metal in the original placement order.
+	var rt Route
+	for k := len(undo.Vias) - 1; k >= 0; k-- {
+		rt.Vias = append(rt.Vias, undo.Vias[k])
+	}
+	for k := len(undo.Segs) - 1; k >= 0; k-- {
+		rt.Segs = append(rt.Segs, PlacedSeg{Layer: undo.Segs[k].Layer, Seg: undo.Segs[k].Seg})
 	}
 	r.commit(i, rt, method)
 	return true
 }
 
-// ripUp removes connection v's realization from the board, remembering
-// exactly where it was so putBack can re-insert it cheaply (Section 8.3).
+// ripUp removes connection v's realization from the board, retaining the
+// open rip transaction so putBack can re-insert it cheaply (Section 8.3)
+// by rolling it back.
 func (r *Router) ripUp(v int) {
-	rec := r.unrealize(v)
+	tx := r.unrealize(v)
 	r.metrics.RipUps++
-	r.ripped[v] = rec
-}
-
-// rippedSeg and rippedRoute remember where a ripped-up connection used to
-// be so it can be re-inserted "at very low cost".
-type rippedSeg struct {
-	layer int
-	ch    int
-	span  geom.Interval
-}
-
-type rippedRoute struct {
-	segs []rippedSeg
-	vias []geom.Point
+	r.ripped[v] = tx
 }
 
 // putBack attempts to re-insert each ripped victim exactly where it was.
@@ -524,16 +580,24 @@ type rippedRoute struct {
 // marked for re-routing in the connection list").
 func (r *Router) putBack(victims []int) {
 	for _, v := range victims {
-		rec, ok := r.ripped[v]
-		if !ok || r.routes[v].Method != NotRouted {
-			continue
-		}
-		if r.reinsert(v, rec, PutBack) {
-			delete(r.ripped, v)
-			r.metrics.PutBacks++
+		tx, ok := r.ripped[v]
+		if !ok {
 			continue
 		}
 		delete(r.ripped, v)
+		if r.routes[v].Method != NotRouted {
+			// The victim was re-routed in the meantime; its old metal
+			// must stay off the board.
+			tx.Commit()
+			continue
+		}
+		if r.restore(v, tx, PutBack) {
+			r.metrics.PutBacks++
+			continue
+		}
+		if r.abortReason == AbortInvariant {
+			return
+		}
 		r.metrics.ReRouted++
 		// The new connection took some of the victim's old space. Try a
 		// fresh route immediately — without rip-up rights, so victims

@@ -28,7 +28,7 @@ func (r *Router) RouteThrough(i int, waypoints []geom.Point) bool {
 	}
 	oldMethod := r.routes[i].Method
 	r.beginConnBudget()
-	rec := r.unrealize(i)
+	ripTx := r.unrealize(i)
 
 	var rt Route
 	ok := true
@@ -48,35 +48,37 @@ func (r *Router) RouteThrough(i int, waypoints []geom.Point) bool {
 		}
 	}
 	if ok {
+		ripTx.Commit() // the old realization stays off the board
 		r.commit(i, rt, oldMethod)
 		return true
 	}
 	r.rollback(&rt)
-	if !r.reinsert(i, rec, oldMethod) {
-		// Cannot happen: the space was just vacated and every partial
-		// placement has been rolled back. Guard anyway.
-		panic("core: RouteThrough failed to restore the original route")
+	if !r.restore(i, ripTx, oldMethod) {
+		if r.abortReason == AbortNone {
+			// Cannot happen: the space was just vacated and every partial
+			// placement has been rolled back. Guard anyway.
+			panic("core: RouteThrough failed to restore the original route")
+		}
+		return false
 	}
 	return false
 }
 
-// routeLegInto routes one leg between two occupied points, appending the
-// placement to rt. The leg tries the usual ladder without rip-up. A leg
-// failure leaves rt partially built; the caller rolls back.
+// routeLegInto routes one leg between two occupied points, absorbing the
+// placement (and its transaction) into rt. The leg tries the usual
+// ladder without rip-up. A leg failure leaves rt partially built; the
+// caller rolls back.
 func (r *Router) routeLegInto(rt *Route, a, b geom.Point, id layer.ConnID) bool {
 	if leg, ok := r.zeroViaPts(a, b, id); ok {
-		rt.Segs = append(rt.Segs, leg.Segs...)
-		rt.Vias = append(rt.Vias, leg.Vias...)
+		r.absorb(rt, &leg)
 		return true
 	}
 	if leg, ok := r.oneViaPts(a, b, id); ok {
-		rt.Segs = append(rt.Segs, leg.Segs...)
-		rt.Vias = append(rt.Vias, leg.Vias...)
+		r.absorb(rt, &leg)
 		return true
 	}
 	if leg, _, ok := r.leePts(a, b, id); ok {
-		rt.Segs = append(rt.Segs, leg.Segs...)
-		rt.Vias = append(rt.Vias, leg.Vias...)
+		r.absorb(rt, &leg)
 		return true
 	}
 	return false

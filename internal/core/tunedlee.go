@@ -34,7 +34,7 @@ func (r *Router) TunedLee(i int, targetPs, tolPs float64, cellPs []float64, maxA
 	id := r.connID(i)
 	oldMethod := r.routes[i].Method
 	r.beginConnBudget()
-	rec := r.unrealize(i)
+	ripTx := r.unrealize(i)
 
 	const fsPerPs = 1024 // fixed-point scale for integral heap costs
 	cellFs := make([]int64, len(cellPs))
@@ -70,6 +70,7 @@ func (r *Router) TunedLee(i int, targetPs, tolPs float64, cellPs []float64, maxA
 		}
 		got := measure(&rt)
 		if got >= targetPs-tolPs && got <= targetPs+tolPs {
+			ripTx.Commit() // the old realization stays off the board
 			r.commit(i, rt, oldMethod)
 			res.Ok = true
 			res.AchievedPs = got
@@ -82,8 +83,11 @@ func (r *Router) TunedLee(i int, targetPs, tolPs float64, cellPs []float64, maxA
 			banned[*failedHop] = struct{}{}
 		}
 	}
-	if !r.reinsert(i, rec, oldMethod) {
-		panic("core: TunedLee failed to restore the original route")
+	if !r.restore(i, ripTx, oldMethod) {
+		if r.abortReason == AbortNone {
+			panic("core: TunedLee failed to restore the original route")
+		}
+		return res
 	}
 	res.AchievedPs = measure(r.RouteOf(i))
 	return res

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/board"
+	"repro/internal/boardio"
 	"repro/internal/core"
 	"repro/internal/netlist"
 	"repro/internal/stats"
@@ -86,6 +87,28 @@ func RouteDesignContext(ctx context.Context, d *netlist.Design, opts core.Option
 		Design:  d,
 		Board:   b,
 		Strung:  strung,
+		Router:  r,
+		Result:  res,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// ResumeSnapshot rebuilds a run from a checkpoint snapshot and routes
+// the remainder. The snapshot carries its own connections (already
+// strung by the original run), so the design is not re-strung; the
+// returned Run's Strung holds those connections with no terminal
+// assignments. Elapsed covers only the resumed portion.
+func ResumeSnapshot(ctx context.Context, snap *boardio.Snapshot) (*Run, error) {
+	b, r, err := snap.Restore()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := r.RouteContext(ctx)
+	return &Run{
+		Design:  snap.Design,
+		Board:   b,
+		Strung:  &stringer.Result{Conns: snap.Conns},
 		Router:  r,
 		Result:  res,
 		Elapsed: time.Since(start),

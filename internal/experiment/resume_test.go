@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/boardio"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+// TestCrashResumeEquivalence is the fault-injected proof of the
+// checkpoint/resume protocol: the router is killed (a faultinject.Crash
+// panic, standing in for SIGKILL) at a spread of mutation counts across
+// the whole run, restarted from the latest snapshot, and the finished
+// board must be bit-identical — same Fingerprint, same Audit, same
+// metrics — to an uninterrupted run. Because checkpoints land only at
+// connection boundaries and the router is deterministic, no crash point
+// may change the outcome.
+func TestCrashResumeEquivalence(t *testing.T) {
+	spec := workload.Table1Specs()[0].Scale(4)
+	opts := core.DefaultOptions()
+
+	base, err := RouteSpec(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Result.Metrics.Routed == 0 {
+		t.Fatal("degenerate test: baseline routed nothing")
+	}
+	if err := base.Board.Audit(); err != nil {
+		t.Fatalf("baseline board fails audit: %v", err)
+	}
+	wantFP := base.Board.Fingerprint()
+	wantMetrics := base.Result.Metrics
+	totalMut := base.Board.Mutations()
+	if totalMut == 0 {
+		t.Fatal("degenerate test: no mutations recorded")
+	}
+
+	// Crash at ~8 points spread across the run, including the very first
+	// routing mutation. Crash points beyond the routing mutation count
+	// (pins mutate the board before the crasher is armed) simply complete,
+	// which doubles as a checkpointing-on vs checkpointing-off identity
+	// check.
+	stride := totalMut/8 + 1
+	for n := uint64(1); n <= totalMut; n += stride {
+		n := n
+		t.Run(fmt.Sprintf("crash-at-%d", n), func(t *testing.T) {
+			crashResumeOnce(t, spec, opts, n, wantFP, wantMetrics)
+		})
+	}
+}
+
+// crashResumeOnce routes spec with a crash armed at mutation n and
+// checkpoints after every attempt, then resumes from the latest snapshot
+// and compares the finished board against the uninterrupted run.
+func crashResumeOnce(t *testing.T, spec workload.Spec, opts core.Options, n uint64, wantFP uint64, wantMetrics core.Metrics) {
+	d, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := board.New(d.GridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlacePins(b); err != nil {
+		t.Fatal(err)
+	}
+	strung, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := strung.Conns
+
+	ckOpts := opts
+	ckOpts.CheckpointEvery = 1
+	serial := ckOpts // the options a resumed run replays with
+	var mu sync.Mutex
+	var latest []byte
+	ckOpts.CheckpointSink = func(cp *core.Checkpoint) error {
+		var buf bytes.Buffer
+		if err := boardio.WriteSnapshot(&buf, &boardio.Snapshot{
+			Design: d, Conns: conns, Opts: serial, Check: cp,
+		}); err != nil {
+			return err
+		}
+		mu.Lock()
+		latest = buf.Bytes()
+		mu.Unlock()
+		return nil
+	}
+
+	b.Interpose(faultinject.CrashAt(n))
+	r, err := core.New(b, conns, ckOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var res core.Result
+	crashed := false
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if _, ok := p.(faultinject.Crash); !ok {
+					panic(p)
+				}
+				crashed = true
+			}
+		}()
+		res = r.Route()
+	}()
+
+	if !crashed {
+		// n landed past this run's routing mutations: the checkpointed run
+		// completed. Its board must still match the unjournaled baseline.
+		if res.Aborted != core.AbortNone {
+			t.Fatalf("checkpointed run aborted: %v (%v)", res.Aborted, res.Invariant)
+		}
+		compareFinal(t, b, res.Metrics, wantFP, wantMetrics)
+		return
+	}
+
+	var fin *Run
+	if latest == nil {
+		// Killed before the first checkpoint was cut: nothing to resume,
+		// the operator restarts from scratch.
+		fin, err = RouteSpec(spec, opts)
+	} else {
+		var snap *boardio.Snapshot
+		snap, err = boardio.ReadSnapshot(bytes.NewReader(latest))
+		if err != nil {
+			t.Fatalf("snapshot written mid-run does not decode: %v", err)
+		}
+		snap.Opts.CheckpointEvery = 0
+		fin, err = ResumeSnapshot(context.Background(), snap)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Result.Aborted != core.AbortNone {
+		t.Fatalf("resumed run aborted: %v (%v)", fin.Result.Aborted, fin.Result.Invariant)
+	}
+	compareFinal(t, fin.Board, fin.Result.Metrics, wantFP, wantMetrics)
+}
+
+// compareFinal checks a finished board against the uninterrupted run.
+func compareFinal(t *testing.T, b *board.Board, got core.Metrics, wantFP uint64, want core.Metrics) {
+	t.Helper()
+	if err := b.Audit(); err != nil {
+		t.Errorf("finished board fails audit: %v", err)
+	}
+	if fp := b.Fingerprint(); fp != wantFP {
+		t.Errorf("final board fingerprint %016x, want %016x (board differs from uninterrupted run)", fp, wantFP)
+	}
+	if got != want {
+		t.Errorf("final metrics differ from uninterrupted run:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestTable1ParallelWithCheckpointing runs the concurrent sweep with
+// paranoid audits on and a checkpoint cut after every routing attempt;
+// under -race this doubles as the data-race check for the snapshot path.
+// The sink asserts that no checkpoint ever observes a half-applied
+// transaction: the realized-route count in the snapshot must equal the
+// ByMethod tally taken at the same boundary (Routed itself is only
+// computed at end of run).
+func TestTable1ParallelWithCheckpointing(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Paranoid = true
+	opts.CheckpointEvery = 1
+	var mu sync.Mutex
+	snaps := 0
+	opts.CheckpointSink = func(cp *core.Checkpoint) error {
+		realized, tallied := 0, 0
+		for _, cr := range cp.Routes {
+			if cr.Method != core.NotRouted {
+				realized++
+			}
+		}
+		for m := core.Trivial; m <= core.PutBack; m++ {
+			tallied += cp.Metrics.ByMethod[m]
+		}
+		if realized != tallied {
+			return fmt.Errorf("checkpoint observes a half-applied board: %d realized routes, ByMethod tally %d", realized, tallied)
+		}
+		mu.Lock()
+		snaps++
+		mu.Unlock()
+		return nil
+	}
+
+	rows, err := Table1ParallelContext(context.Background(), 8, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Board == "" {
+			t.Error("a board dropped out of the checkpointed sweep")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if snaps == 0 {
+		t.Fatal("checkpoint sink never ran")
+	}
+}

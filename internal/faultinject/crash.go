@@ -1,0 +1,75 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// Crash is the panic value a Crasher throws: a simulated process death
+// at an exact mutation count. Tests recover it at the routing-call
+// boundary and then exercise the checkpoint/resume path, as if the
+// process had been SIGKILL'd mid-run.
+type Crash struct {
+	Mutation uint64       // 1-based count of the mutation that fired
+	Rec      board.Record // the mutation being applied when the crash hit
+}
+
+func (c Crash) String() string {
+	return fmt.Sprintf("faultinject: simulated crash at mutation %d (%v)", c.Mutation, c.Rec)
+}
+
+// Crasher implements board.Interposer and board.MutationObserver: it
+// vetoes nothing, but panics with a Crash when the Nth board mutation is
+// applied. Unlike the Injector's veto schedule — which exercises
+// collision handling — a crash can land after ANY mutation, including
+// removals mid-rip-up, which is exactly the exposure a crash-and-resume
+// equivalence test needs.
+type Crasher struct {
+	mu    sync.Mutex
+	at    uint64
+	n     uint64
+	armed bool
+}
+
+// CrashAt builds a crasher that panics when mutation n (1-based) is
+// applied; n = 0 never fires. It starts armed.
+func CrashAt(n uint64) *Crasher {
+	return &Crasher{at: n, armed: n > 0}
+}
+
+// Disarm suspends the crasher (mutations pass through uncounted), so a
+// test can rebuild scaffolding after recovering the Crash.
+func (c *Crasher) Disarm() { c.mu.Lock(); c.armed = false; c.mu.Unlock() }
+
+// Mutations returns how many armed mutations have been observed.
+func (c *Crasher) Mutations() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// AllowAddSegment implements board.Interposer; a Crasher never vetoes.
+func (c *Crasher) AllowAddSegment(li, ch, lo, hi int, owner layer.ConnID) bool { return true }
+
+// AllowPlaceVia implements board.Interposer; a Crasher never vetoes.
+func (c *Crasher) AllowPlaceVia(p geom.Point, owner layer.ConnID) bool { return true }
+
+// ObserveMutation implements board.MutationObserver.
+func (c *Crasher) ObserveMutation(rec board.Record) {
+	c.mu.Lock()
+	if !c.armed {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	fire := c.n == c.at
+	n := c.n
+	c.mu.Unlock()
+	if fire {
+		panic(Crash{Mutation: n, Rec: rec})
+	}
+}

@@ -327,6 +327,22 @@ func (c *Channel) VisitUsed(win geom.Interval, f func(s *Segment) bool) {
 	}
 }
 
+// VisitSegments calls f for every stored segment of the layer, in
+// channel order and position order within each channel — a canonical
+// traversal, so two layers holding the same metal visit it identically
+// regardless of insertion history. Iteration stops early if f returns
+// false. Board fingerprinting and snapshot serialization are built on
+// it.
+func (l *Layer) VisitSegments(f func(ch int, s *Segment) bool) {
+	for i := range l.chans {
+		for s := l.chans[i].head; s != nil; s = s.next {
+			if !f(i, s) {
+				return
+			}
+		}
+	}
+}
+
 // audit validates the channel invariants, returning a description of the
 // first violation found, or "" if the channel is consistent. Tests use it
 // after randomized operation sequences.

@@ -26,6 +26,23 @@ type Map struct {
 	// 1e4 on real routing problems.
 	Probes  uint64
 	Updates uint64
+
+	// underflow records the first Dec-below-zero, a bookkeeping bug in
+	// the caller; see Invariant.
+	underflow *InvariantError
+}
+
+// InvariantError reports a via-map bookkeeping violation: a Dec on a
+// site whose count was already zero. The count stays clamped at zero so
+// availability data is not corrupted; the error is surfaced through
+// Invariant (and from there board.Audit and the router's Paranoid mode).
+type InvariantError struct {
+	At         geom.Point // via coordinates of the first underflow
+	Underflows int        // total underflowing Dec calls observed
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("viamap: Dec below zero at via %v (%d underflow(s) total)", e.At, e.Underflows)
 }
 
 // New builds a zeroed via map spanning cols × rows via sites.
@@ -57,15 +74,32 @@ func (m *Map) Inc(v geom.Point) {
 	m.counts[m.idx(v)]++
 }
 
-// Dec undoes one Inc. Decrementing a zero count is a bookkeeping bug and
-// panics rather than corrupting availability data.
+// Dec undoes one Inc. Decrementing a zero count is a bookkeeping bug in
+// the caller; instead of panicking (which would take down a whole
+// routing worker) or wrapping below zero (which would silently corrupt
+// availability data for 65535 further probes), the count clamps at zero
+// and the violation is recorded for Invariant to surface.
 func (m *Map) Dec(v geom.Point) {
 	m.Updates++
 	i := m.idx(v)
 	if m.counts[i] == 0 {
-		panic(fmt.Sprintf("viamap: Dec below zero at via %v", v))
+		if m.underflow == nil {
+			m.underflow = &InvariantError{At: v}
+		}
+		m.underflow.Underflows++
+		return
 	}
 	m.counts[i]--
+}
+
+// Invariant returns the recorded bookkeeping violation, or nil if every
+// Dec so far matched a prior Inc. board.Audit checks it, so the router's
+// Options.Paranoid turns an underflow into AbortInvariant.
+func (m *Map) Invariant() error {
+	if m.underflow == nil {
+		return nil // typed-nil guard: never wrap a nil *InvariantError
+	}
+	return m.underflow
 }
 
 // Count returns the number of layers occupied at site v.
@@ -83,3 +117,19 @@ func (m *Map) Free(v geom.Point) bool {
 
 // ResetCounters clears the probe/update statistics.
 func (m *Map) ResetCounters() { m.Probes, m.Updates = 0, 0 }
+
+// Checksum returns an FNV-64a hash over the raw count array. It is a
+// fingerprint ingredient for board snapshots and rollback verification,
+// so it deliberately bypasses the Probes counter.
+func (m *Map) Checksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range m.counts {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

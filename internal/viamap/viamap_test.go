@@ -1,6 +1,7 @@
 package viamap
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/geom"
@@ -27,14 +28,56 @@ func TestIncDecCount(t *testing.T) {
 	}
 }
 
-func TestDecBelowZeroPanics(t *testing.T) {
+// TestDecBelowZeroRecordsInvariant: an underflowing Dec must clamp at
+// zero (no 65535-count corruption) and surface a typed error through
+// Invariant rather than panicking.
+func TestDecBelowZeroRecordsInvariant(t *testing.T) {
 	m := New(2, 2)
-	defer func() {
-		if recover() == nil {
-			t.Error("Dec below zero should panic")
-		}
-	}()
-	m.Dec(geom.Pt(0, 0))
+	v := geom.Pt(0, 0)
+	if m.Invariant() != nil {
+		t.Fatal("fresh map reports an invariant violation")
+	}
+	m.Dec(v)
+	if !m.Free(v) {
+		t.Error("underflowing Dec corrupted the count; site no longer free")
+	}
+	err := m.Invariant()
+	if err == nil {
+		t.Fatal("underflow not recorded")
+	}
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Invariant() = %T, want *InvariantError", err)
+	}
+	if ie.At != v || ie.Underflows != 1 {
+		t.Errorf("InvariantError = %+v, want At=%v Underflows=1", ie, v)
+	}
+	m.Dec(geom.Pt(1, 1))
+	if m.Invariant().(*InvariantError).Underflows != 2 {
+		t.Error("second underflow not counted")
+	}
+	if m.Invariant().(*InvariantError).At != v {
+		t.Error("first underflow site not preserved")
+	}
+}
+
+func TestChecksumTracksCounts(t *testing.T) {
+	m := New(3, 3)
+	base := m.Checksum()
+	m.Inc(geom.Pt(1, 1))
+	changed := m.Checksum()
+	if changed == base {
+		t.Error("Inc did not change the checksum")
+	}
+	m.Dec(geom.Pt(1, 1))
+	if m.Checksum() != base {
+		t.Error("Inc+Dec did not restore the checksum")
+	}
+	probes := m.Probes
+	m.Checksum()
+	if m.Probes != probes {
+		t.Error("Checksum counted as a probe")
+	}
 }
 
 func TestOutOfRangePanics(t *testing.T) {
