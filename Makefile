@@ -1,15 +1,16 @@
 # Repo-wide checks. `make check` is what CI (and pre-commit discipline)
 # runs: vet, build everything, then the full test suite under the race
-# detector — the parallel Table 1 sweep only counts as exercised when it
-# runs race-clean — and a vulnerability scan when govulncheck is
-# available (the scan needs the tool and network access, so it is
-# skipped, loudly, where either is missing).
+# detector — the parallel Table 1 sweep and the grrd job daemon (worker
+# pool, retry timers, drain) only count as exercised when they run
+# race-clean — plus a staticcheck pass and a vulnerability scan when
+# those tools are available (each needs the tool and, for govulncheck,
+# network access, so both are skipped, loudly, where missing).
 
 GO ?= go
 
-.PHONY: check vet build test race bench vulncheck
+.PHONY: check vet build test race bench staticcheck vulncheck
 
-check: vet build race vulncheck
+check: vet build race staticcheck vulncheck
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +26,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 vulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \

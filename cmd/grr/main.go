@@ -30,7 +30,15 @@
 // result is reported and artifacts are written, exactly as when a
 // -time-budget expires. With -checkpoint the run is additionally
 // resumable: because the router is deterministic, -resume finishes with
-// the exact board an uninterrupted run would have produced.
+// the exact board an uninterrupted run would have produced. A second
+// SIGINT/SIGTERM forces an immediate exit (code 130) — the escape hatch
+// for a run wedged somewhere the soft cancel is never polled.
+//
+// -resume replays the remainder of the route with the snapshot's own
+// algorithmic options; explicitly passing a conflicting -radius, -sort,
+// -cost, -bidirectional or -node-budget is an error (exit 1), because
+// mixed options would silently produce a board neither run would have
+// built.
 package main
 
 import (
@@ -52,6 +60,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/drc"
 	"repro/internal/experiment"
+	"repro/internal/faultinject"
 	"repro/internal/grid"
 	"repro/internal/netlist"
 	"repro/internal/photoplot"
@@ -68,6 +77,7 @@ const (
 	exitInternal   = 1
 	exitUsage      = 2
 	exitIncomplete = 3
+	exitForced     = 130
 )
 
 func main() { os.Exit(run()) }
@@ -103,11 +113,29 @@ func run() int {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile here")
 		memprofile = flag.String("memprofile", "", "write a heap profile here on exit")
+
+		hangAt = flag.Int("fault-hang-at", 0, "fault injection: wedge the run inside the Nth segment placement (testing only)")
 	)
 	flag.Parse()
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// First signal: soft-cancel the route (it stops at the next
+	// connection boundary and still writes artifacts). Second signal:
+	// the run is evidently stuck somewhere that never polls the cancel
+	// flag — get out now.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		got := <-sig
+		fmt.Fprintf(os.Stderr, "grr: %v: stopping at the next connection boundary (again to force exit)\n", got)
+		cancel()
+		got = <-sig
+		fmt.Fprintf(os.Stderr, "grr: %v again: forcing exit\n", got)
+		os.Exit(exitForced)
+	}()
 
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -139,13 +167,14 @@ func run() int {
 		gerber: *gerber, trees: *trees, check: *check, report: *report,
 		runDRC: *runDRC, congst: *congst,
 		checkpoint: *checkpoint, ckEvery: *ckEvery,
+		hangAt: *hangAt,
 	}
 	if *resume != "" {
 		if *table1 || *design != "" {
 			fmt.Fprintln(os.Stderr, "grr: -resume excludes -design and -table1")
 			return exitUsage
 		}
-		return runResume(ctx, cfg, *resume, opts)
+		return runResume(ctx, cfg, *resume, opts, explicit)
 	}
 	if *table1 {
 		return runTable1(ctx, *scale, opts, *jobs)
@@ -192,6 +221,7 @@ type singleConfig struct {
 	trees, check, report, runDRC, congst   bool
 	checkpoint                             string
 	ckEvery                                int
+	hangAt                                 int
 }
 
 // attachCheckpointSink wires a periodic snapshot writer into opts. The
@@ -248,6 +278,12 @@ func runSingle(ctx context.Context, cfg singleConfig, opts core.Options) int {
 	if cfg.checkpoint != "" {
 		attachCheckpointSink(&opts, cfg.checkpoint, cfg.ckEvery, d, conns)
 	}
+	if cfg.hangAt > 0 {
+		// A blocker nobody releases: the run wedges inside a board
+		// mutation, beyond the reach of the soft cancel. Exists to test
+		// the second-signal escape hatch.
+		b.Interpose(faultinject.BlockAt(cfg.hangAt))
+	}
 	r, err := core.New(b, conns, opts)
 	if err != nil {
 		return fail(err)
@@ -258,11 +294,16 @@ func runSingle(ctx context.Context, cfg singleConfig, opts core.Options) int {
 // runResume reloads a -checkpoint snapshot and routes the rest of the
 // board. Algorithmic options come from the snapshot — replaying the
 // remainder with different knobs would diverge from the uninterrupted
-// run — while operational ones (budget, checkpointing) come from this
-// command line.
-func runResume(ctx context.Context, cfg singleConfig, path string, flagOpts core.Options) int {
+// run — so an explicitly passed conflicting flag is refused loudly
+// (exit 1) rather than silently overridden in either direction.
+// Operational options (budget, checkpointing) come from this command
+// line.
+func runResume(ctx context.Context, cfg singleConfig, path string, flagOpts core.Options, explicit map[string]bool) int {
 	snap, err := boardio.LoadSnapshot(path)
 	if err != nil {
+		return fail(err)
+	}
+	if err := resumeConflicts(flagOpts, snap.Opts, explicit); err != nil {
 		return fail(err)
 	}
 	snap.Opts.TimeBudget = flagOpts.TimeBudget
@@ -363,6 +404,30 @@ func routeAndReport(ctx context.Context, cfg singleConfig, d *netlist.Design, b 
 		}
 	}
 	return code
+}
+
+// resumeConflicts rejects explicitly passed algorithmic flags that
+// disagree with the snapshot's recorded options. Flags left at their
+// defaults are fine — the snapshot's values simply apply.
+func resumeConflicts(flagOpts, snapOpts core.Options, explicit map[string]bool) error {
+	checks := []struct {
+		flagName   string
+		flag, snap any
+	}{
+		{"radius", flagOpts.Radius, snapOpts.Radius},
+		{"sort", flagOpts.Sort, snapOpts.Sort},
+		{"cost", flagOpts.Cost, snapOpts.Cost},
+		{"bidirectional", flagOpts.Bidirectional, snapOpts.Bidirectional},
+		{"node-budget", flagOpts.NodeBudget, snapOpts.NodeBudget},
+	}
+	for _, c := range checks {
+		if explicit[c.flagName] && c.flag != c.snap {
+			return fmt.Errorf(
+				"-resume: snapshot was routed with %s=%v but -%s=%v was given; resuming with different algorithmic options would diverge from the interrupted run (drop the flag to use the snapshot's value)",
+				c.flagName, c.snap, c.flagName, c.flag)
+		}
+	}
+	return nil
 }
 
 func readDesign(path string) (*netlist.Design, error) {

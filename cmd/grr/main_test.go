@@ -5,7 +5,9 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // grrBin is the binary under test, built once by TestMain.
@@ -192,5 +194,87 @@ func TestNodeBudgetFlagAccepted(t *testing.T) {
 	out, code := runGrr(t, "-design", brd, "-node-budget", "100000")
 	if code != exitOK {
 		t.Fatalf("node-budget run exit code = %d, want %d\n%s", code, exitOK, out)
+	}
+}
+
+// TestResumeOptionConflict: explicitly passing an algorithmic flag that
+// disagrees with the snapshot must fail loudly (exit 1) — silently
+// resuming with mixed options would build a board neither run would
+// have produced. Matching explicit flags and untouched defaults are
+// both fine.
+func TestResumeOptionConflict(t *testing.T) {
+	brd := writeDesignFile(t)
+	snap := filepath.Join(t.TempDir(), "run.snap")
+	out, code := runGrr(t, "-design", brd, "-radius", "2", "-checkpoint", snap, "-checkpoint-every", "1")
+	if code != exitOK {
+		t.Fatalf("checkpointed run exit code = %d, want %d\n%s", code, exitOK, out)
+	}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"conflicting radius", []string{"-radius", "1"}, exitInternal},
+		{"conflicting sort", []string{"-sort=false"}, exitInternal},
+		{"conflicting node budget", []string{"-node-budget", "7"}, exitInternal},
+		{"matching radius", []string{"-radius", "2"}, exitOK},
+		{"defaults", nil, exitOK},
+	} {
+		out, code := runGrr(t, append([]string{"-resume", snap}, tc.args...)...)
+		if code != tc.want {
+			t.Errorf("%s: exit code = %d, want %d\n%s", tc.name, code, tc.want, out)
+		}
+		if tc.want == exitInternal && !strings.Contains(out, "resuming with different algorithmic options") {
+			t.Errorf("%s: conflict diagnosis missing:\n%s", tc.name, out)
+		}
+	}
+}
+
+// TestSecondSignalForcesExit: a run wedged inside a board mutation (the
+// -fault-hang-at blocker holds it there forever) cannot honor the
+// first signal's soft cancel — the second signal must terminate the
+// process immediately with exit 130.
+func TestSecondSignalForcesExit(t *testing.T) {
+	brd := writeDesignFile(t)
+	cmd := exec.Command(grrBin, "-design", brd, "-fault-hang-at", "1")
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+
+	// First signal: acknowledged, but the wedged run can never reach the
+	// boundary where the cancel is honored.
+	time.Sleep(100 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waited:
+		t.Fatalf("hung run exited on the first signal: %v\n%s", err, out.String())
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	// Second signal: immediate exit 130.
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waited:
+		var ee *exec.ExitError
+		if !asExitError(err, &ee) || ee.ExitCode() != exitForced {
+			t.Fatalf("second signal: err = %v, want exit %d\n%s", err, exitForced, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("second signal did not terminate the run\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "forcing exit") {
+		t.Errorf("forced-exit banner missing:\n%s", out.String())
 	}
 }

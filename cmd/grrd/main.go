@@ -1,0 +1,164 @@
+// Command grrd is the fault-tolerant routing daemon: an HTTP service
+// that accepts board-routing jobs, runs them on a bounded worker pool,
+// and journals every job crash-safely so a killed daemon resumes where
+// it left off (internal/server has the full protocol).
+//
+// Usage:
+//
+//	grrd -journal-dir /var/lib/grrd
+//	grrd -journal-dir d -listen 127.0.0.1:8377 -workers 8 -queue-depth 32
+//
+// Endpoints:
+//
+//	POST /jobs      submit {"design": ..., "conns": ..., "options": {...}}
+//	GET  /jobs      list jobs
+//	GET  /jobs/{id} one job
+//	GET  /healthz   liveness
+//	GET  /readyz    readiness (503 while draining)
+//
+// On startup grrd prints one line, "grrd: listening on ADDR", and then
+// recovers any interrupted jobs from the journal before serving new
+// ones.
+//
+// Exit codes:
+//
+//	0    drained cleanly after SIGINT/SIGTERM: every in-flight job
+//	     checkpointed, journal consistent
+//	1    startup failure or drain timeout
+//	2    usage error
+//	130  second SIGINT/SIGTERM forced an immediate exit mid-drain
+//	137  simulated kill: -crash-at fired (fault injection)
+//
+// The first SIGINT/SIGTERM starts a graceful drain (admission stops,
+// running jobs checkpoint); a second one gives up waiting and exits
+// immediately — safe, because the journal is consistent at every
+// instant by construction.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+)
+
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+	exitForced   = 130
+	exitCrash    = 137
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:0", "TCP address to serve HTTP on")
+		journalDir = flag.String("journal-dir", "", "job journal directory (required)")
+		workers    = flag.Int("workers", 4, "routing worker pool size")
+		queueDepth = flag.Int("queue-depth", 16, "max live jobs before submissions get 429")
+		maxAtt     = flag.Int("max-attempts", 3, "attempts per job before it is failed")
+		retryBase  = flag.Duration("retry-base", 10*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+		retryMax   = flag.Duration("retry-max", 2*time.Second, "retry backoff cap")
+		maxBudget  = flag.Duration("max-time-budget", 0, "cap every job's routing time budget (0 = leave job budgets alone)")
+		ckEvery    = flag.Int("checkpoint-every", 8, "default checkpoint cadence for jobs that set none")
+		drainMax   = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful drain may take")
+
+		crashAt = flag.Uint64("crash-at", 0, "fault injection: kill the process (exit 137) at the Nth board mutation across all jobs")
+	)
+	flag.Parse()
+	if *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "grrd: -journal-dir is required")
+		return exitUsage
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "grrd: unexpected arguments:", flag.Args())
+		return exitUsage
+	}
+
+	cfg := server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		JournalDir:      *journalDir,
+		MaxAttempts:     *maxAtt,
+		RetryBase:       *retryBase,
+		RetryMax:        *retryMax,
+		MaxTimeBudget:   *maxBudget,
+		CheckpointEvery: *ckEvery,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if *crashAt > 0 {
+		// One crasher shared by every job board: its mutation counter
+		// spans the daemon's whole life, so a test can kill the process
+		// at any point in a job — or across jobs — and then verify the
+		// restarted daemon recovers bit-identically.
+		crasher := faultinject.CrashAt(*crashAt)
+		cfg.BoardHook = func(b *board.Board) { b.Interpose(crasher) }
+		cfg.OnCrash = func(c faultinject.Crash) {
+			fmt.Fprintf(os.Stderr, "grrd: %v\n", c)
+			os.Exit(exitCrash)
+		}
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grrd:", err)
+		return exitInternal
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grrd:", err)
+		return exitInternal
+	}
+	// The one contractual stdout line; tests and wrappers parse it to
+	// find the bound port when -listen used port 0.
+	fmt.Printf("grrd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "grrd:", err)
+		return exitInternal
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "grrd: %v: draining (again to force exit)\n", got)
+	}
+
+	// A second signal aborts the wait: the journal is consistent at
+	// every instant, so dying now only costs the work since the last
+	// checkpoints, never correctness.
+	go func() {
+		got := <-sig
+		fmt.Fprintf(os.Stderr, "grrd: %v again: forcing exit\n", got)
+		os.Exit(exitForced)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainMax)
+	defer cancel()
+	code := exitOK
+	if err := s.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "grrd:", err)
+		code = exitInternal
+	}
+	hs.Shutdown(context.Background())
+	fmt.Fprintln(os.Stderr, "grrd: drained")
+	return code
+}

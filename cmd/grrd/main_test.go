@@ -1,0 +1,355 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/boardio"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+// grrdBin is the binary under test, built once by TestMain.
+var grrdBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "grrd-test")
+	if err != nil {
+		panic(err)
+	}
+	grrdBin = filepath.Join(dir, "grrd")
+	if out, err := exec.Command("go", "build", "-o", grrdBin, ".").CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		panic("building grrd: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// daemon is one running grrd subprocess.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string // http://ADDR from the startup line
+	stderr *bytes.Buffer
+	waited chan error
+}
+
+// startDaemon launches grrd with a fresh port and the given extra args,
+// and blocks until the startup line announces the bound address.
+func startDaemon(t *testing.T, journalDir string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-journal-dir", journalDir, "-workers", "1"}, extra...)
+	cmd := exec.Command(grrdBin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, stderr: &stderr, waited: make(chan error, 1)}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		d.wait()
+	})
+
+	sc := bufio.NewScanner(stdout)
+	const banner = "grrd: listening on "
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), banner); ok {
+			d.base = "http://" + strings.TrimSpace(addr)
+			break
+		}
+	}
+	if d.base == "" {
+		cmd.Process.Kill()
+		t.Fatalf("no %q line on stdout; stderr:\n%s", banner, stderr.String())
+	}
+	// Drain the rest of stdout so the child never blocks on a full pipe.
+	go io.Copy(io.Discard, stdout)
+	go func() { d.waited <- cmd.Wait() }()
+	return d
+}
+
+// wait blocks until the process exits and returns its exit code.
+func (d *daemon) wait() int {
+	err := <-d.waited
+	d.waited <- err // leave it for later callers
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// exited reports the exit code if the process has finished.
+func (d *daemon) exited() (int, bool) {
+	select {
+	case err := <-d.waited:
+		d.waited <- err
+		if err == nil {
+			return 0, true
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), true
+		}
+		return -1, true
+	default:
+		return 0, false
+	}
+}
+
+// testSpec mirrors the internal/server test workload: a small seeded
+// board, strung server-side, checkpointing every attempt.
+func testSpec(t *testing.T) server.JobSpec {
+	t.Helper()
+	d, err := workload.Generate(testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := boardio.WriteDesign(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	return server.JobSpec{Design: sb.String(), Options: map[string]int64{"checkpointevery": 1}}
+}
+
+func testWorkload() workload.Spec {
+	return workload.TinySpec(7)
+}
+
+// directRun routes the test spec in-process, exactly as the daemon
+// would (same zero-progress snapshot path), returning the
+// deterministic fingerprint, final metrics, and the total number of
+// board mutations a complete run performs.
+func directRun(t *testing.T, spec server.JobSpec) (uint64, core.Metrics, uint64) {
+	t.Helper()
+	d, err := boardio.ReadDesign(strings.NewReader(spec.Design))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strung, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	for name, v := range spec.Options {
+		if err := boardio.ApplyOption(&opts, name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := &boardio.Snapshot{
+		Design: d,
+		Conns:  strung.Conns,
+		Opts:   opts,
+		Check: &core.Checkpoint{
+			PrevUnrouted: len(strung.Conns) + 1,
+			Routes:       make([]core.ConnRoute, len(strung.Conns)),
+		},
+	}
+	b, r, err := snap.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An armed crasher that never fires doubles as a mutation counter,
+	// seeing exactly what a daemon-side -crash-at crasher would see.
+	counter := faultinject.CrashAt(^uint64(0))
+	b.Interpose(counter)
+	res := r.Route()
+	if res.Aborted != core.AbortNone || !res.Complete() {
+		t.Fatalf("direct run did not complete: %v", res)
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatalf("direct run board inconsistent: %v", err)
+	}
+	return b.Fingerprint(), res.Metrics, counter.Mutations()
+}
+
+func postJob(t *testing.T, base string, spec server.JobSpec) (server.Status, *http.Response, error) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return server.Status{}, nil, err
+	}
+	defer resp.Body.Close()
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return server.Status{}, resp, err
+	}
+	return st, resp, nil
+}
+
+func getStatus(t *testing.T, base, id string) (server.Status, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		return server.Status{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return server.Status{}, false
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return server.Status{}, false
+	}
+	return st, true
+}
+
+func waitDone(t *testing.T, base, id string) server.Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, ok := getStatus(t, base, id); ok && st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return server.Status{}
+}
+
+// TestDaemonLifecycle: start, probe, submit, complete, drain on SIGTERM
+// with exit 0 — the straight-line operator experience, including the
+// deterministic result contract against an in-process run.
+func TestDaemonLifecycle(t *testing.T) {
+	spec := testSpec(t)
+	wantFP, wantM, _ := directRun(t, spec)
+
+	dir := t.TempDir()
+	d := startDaemon(t, dir)
+
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(d.base + probe)
+		if err != nil {
+			t.Fatalf("GET %s: %v", probe, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", probe, resp.StatusCode)
+		}
+	}
+
+	st, resp, err := postJob(t, d.base, spec)
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+	}
+	fin := waitDone(t, d.base, st.ID)
+	if fin.State != server.StateDone || fin.AuditOK == nil || !*fin.AuditOK {
+		t.Fatalf("job did not finish clean: %+v", fin)
+	}
+	if want := fmt.Sprintf("%016x", wantFP); fin.Fingerprint != want {
+		t.Errorf("fingerprint = %s, want %s", fin.Fingerprint, want)
+	}
+	if *fin.Metrics != wantM {
+		t.Errorf("metrics diverged:\n got  %+v\n want %+v", *fin.Metrics, wantM)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(); code != exitOK {
+		t.Fatalf("SIGTERM exit code = %d, want %d\nstderr:\n%s", code, exitOK, d.stderr.String())
+	}
+	if !strings.Contains(d.stderr.String(), "grrd: drained") {
+		t.Errorf("drain banner missing from stderr:\n%s", d.stderr.String())
+	}
+}
+
+// TestKillAndRestartEquivalence is the acceptance test of the PR:
+// SIGKILL the daemon mid-job at a spread of mutation counts (via
+// -crash-at, which os.Exits from inside a board mutation — as abrupt
+// as a real kill -9), restart it on the same journal, and require the
+// recovered job to finish with the exact fingerprint, metrics and
+// audit verdict of a run that was never interrupted.
+func TestKillAndRestartEquivalence(t *testing.T) {
+	spec := testSpec(t)
+	wantFP, wantM, total := directRun(t, spec)
+	if total < 8 {
+		t.Fatalf("degenerate workload: only %d mutations", total)
+	}
+	// Early, one-third, two-thirds, and penultimate mutation.
+	points := []uint64{1, total / 3, 2 * total / 3, total - 1}
+
+	for _, n := range points {
+		t.Run(fmt.Sprintf("crash-at-%d", n), func(t *testing.T) {
+			dir := t.TempDir()
+			d := startDaemon(t, dir, "-crash-at", fmt.Sprint(n))
+
+			// The submission itself can lose the race against the crash
+			// (the daemon may die before flushing the HTTP response); the
+			// job is journaled before it is queued, so recovery still owns
+			// it. Job IDs are deterministic: the first job is job-000000.
+			const id = "job-000000"
+			if _, resp, err := postJob(t, d.base, spec); err == nil && resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+			}
+			if code := d.wait(); code != exitCrash {
+				t.Fatalf("crash exit code = %d, want %d\nstderr:\n%s", code, exitCrash, d.stderr.String())
+			}
+			if !strings.Contains(d.stderr.String(), "simulated crash at mutation") {
+				t.Errorf("crash banner missing:\n%s", d.stderr.String())
+			}
+
+			// Restart on the same journal, no fault injection: the job
+			// must recover and converge on the uninterrupted result.
+			d2 := startDaemon(t, dir)
+			fin := waitDone(t, d2.base, id)
+			if fin.State != server.StateDone || fin.AuditOK == nil || !*fin.AuditOK {
+				t.Fatalf("recovered job did not finish clean: %+v", fin)
+			}
+			if want := fmt.Sprintf("%016x", wantFP); fin.Fingerprint != want {
+				t.Errorf("fingerprint after crash at %d = %s, want %s", n, fin.Fingerprint, want)
+			}
+			if *fin.Metrics != wantM {
+				t.Errorf("metrics after crash at %d diverged:\n got  %+v\n want %+v", n, *fin.Metrics, wantM)
+			}
+			if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+			if code := d2.wait(); code != exitOK {
+				t.Fatalf("drain exit code = %d, want %d\nstderr:\n%s", code, exitOK, d2.stderr.String())
+			}
+		})
+	}
+}
+
+// TestUsageErrors: flag misuse exits 2 before any side effects.
+func TestUsageErrors(t *testing.T) {
+	out, err := exec.Command(grrdBin).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != exitUsage {
+		t.Fatalf("no -journal-dir: err = %v, want exit %d\n%s", err, exitUsage, out)
+	}
+	if !strings.Contains(string(out), "-journal-dir is required") {
+		t.Errorf("usage message missing: %s", out)
+	}
+}

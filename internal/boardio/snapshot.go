@@ -7,6 +7,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/board"
@@ -65,6 +66,20 @@ func fnv64a(b []byte) uint64 {
 	return h
 }
 
+// MetricsInts flattens m into its canonical 22-integer serialization
+// order — the snapshot codec's `metrics` line and the grrd job journal
+// both use it. MetricsFromInts is its inverse; the two must change
+// together.
+func MetricsInts(m core.Metrics) []int { return metricsInts(m) }
+
+// MetricsFromInts rebuilds a Metrics from its MetricsInts serialization.
+func MetricsFromInts(v []int) (core.Metrics, error) {
+	if want := len(metricsInts(core.Metrics{})); len(v) != want {
+		return core.Metrics{}, fmt.Errorf("boardio: metrics need %d integers, got %d", want, len(v))
+	}
+	return unpackMetrics(v), nil
+}
+
 // metricsInts flattens m into its canonical 22-integer serialization
 // order. unpackMetrics is its inverse; the two must change together.
 func metricsInts(m core.Metrics) []int {
@@ -117,6 +132,30 @@ var optionFields = []optionField{
 	{"nodebudget", func(o *core.Options) int64 { return int64(o.NodeBudget) }, func(o *core.Options, v int64) { o.NodeBudget = int(v) }},
 	{"paranoid", func(o *core.Options) int64 { return boolInt(o.Paranoid) }, func(o *core.Options, v int64) { o.Paranoid = v != 0 }},
 	{"checkpointevery", func(o *core.Options) int64 { return int64(o.CheckpointEvery) }, func(o *core.Options, v int64) { o.CheckpointEvery = int(v) }},
+}
+
+// OptionNames lists the router options the snapshot codec — and the
+// grrd job API, which accepts them as a name→integer map — understand,
+// in serialization order.
+func OptionNames() []string {
+	names := make([]string, len(optionFields))
+	for i, f := range optionFields {
+		names[i] = f.name
+	}
+	return names
+}
+
+// ApplyOption sets the named router option on o from its integer
+// serialization (booleans as 0/1, the time budget as nanoseconds),
+// exactly as the snapshot reader would. Unknown names are an error.
+func ApplyOption(o *core.Options, name string, v int64) error {
+	for _, f := range optionFields {
+		if f.name == name {
+			f.set(o, v)
+			return nil
+		}
+	}
+	return fmt.Errorf("boardio: unknown router option %q", name)
 }
 
 // WriteSnapshot serializes s with a trailing whole-file checksum.
@@ -414,26 +453,70 @@ func atois(fields []string) ([]int, error) {
 	return out, nil
 }
 
-// SaveSnapshot writes s to path atomically: the bytes go to a temporary
-// file in the same directory which is renamed over path only after a
-// successful write, so a crash mid-write can never destroy the previous
-// good snapshot.
-func SaveSnapshot(path string, s *Snapshot) error {
+// IOSeam interposes on the file I/O of AtomicWrite and LoadSnapshot.
+// When installed (SetIOSeam), WrapWriter wraps the temp-file writer of
+// every atomic write and WrapReader wraps the file reader of every load,
+// letting internal/faultinject fail the Nth read or write of a real
+// on-disk operation without any filesystem trickery. Either hook may be
+// nil to leave that direction untouched.
+type IOSeam struct {
+	WrapWriter func(io.Writer) io.Writer
+	WrapReader func(io.Reader) io.Reader
+}
+
+// ioSeam is the installed seam; nil means direct I/O. It is an atomic
+// pointer so fault-injection tests can flip it while snapshot writers
+// run on other goroutines.
+var ioSeam atomic.Pointer[IOSeam]
+
+// SetIOSeam installs s as the package's I/O seam (nil restores direct
+// I/O) and returns the previously installed seam so tests can restore
+// it.
+func SetIOSeam(s *IOSeam) *IOSeam {
+	return ioSeam.Swap(s)
+}
+
+// AtomicWrite writes a file crash-safely: write produces the bytes into
+// a temporary file in path's directory, the temp file is fsynced and
+// closed, and only then renamed over path. A crash at any point leaves
+// either the previous file or the new one, never a torn or — because of
+// the fsync — a zero-length file that the rename made visible before
+// the data reached disk. Any failure removes the temp file and leaves
+// path untouched. The snapshot codec and the grrd job journal both
+// persist through it.
+func AtomicWrite(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := WriteSnapshot(f, s); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	var w io.Writer = f
+	if s := ioSeam.Load(); s != nil && s.WrapWriter != nil {
+		w = s.WrapWriter(f)
 	}
-	if err := f.Close(); err != nil {
+	err = write(w)
+	if err == nil {
+		// The rename only makes durable content visible: sync before it,
+		// or a crash between rename and writeback leaves a good name on
+		// an empty file.
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		os.Remove(tmp)
-		return err
+		return fmt.Errorf("%s: %w", tmp, err)
 	}
 	return os.Rename(tmp, path)
+}
+
+// SaveSnapshot writes s to path via AtomicWrite: a crash mid-write can
+// never destroy the previous good snapshot or leave a truncated new one.
+func SaveSnapshot(path string, s *Snapshot) error {
+	return AtomicWrite(path, func(w io.Writer) error {
+		return WriteSnapshot(w, s)
+	})
 }
 
 // LoadSnapshot reads a snapshot from path.
@@ -443,7 +526,11 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 		return nil, err
 	}
 	defer f.Close()
-	s, err := ReadSnapshot(f)
+	var r io.Reader = f
+	if s := ioSeam.Load(); s != nil && s.WrapReader != nil {
+		r = s.WrapReader(f)
+	}
+	s, err := ReadSnapshot(r)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

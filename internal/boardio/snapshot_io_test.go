@@ -1,0 +1,123 @@
+package boardio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+// testSnapshot builds a small valid snapshot for I/O-path tests.
+func testSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	d, err := workload.Generate(workload.SmallSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strung, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := cutCheckpoint(t, d, strung.Conns)
+	return &Snapshot{Design: d, Conns: strung.Conns, Opts: core.DefaultOptions(), Check: cp}
+}
+
+// TestSaveSnapshotInjectedWriteFailure drives the atomic-write failure
+// path through the I/O seam: a failing write must surface the injected
+// error, remove the temporary file, and leave the previous good snapshot
+// untouched.
+func TestSaveSnapshotInjectedWriteFailure(t *testing.T) {
+	snap := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "run.snap")
+
+	if err := SaveSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := SetIOSeam(&IOSeam{
+		WrapWriter: func(w io.Writer) io.Writer { return faultinject.FailWrites(w, 1) },
+	})
+	defer SetIOSeam(prev)
+
+	if err := SaveSnapshot(path, snap); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("save with failing writer: err = %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("failed save left its temporary file behind")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(good) {
+		t.Error("failed save clobbered the previous good snapshot")
+	}
+
+	// With the seam restored, saving and loading work again.
+	SetIOSeam(prev)
+	if err := SaveSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadSnapshotInjectedReadFailure exercises the reader side of the
+// seam: a failing read surfaces as a load error naming the path.
+func TestLoadSnapshotInjectedReadFailure(t *testing.T) {
+	snap := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "run.snap")
+	if err := SaveSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	prev := SetIOSeam(&IOSeam{
+		WrapReader: func(r io.Reader) io.Reader { return faultinject.FailReads(r, 1) },
+	})
+	defer SetIOSeam(prev)
+
+	if _, err := LoadSnapshot(path); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("load with failing reader: err = %v, want ErrInjected", err)
+	}
+}
+
+func TestApplyOptionRoundTrip(t *testing.T) {
+	var o core.Options
+	for _, name := range OptionNames() {
+		if err := ApplyOption(&o, name, 1); err != nil {
+			t.Errorf("ApplyOption(%q): %v", name, err)
+		}
+	}
+	if o.Radius != 1 || !o.Sort || !o.Paranoid || o.NodeBudget != 1 {
+		t.Errorf("options not applied: %+v", o)
+	}
+	if err := ApplyOption(&o, "bogus", 1); err == nil {
+		t.Error("unknown option accepted")
+	}
+}
+
+func TestMetricsIntsRoundTrip(t *testing.T) {
+	m := core.Metrics{Connections: 3, Routed: 2, Failed: 1, RipUps: 7, WireLength: 99}
+	m.ByMethod[core.Lee] = 2
+	got, err := MetricsFromInts(MetricsInts(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Errorf("round trip changed metrics:\n got  %+v\n want %+v", got, m)
+	}
+	if _, err := MetricsFromInts([]int{1, 2, 3}); err == nil {
+		t.Error("short metrics vector accepted")
+	}
+}

@@ -71,6 +71,33 @@ func (r *Router) maybeCheckpoint(pass, nextPos, prevUnrouted int) {
 	}
 }
 
+// emitFinalCheckpoint flushes one last checkpoint through the sink at
+// the cursor where an abort stopped the run. Without it, a coarse
+// CheckpointEvery could discard up to CheckpointEvery-1 attempts of
+// committed work on every graceful drain; with it, a drained run resumes
+// from exactly the connection it stopped at. It is a no-op when
+// checkpointing is off or when the last attempt already checkpointed
+// (sinceCk == 0): the abort cursor then matches the last emission up to
+// skip-only iterations, which replay identically. A sink failure is
+// recorded like any checkpoint failure, but cannot abort the (already
+// stopped) run.
+func (r *Router) emitFinalCheckpoint() {
+	if r.Opts.CheckpointEvery <= 0 || r.Opts.CheckpointSink == nil || r.sinceCk == 0 {
+		return
+	}
+	r.sinceCk = 0
+	if n := r.B.OpenTxs(); n != 0 {
+		r.invariantStop(fmt.Errorf("core: final checkpoint at abort with %d open transaction(s)", n))
+		return
+	}
+	if err := r.Opts.CheckpointSink(r.checkpoint(r.ckPass, r.ckPos, r.ckPrev)); err != nil {
+		if r.invariant == nil {
+			r.invariant = err
+		}
+		r.abortReason = AbortCheckpoint
+	}
+}
+
 // checkpoint captures the router's state. The caller guarantees no
 // transaction is open.
 func (r *Router) checkpoint(pass, nextPos, prevUnrouted int) *Checkpoint {

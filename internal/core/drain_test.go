@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// TestContextDeadlineReportsAbortTime: a context deadline propagates
+// into the router's time-budget machinery, so an expired deadline stops
+// the run with AbortTime — the specific reason — not a bare
+// AbortCancelled, even though the context's Done channel fires too.
+func TestContextDeadlineReportsAbortTime(t *testing.T) {
+	b := emptyBoard(t, 12, 12, 2)
+	a := pinAt(t, b, geom.Pt(1, 5))
+	c := pinAt(t, b, geom.Pt(9, 5))
+	r := mustRouter(t, b, []Connection{{A: a, B: c}}, DefaultOptions())
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res := r.RouteContext(ctx)
+	if res.Aborted != AbortTime {
+		t.Fatalf("Aborted = %v, want %v", res.Aborted, AbortTime)
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board inconsistent after deadline abort: %v", err)
+	}
+}
+
+// stallOnNth implements board.Interposer: the nth AddSegment attempt
+// (vetoing nothing) stalls past the given deadline, so a test can burn a
+// run's time budget at a deterministic point mid-pass and watch the next
+// connection boundary abort it. Unlike a goroutine-delivered cancel,
+// the deadline check is synchronous, so the abort is guaranteed.
+type stallOnNth struct {
+	n        int
+	calls    int
+	deadline time.Time
+}
+
+func (c *stallOnNth) AllowAddSegment(li, ch, lo, hi int, owner layer.ConnID) bool {
+	if owner.Permanent() {
+		return true
+	}
+	c.calls++
+	if c.calls == c.n {
+		for !time.Now().After(c.deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return true
+}
+
+func (c *stallOnNth) AllowPlaceVia(p geom.Point, owner layer.ConnID) bool { return true }
+
+// TestFinalCheckpointOnAbort: with a coarse checkpoint cadence, an
+// aborted run must still flush one final checkpoint at the abort
+// cursor, so a drained or timed-out job resumes from the exact
+// connection it stopped at instead of replaying up to CheckpointEvery-1
+// attempts of committed work.
+func TestFinalCheckpointOnAbort(t *testing.T) {
+	b := emptyBoard(t, 20, 20, 2)
+	var conns []Connection
+	for i := 0; i < 4; i++ {
+		a := pinAt(t, b, geom.Pt(1, 1+2*i))
+		c := pinAt(t, b, geom.Pt(17, 1+2*i))
+		conns = append(conns, Connection{A: a, B: c})
+	}
+
+	opts := DefaultOptions()
+	opts.Sort = false
+	// Cadence far beyond the attempt count: without the final flush no
+	// checkpoint would ever be emitted.
+	opts.CheckpointEvery = 1000
+	var last *Checkpoint
+	opts.CheckpointSink = func(cp *Checkpoint) error { last = cp; return nil }
+
+	// Burn the whole time budget during the second connection's
+	// placement; the run aborts at the next boundary, with one or two
+	// connections already committed.
+	opts.TimeBudget = 20 * time.Millisecond
+	b.Interpose(&stallOnNth{n: 2, deadline: time.Now().Add(40 * time.Millisecond)})
+
+	r := mustRouter(t, b, conns, opts)
+	res := r.Route()
+	if res.Aborted != AbortTime {
+		t.Fatalf("Aborted = %v, want %v", res.Aborted, AbortTime)
+	}
+	if res.Metrics.Routed == 0 {
+		t.Fatal("degenerate test: nothing routed before the cancel")
+	}
+	if last == nil {
+		t.Fatal("cancelled run emitted no final checkpoint")
+	}
+	if len(last.Routes) != len(conns) {
+		t.Fatalf("final checkpoint holds %d routes for %d connections", len(last.Routes), len(conns))
+	}
+	realized := 0
+	for _, cr := range last.Routes {
+		if cr.Method != NotRouted {
+			realized++
+		}
+	}
+	if realized == 0 {
+		t.Error("final checkpoint records no committed work")
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("board inconsistent after cancelled run: %v", err)
+	}
+
+	// The flushed checkpoint must resume: replant it on a fresh board
+	// and finish the route.
+	b2 := emptyBoard(t, 20, 20, 2)
+	var conns2 []Connection
+	for i := 0; i < 4; i++ {
+		a := pinAt(t, b2, geom.Pt(1, 1+2*i))
+		c := pinAt(t, b2, geom.Pt(17, 1+2*i))
+		conns2 = append(conns2, Connection{A: a, B: c})
+	}
+	opts2 := DefaultOptions()
+	opts2.Sort = false
+	r2, err := Resume(b2, conns2, opts2, last)
+	if err != nil {
+		t.Fatalf("final checkpoint does not resume: %v", err)
+	}
+	res2 := r2.Route()
+	if !res2.Complete() {
+		t.Fatalf("resumed run incomplete: %v", res2)
+	}
+}

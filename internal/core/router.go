@@ -51,12 +51,17 @@ type Router struct {
 
 	// Checkpoint/resume state. sinceCk counts routing attempts since the
 	// last checkpoint; the start* fields are the resume cursor installed
-	// by Resume (zero for a fresh run).
+	// by Resume (zero for a fresh run); the ck* fields track the current
+	// outer-loop cursor so an abort can flush one final checkpoint from
+	// exactly where the run stopped (emitFinalCheckpoint).
 	sinceCk    int
 	startPass  int
 	startPos   int
 	resumePrev int
 	resumed    bool
+	ckPass     int
+	ckPos      int
+	ckPrev     int
 }
 
 // New builds a router for the given board and connections. The
@@ -158,6 +163,18 @@ func (r *Router) RouteContext(ctx context.Context) Result {
 		r.deadline = time.Now().Add(d)
 		r.abortArmed = true
 	}
+	// A context deadline propagates into the same machinery as
+	// Options.TimeBudget (whichever is sooner wins), so a caller-imposed
+	// deadline — the grrd job daemon's per-job wall clock — reports
+	// AbortTime rather than a bare cancellation.
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			if r.deadline.IsZero() || dl.Before(r.deadline) {
+				r.deadline = dl
+			}
+			r.abortArmed = true
+		}
+	}
 	if ctx != nil && ctx.Done() != nil {
 		r.abortArmed = true
 		if ctx.Err() != nil {
@@ -181,12 +198,14 @@ func (r *Router) abortCheck() bool {
 	if !r.abortArmed {
 		return false
 	}
-	if r.cancelled.Load() {
-		r.abortReason = AbortCancelled
-		return true
-	}
+	// Deadline before cancellation: when a context deadline expires, its
+	// Done channel fires too, and the more specific reason should win.
 	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
 		r.abortReason = AbortTime
+		return true
+	}
+	if r.cancelled.Load() {
+		r.abortReason = AbortCancelled
 		return true
 	}
 	return false
@@ -211,15 +230,18 @@ func (r *Router) run() Result {
 		prevUnrouted = r.resumePrev
 		startPos = r.startPos
 	}
+	r.ckPass, r.ckPos, r.ckPrev = r.startPass, startPos, prevUnrouted
 passes:
 	for pass := r.startPass; pass < r.Opts.MaxPasses; pass++ {
 		for pi := startPos; pi < len(r.order); pi++ {
 			i := r.order[pi]
+			r.ckPass, r.ckPos, r.ckPrev = pass, pi, prevUnrouted
 			if r.abortCheck() {
 				break passes
 			}
 			if r.routes[i].Method == NotRouted {
 				r.routeOne(i)
+				r.ckPos = pi + 1
 				r.maybeCheckpoint(pass, pi+1, prevUnrouted)
 				if r.abortReason != AbortNone {
 					break passes
@@ -263,6 +285,15 @@ passes:
 			r.escalate()
 			r.paranoidCheck("escalation")
 		}
+	}
+
+	// A budget or cancellation abort stops the run between checkpoints;
+	// flush one final checkpoint at the abort cursor so a graceful drain
+	// loses no committed work regardless of the checkpoint cadence.
+	// Invariant and checkpoint aborts are excluded: the board is suspect
+	// in the first case, the sink is the failure in the second.
+	if r.abortReason == AbortTime || r.abortReason == AbortCancelled {
+		r.emitFinalCheckpoint()
 	}
 
 	var res Result

@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// ErrInjected is the error a FailingReadWriter returns once its schedule
+// fires. Tests assert on it with errors.Is to tell an injected failure
+// from a genuine one.
+var ErrInjected = errors.New("faultinject: injected I/O error")
+
+// FailingReadWriter wraps an io.Reader and/or io.Writer, failing the Nth
+// call (1-based) and every call after it — a device that breaks stays
+// broken, which is the corruption model the snapshot and job-journal
+// writers must survive. Calls before the Nth pass straight through. It
+// plugs into the boardio I/O seam (boardio.SetIOSeam) to drive the
+// atomic-write failure paths deterministically.
+type FailingReadWriter struct {
+	mu sync.Mutex
+
+	r io.Reader
+	w io.Writer
+
+	// failRead/failWrite are 1-based call numbers at which the op starts
+	// failing; 0 never fails that op.
+	failRead, failWrite int
+	reads, writes       int
+}
+
+// FailReads wraps r so its nth Read (1-based) and every later one return
+// ErrInjected; n = 0 never fails.
+func FailReads(r io.Reader, n int) *FailingReadWriter {
+	return &FailingReadWriter{r: r, failRead: n}
+}
+
+// FailWrites wraps w so its nth Write (1-based) and every later one
+// return ErrInjected; n = 0 never fails.
+func FailWrites(w io.Writer, n int) *FailingReadWriter {
+	return &FailingReadWriter{w: w, failWrite: n}
+}
+
+// Read implements io.Reader.
+func (f *FailingReadWriter) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	f.reads++
+	fail := f.failRead > 0 && f.reads >= f.failRead
+	f.mu.Unlock()
+	if fail {
+		return 0, ErrInjected
+	}
+	if f.r == nil {
+		return 0, io.EOF
+	}
+	return f.r.Read(p)
+}
+
+// Write implements io.Writer.
+func (f *FailingReadWriter) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	fail := f.failWrite > 0 && f.writes >= f.failWrite
+	f.mu.Unlock()
+	if fail {
+		return 0, ErrInjected
+	}
+	if f.w == nil {
+		return len(p), nil
+	}
+	return f.w.Write(p)
+}
+
+// Calls returns how many Read and Write calls have been intercepted.
+func (f *FailingReadWriter) Calls() (reads, writes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads, f.writes
+}
+
+// Blocker implements board.Interposer: the nth armed AddSegment attempt
+// (1-based) blocks until Release is called — or forever, when nobody
+// calls it. It models a wedged run: the router is stuck inside a board
+// mutation, so the soft-abort machinery (which is only polled between
+// mutations) can never fire, and only a hard process kill gets out. The
+// grr second-signal test and the server drain tests use it to hold a run
+// at an exact, reproducible point. It never vetoes: once released, the
+// blocked call proceeds normally.
+type Blocker struct {
+	mu      sync.Mutex
+	at      int
+	calls   int
+	fired   bool
+	release chan struct{}
+	once    sync.Once
+}
+
+// BlockAt builds a blocker whose nth AddSegment attempt blocks; n = 0
+// never blocks.
+func BlockAt(n int) *Blocker {
+	return &Blocker{at: n, release: make(chan struct{})}
+}
+
+// Release unblocks the held call (and any future call that would block).
+// Safe to call more than once, and before the blocker has fired.
+func (b *Blocker) Release() { b.once.Do(func() { close(b.release) }) }
+
+// Fired reports whether the blocking call has been reached.
+func (b *Blocker) Fired() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fired
+}
+
+// AllowAddSegment implements board.Interposer.
+func (b *Blocker) AllowAddSegment(li, ch, lo, hi int, owner layer.ConnID) bool {
+	if owner.Permanent() {
+		return true
+	}
+	b.mu.Lock()
+	b.calls++
+	block := b.at > 0 && b.calls == b.at
+	if block {
+		b.fired = true
+	}
+	b.mu.Unlock()
+	if block {
+		<-b.release
+	}
+	return true
+}
+
+// AllowPlaceVia implements board.Interposer; a Blocker only ever blocks
+// segment placement.
+func (b *Blocker) AllowPlaceVia(p geom.Point, owner layer.ConnID) bool { return true }

@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/layer"
+)
+
+func TestFailWritesStickyFromNth(t *testing.T) {
+	var buf bytes.Buffer
+	f := FailWrites(&buf, 3)
+
+	for i := 1; i <= 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	for i := 3; i <= 5; i++ {
+		if _, err := f.Write([]byte("no")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d error = %v, want ErrInjected", i, err)
+		}
+	}
+	if got := buf.String(); got != "okok" {
+		t.Errorf("underlying writer saw %q, want %q", got, "okok")
+	}
+	if _, writes := f.Calls(); writes != 5 {
+		t.Errorf("writes = %d, want 5", writes)
+	}
+}
+
+func TestFailReadsStickyFromNth(t *testing.T) {
+	f := FailReads(strings.NewReader("abcdef"), 2)
+	p := make([]byte, 3)
+
+	n, err := f.Read(p)
+	if err != nil || n != 3 {
+		t.Fatalf("first read = (%d, %v), want (3, nil)", n, err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.Read(p); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read after schedule fired: err = %v, want ErrInjected", err)
+		}
+	}
+}
+
+func TestFailZeroNeverFails(t *testing.T) {
+	f := FailWrites(io.Discard, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatalf("n=0 write %d failed: %v", i, err)
+		}
+	}
+}
+
+// TestBlockerHoldsNthCall drives a blocker directly: the second
+// AddSegment attempt must not return until Release, and the call is
+// allowed (not vetoed) once it does.
+func TestBlockerHoldsNthCall(t *testing.T) {
+	bl := BlockAt(2)
+
+	if !bl.AllowAddSegment(0, 0, 0, 1, layer.ConnID(1)) {
+		t.Fatal("call 1 blocked or vetoed")
+	}
+
+	done := make(chan bool)
+	go func() {
+		done <- bl.AllowAddSegment(0, 1, 0, 1, layer.ConnID(1))
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("call 2 returned before Release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if !bl.Fired() {
+		t.Fatal("blocker did not report firing")
+	}
+
+	bl.Release()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Error("blocked call was vetoed; Blocker must always allow")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("call 2 still blocked after Release")
+	}
+
+	// Later calls pass straight through, and Release is idempotent.
+	bl.Release()
+	if !bl.AllowAddSegment(0, 2, 0, 1, layer.ConnID(1)) {
+		t.Error("call 3 vetoed")
+	}
+}
+
+func TestBlockerExemptsPermanentOwners(t *testing.T) {
+	bl := BlockAt(1)
+	done := make(chan struct{})
+	go func() {
+		bl.AllowAddSegment(0, 0, 0, 1, layer.ConnID(-1)) // pin placement must never block
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("permanent-owner placement blocked")
+	}
+	if bl.Fired() {
+		t.Error("permanent-owner placement consumed the schedule")
+	}
+}

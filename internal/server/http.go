@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler exposes the daemon over HTTP:
+//
+//	POST /jobs      submit a JobSpec; 202 + Status, or 429/503 with
+//	                Retry-After when shedding load or draining
+//	GET  /jobs      list all jobs
+//	GET  /jobs/{id} one job's Status (404 if unknown)
+//	GET  /healthz   liveness: 200 while the process serves at all
+//	GET  /readyz    readiness: 200 while accepting jobs, 503 draining
+//
+// Liveness and readiness are deliberately distinct: a draining daemon
+// is alive (it is still finishing checkpoints and answering status
+// polls) but not ready, so a load balancer stops sending it work
+// without killing it mid-drain.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+// httpError is the uniform error payload.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrQueueFull):
+		// Shed load, don't queue unboundedly: tell the client when to
+		// come back instead of making it guess.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+	case errors.Is(err, ErrInternal):
+		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+	default:
+		// Submit validates the spec before touching the queue, so any
+		// other error is a client-side spec problem.
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, httpError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

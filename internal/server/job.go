@@ -1,0 +1,154 @@
+// Package server implements grrd, the fault-tolerant board-routing job
+// daemon. It composes the router's budget/abort machinery (DESIGN §7)
+// and the checkpoint/resume machinery (DESIGN §8) into a long-lived
+// service whose failure domain is one job, not the process:
+//
+//   - jobs are admitted into a bounded queue and run on a bounded worker
+//     pool with per-job panic isolation and deadline propagation into
+//     core.RouteContext;
+//   - a full queue sheds load with ErrQueueFull (HTTP 429 + Retry-After)
+//     instead of growing without bound;
+//   - transient failures — rollback conflicts surfacing as invariant
+//     aborts, injected faults, journal-write errors, panics — are
+//     retried with exponential backoff and jitter, resuming from the
+//     job's last durable checkpoint;
+//   - SIGTERM drains gracefully: admission stops (readiness flips),
+//     in-flight jobs abort at their next connection boundary and flush a
+//     final checkpoint to the journal;
+//   - every job lives in a crash-safe on-disk journal (atomic rename,
+//     fsync, whole-file checksum, the boardio snapshot codec), so a
+//     SIGKILL'd daemon restarts, resumes interrupted jobs with
+//     core.Resume, and — the router being deterministic — finishes them
+//     bit-identically to an uninterrupted run.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/boardio"
+	"repro/internal/core"
+)
+
+// State is a job's lifecycle position. States are serialized verbatim
+// into the journal and the HTTP status JSON.
+type State string
+
+const (
+	// StateQueued: admitted and journaled, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is routing it (checkpointing as it goes).
+	StateRunning State = "running"
+	// StateRetrying: failed transiently; scheduled for another attempt
+	// after a backoff.
+	StateRetrying State = "retrying"
+	// StateInterrupted: checkpointed by a graceful drain. A restarted
+	// daemon requeues it, as it does any non-terminal job it finds.
+	StateInterrupted State = "interrupted"
+	// StateDone: finished; fingerprint, audit verdict and metrics are
+	// recorded. A job that ran out of passes with connections unrouted
+	// is still done — an infeasible board is an answer, not a failure.
+	StateDone State = "done"
+	// StateFailed: gave up — attempts exhausted, budget expired, or a
+	// permanent error.
+	StateFailed State = "failed"
+)
+
+// Terminal reports whether a job in this state will never run again.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+func parseState(v string) (State, error) {
+	switch s := State(v); s {
+	case StateQueued, StateRunning, StateRetrying, StateInterrupted, StateDone, StateFailed:
+		return s, nil
+	}
+	return "", fmt.Errorf("server: unknown job state %q", v)
+}
+
+// JobSpec is the client-facing submission payload: a .brd design, an
+// optional pre-strung .con connection list (default: the design's nets
+// are strung with the standard chain stringer), and router options as
+// the snapshot codec's name→integer map (boardio.OptionNames).
+type JobSpec struct {
+	Design  string           `json:"design"`
+	Conns   string           `json:"conns,omitempty"`
+	Options map[string]int64 `json:"options,omitempty"`
+}
+
+// Job is the server's record of one routing job. All fields are guarded
+// by the owning Server's mutex; snap's Design/Conns/Opts are immutable
+// after admission and its Check pointer is swapped wholesale at each
+// checkpoint, so a journal writer can serialize a consistent record
+// without holding the lock.
+type Job struct {
+	ID      string
+	State   State
+	Attempt int    // executions started (1-based; 0 = never ran)
+	Err     string // last failure detail, cleared on success
+	Aborted string // abort reason of the last interrupted run
+
+	// snap is the routing problem plus its latest durable checkpoint —
+	// exactly what a worker (or a restarted daemon) resumes from.
+	snap *boardio.Snapshot
+
+	// Results of a completed run.
+	Fingerprint uint64
+	AuditOK     bool
+	Metrics     *core.Metrics
+
+	// stopRetry cancels a pending backoff timer; nil when none is armed.
+	stopRetry func() bool
+}
+
+// Status is the JSON shape served by GET /jobs/{id}.
+type Status struct {
+	ID      string `json:"id"`
+	State   State  `json:"state"`
+	Attempt int    `json:"attempt"`
+	Conns   int    `json:"conns"`
+	Routed  int    `json:"routed"`
+	Error   string `json:"error,omitempty"`
+	Aborted string `json:"aborted,omitempty"`
+	// Fingerprint and AuditOK are set once the job is done: the board's
+	// FNV-64a fingerprint (the bit-identity witness of crash recovery)
+	// and whether the final invariant audit passed.
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	AuditOK     *bool         `json:"audit_ok,omitempty"`
+	Metrics     *core.Metrics `json:"metrics,omitempty"`
+}
+
+// status snapshots the job. Callers hold the server mutex.
+func (j *Job) status() Status {
+	st := Status{
+		ID:      j.ID,
+		State:   j.State,
+		Attempt: j.Attempt,
+		Error:   j.Err,
+		Aborted: j.Aborted,
+	}
+	if j.snap != nil {
+		st.Conns = len(j.snap.Conns)
+		st.Routed = j.snap.Check.Metrics.Routed
+	}
+	if j.Metrics != nil {
+		m := *j.Metrics
+		st.Metrics = &m
+		st.Routed = m.Routed
+	}
+	if j.State == StateDone {
+		st.Fingerprint = fmt.Sprintf("%016x", j.Fingerprint)
+		ok := j.AuditOK
+		st.AuditOK = &ok
+	}
+	return st
+}
+
+// freshCheckpoint is the zero-progress checkpoint a job is admitted
+// with: no routes, cursor at pass 0 position 0, and the fresh-run
+// progress sentinel (conns+1, matching core's initial prevUnrouted), so
+// resuming from it is bit-identical to a fresh Route call.
+func freshCheckpoint(conns int) *core.Checkpoint {
+	return &core.Checkpoint{
+		PrevUnrouted: conns + 1,
+		Routes:       make([]core.ConnRoute, conns),
+	}
+}

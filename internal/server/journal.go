@@ -1,0 +1,258 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/boardio"
+)
+
+// The job journal is one file per job, <dir>/<id>.job, rewritten in full
+// via boardio.AtomicWrite at every state transition and every durable
+// checkpoint. The format wraps the snapshot codec:
+//
+//	grrdjob v1
+//	id <job id>
+//	state <queued|running|retrying|interrupted|done|failed>
+//	attempt <n>
+//	error <quoted string>            last failure, "" when none
+//	aborted <quoted string>          abort reason of the last stop, "" when none
+//	result <16-hex fingerprint> <audit 0/1>   done jobs only
+//	snapshot begin
+//	...WriteSnapshot lines (with their own checksum)...
+//	snapshot end
+//	checksum <16 hex digits>         FNV-64a over every preceding byte
+//
+// Atomic rename means a crash leaves either the previous record or the
+// new one; the whole-file checksum catches the remaining hazard — a
+// torn or bit-rotted file from outside the daemon — so recovery never
+// trusts a corrupt record. Terminal jobs keep their journal entry (it
+// is the system of record a client polls after a restart); non-terminal
+// entries are what a restarted daemon requeues.
+
+const journalExt = ".job"
+
+func journalPath(dir, id string) string { return filepath.Join(dir, id+journalExt) }
+
+// fnv64a matches the snapshot codec's whole-file hash.
+func fnv64a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// writeJobRecord serializes j. The caller must guarantee the fields it
+// reads are stable: either it holds the server mutex, or it passed a
+// private copy.
+func writeJobRecord(w io.Writer, j *Job) error {
+	var sb strings.Builder
+	fmt.Fprintln(&sb, "grrdjob v1")
+	fmt.Fprintf(&sb, "id %s\n", j.ID)
+	fmt.Fprintf(&sb, "state %s\n", j.State)
+	fmt.Fprintf(&sb, "attempt %d\n", j.Attempt)
+	fmt.Fprintf(&sb, "error %s\n", strconv.Quote(j.Err))
+	fmt.Fprintf(&sb, "aborted %s\n", strconv.Quote(j.Aborted))
+	if j.State == StateDone {
+		fmt.Fprintf(&sb, "result %016x %d\n", j.Fingerprint, boolDigit(j.AuditOK))
+	}
+	fmt.Fprintln(&sb, "snapshot begin")
+	if err := boardio.WriteSnapshot(&sb, j.snap); err != nil {
+		return err
+	}
+	fmt.Fprintln(&sb, "snapshot end")
+	fmt.Fprintf(&sb, "checksum %016x\n", fnv64a([]byte(sb.String())))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func boolDigit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// readJobRecord parses and validates one journal record.
+func readJobRecord(r io.Reader) (*Job, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split off and verify the whole-file checksum trailer.
+	const tag = "checksum "
+	i := strings.LastIndex(string(data), "\n"+tag)
+	if i < 0 {
+		return nil, fmt.Errorf("server: job record has no checksum trailer (truncated?)")
+	}
+	body := string(data[:i+1])
+	trailer := strings.TrimSpace(string(data[i+1+len(tag):]))
+	want, err := strconv.ParseUint(trailer, 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("server: bad job record checksum %q", trailer)
+	}
+	if got := fnv64a([]byte(body)); got != want {
+		return nil, fmt.Errorf("server: job record checksum mismatch: file says %016x, content hashes to %016x", want, got)
+	}
+
+	lines := strings.Split(body, "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "grrdjob v1" {
+		return nil, fmt.Errorf("server: job record: want header \"grrdjob v1\"")
+	}
+
+	j := &Job{}
+	var haveSnap bool
+	for ln := 1; ln < len(lines); ln++ {
+		line := strings.TrimSpace(lines[ln])
+		if line == "" {
+			continue
+		}
+		key, rest, _ := strings.Cut(line, " ")
+		switch key {
+		case "id":
+			j.ID = rest
+		case "state":
+			st, err := parseState(rest)
+			if err != nil {
+				return nil, err
+			}
+			j.State = st
+		case "attempt":
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("server: job record: bad attempt %q", rest)
+			}
+			j.Attempt = n
+		case "error":
+			s, err := strconv.Unquote(rest)
+			if err != nil {
+				return nil, fmt.Errorf("server: job record: bad error field %q", rest)
+			}
+			j.Err = s
+		case "aborted":
+			s, err := strconv.Unquote(rest)
+			if err != nil {
+				return nil, fmt.Errorf("server: job record: bad aborted field %q", rest)
+			}
+			j.Aborted = s
+		case "result":
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				return nil, fmt.Errorf("server: job record: result needs fingerprint audit")
+			}
+			fp, err := strconv.ParseUint(f[0], 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("server: job record: bad fingerprint %q", f[0])
+			}
+			j.Fingerprint = fp
+			j.AuditOK = f[1] == "1"
+		case "snapshot":
+			if rest != "begin" {
+				return nil, fmt.Errorf("server: job record: want \"snapshot begin\"")
+			}
+			var sb strings.Builder
+			terminated := false
+			for ln++; ln < len(lines); ln++ {
+				if strings.TrimSpace(lines[ln]) == "snapshot end" {
+					terminated = true
+					break
+				}
+				sb.WriteString(lines[ln])
+				sb.WriteByte('\n')
+			}
+			if !terminated {
+				return nil, fmt.Errorf("server: job record: unterminated snapshot block")
+			}
+			snap, err := boardio.ReadSnapshot(strings.NewReader(sb.String()))
+			if err != nil {
+				return nil, fmt.Errorf("server: job record snapshot: %w", err)
+			}
+			j.snap = snap
+			haveSnap = true
+		default:
+			return nil, fmt.Errorf("server: job record: unknown directive %q", key)
+		}
+	}
+	if j.ID == "" || j.State == "" || !haveSnap {
+		return nil, fmt.Errorf("server: job record missing id, state or snapshot")
+	}
+	if j.State == StateDone {
+		m := j.snap.Check.Metrics
+		j.Metrics = &m
+	}
+	return j, nil
+}
+
+// saveJobRecord writes j's record crash-safely. It goes through
+// boardio.AtomicWrite, so the fault-injection I/O seam applies: a
+// checkpoint sink that cannot persist surfaces an error here, aborts
+// the run with AbortCheckpoint, and lands on the retry path.
+func saveJobRecord(dir string, j *Job) error {
+	return boardio.AtomicWrite(journalPath(dir, j.ID), func(w io.Writer) error {
+		return writeJobRecord(w, j)
+	})
+}
+
+// loadJournal reads every job record in dir, sorted by ID. A record
+// that fails to parse is reported through warn and skipped — one
+// corrupt file (necessarily external damage, given the atomic writes)
+// must not take down recovery of the healthy jobs. Leftover .tmp files
+// from an interrupted atomic write are deleted.
+func loadJournal(dir string, warn func(path string, err error)) ([]*Job, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*Job
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, journalExt) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		j, err := readJobPath(path)
+		if err != nil {
+			warn(path, err)
+			continue
+		}
+		if want := strings.TrimSuffix(name, journalExt); j.ID != want {
+			warn(path, fmt.Errorf("server: job record claims id %q", j.ID))
+			continue
+		}
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	return jobs, nil
+}
+
+func readJobPath(path string) (*Job, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	j, err := readJobRecord(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return j, nil
+}

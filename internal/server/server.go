@@ -1,0 +1,645 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/boardio"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/stringer"
+)
+
+// Load-shedding and lifecycle sentinels; the HTTP layer maps them to
+// status codes (429, 503).
+var (
+	// ErrQueueFull: admission would exceed QueueDepth. The client should
+	// back off and retry.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining: the daemon is shutting down and admits nothing.
+	ErrDraining = errors.New("server: draining")
+	// ErrInternal marks daemon-side admission failures (journal I/O),
+	// as opposed to bad job specs.
+	ErrInternal = errors.New("server: internal error")
+)
+
+// Config parameterizes a Server. The zero value of every field gets a
+// sensible default from New; only JournalDir is required.
+type Config struct {
+	// Workers is the routing worker pool size (default 4).
+	Workers int
+	// QueueDepth bounds the live jobs — queued, running or awaiting
+	// retry — the daemon will hold (default 16). Beyond it, Submit sheds
+	// load with ErrQueueFull. Jobs recovered from the journal at startup
+	// are admitted on top of this bound: they were accepted before the
+	// crash, and re-shedding them would turn a restart into data loss.
+	QueueDepth int
+	// JournalDir is the job journal directory (required; created if
+	// missing).
+	JournalDir string
+	// MaxAttempts bounds executions per job, across daemon restarts
+	// (default 3). Each transient failure — conflict, injected fault,
+	// panic, checkpoint-write error — costs one attempt.
+	MaxAttempts int
+	// RetryBase and RetryMax shape the retry backoff: attempt n waits
+	// roughly RetryBase·2ⁿ⁻¹, jittered to [d/2, d), capped at RetryMax
+	// (defaults 10ms, 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed seeds the jitter RNG, so tests replay schedules
+	// (default 1).
+	RetrySeed int64
+	// MaxTimeBudget caps the per-job routing time budget; a job asking
+	// for more (or for none) gets exactly this much. Zero leaves job
+	// budgets alone.
+	MaxTimeBudget time.Duration
+	// CheckpointEvery is the checkpoint cadence for jobs that don't set
+	// their own (default 8 routing attempts).
+	CheckpointEvery int
+	// BoardHook, when set, is applied to every job's board after restore
+	// and before routing — the seam the fault-injection tests use to
+	// install interposers (veto schedules, crashers, blockers).
+	BoardHook func(*board.Board)
+	// OnCrash is invoked when a worker recovers a faultinject.Crash —
+	// the simulated-SIGKILL panic. grrd installs os.Exit so the process
+	// dies exactly as a real kill would; when nil the crash is treated
+	// as one more transient failure and retried.
+	OnCrash func(faultinject.Crash)
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() error {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = 1
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.JournalDir == "" {
+		return errors.New("server: Config.JournalDir is required")
+	}
+	return nil
+}
+
+// Server is the grrd job daemon: a bounded queue feeding a bounded
+// worker pool, with every job mirrored to the on-disk journal.
+type Server struct {
+	cfg Config
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int
+	rng  *rand.Rand
+
+	// queue carries runnable jobs to workers; slots is the admission
+	// semaphore. Every live (non-terminal) job holds one slot, acquired
+	// at Submit (or journal recovery) and released at its terminal
+	// transition — so both channels' shared capacity bounds live jobs,
+	// and sends to queue can never block.
+	queue chan *Job
+	slots chan struct{}
+
+	draining    atomic.Bool
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+	wg          sync.WaitGroup
+}
+
+// New builds a Server: recovers the journal in cfg.JournalDir, requeues
+// every non-terminal job it finds, and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if err := ensureDir(cfg.JournalDir); err != nil {
+		return nil, err
+	}
+	recovered, err := loadJournal(cfg.JournalDir, func(path string, err error) {
+		cfg.Logf("grrd: skipping corrupt job record %s: %v", path, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	live := 0
+	for _, j := range recovered {
+		if !j.State.Terminal() {
+			live++
+		}
+	}
+
+	depth := cfg.QueueDepth + live
+	s := &Server{
+		cfg:   cfg,
+		jobs:  make(map[string]*Job),
+		rng:   rand.New(rand.NewSource(cfg.RetrySeed)),
+		queue: make(chan *Job, depth),
+		slots: make(chan struct{}, depth),
+	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+
+	for _, j := range recovered {
+		s.jobs[j.ID] = j
+		if n := jobSeq(j.ID); n >= s.seq {
+			s.seq = n + 1
+		}
+		if j.State.Terminal() {
+			continue
+		}
+		// The job was admitted before the crash; its slot is part of the
+		// extended capacity, so this can never block.
+		s.slots <- struct{}{}
+		prev := j.State
+		j.State = StateQueued
+		if err := saveJobRecord(cfg.JournalDir, j); err != nil {
+			return nil, err
+		}
+		cfg.Logf("grrd: recovered %s (%s, attempt %d, %d/%d routed)",
+			j.ID, prev, j.Attempt, j.snap.Check.Metrics.Routed, len(j.snap.Conns))
+		s.queue <- j
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func jobSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return -1
+	}
+	return n
+}
+
+// Submit admits a job: parse and validate the spec, journal it, queue
+// it. It returns the queued job's status, or ErrQueueFull / ErrDraining
+// when admission is refused.
+func (s *Server) Submit(spec JobSpec) (Status, error) {
+	if s.draining.Load() {
+		return Status{}, ErrDraining
+	}
+	snap, err := buildSnapshot(spec, s.cfg)
+	if err != nil {
+		return Status{}, err
+	}
+
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		return Status{}, ErrQueueFull
+	}
+
+	s.mu.Lock()
+	id := fmt.Sprintf("job-%06d", s.seq)
+	s.seq++
+	j := &Job{ID: id, State: StateQueued, snap: snap}
+	s.jobs[id] = j
+	rec := *j
+	s.mu.Unlock()
+
+	if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		<-s.slots
+		return Status{}, fmt.Errorf("%w: journaling job: %v", ErrInternal, err)
+	}
+	s.queue <- j
+	return rec.status(), nil
+}
+
+// buildSnapshot turns a JobSpec into the zero-progress snapshot the job
+// is admitted (and journaled) with. A spec error here is permanent: the
+// client sent a bad job.
+func buildSnapshot(spec JobSpec, cfg Config) (*boardio.Snapshot, error) {
+	d, err := boardio.ReadDesign(strings.NewReader(spec.Design))
+	if err != nil {
+		return nil, fmt.Errorf("server: design: %w", err)
+	}
+	var conns []core.Connection
+	if spec.Conns != "" {
+		conns, err = boardio.ReadConnections(strings.NewReader(spec.Conns))
+		if err != nil {
+			return nil, fmt.Errorf("server: conns: %w", err)
+		}
+	} else {
+		strung, err := stringer.String(d, stringer.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("server: stringing nets: %w", err)
+		}
+		conns = strung.Conns
+	}
+
+	opts := core.DefaultOptions()
+	for name, v := range spec.Options {
+		if err := boardio.ApplyOption(&opts, name, v); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = cfg.CheckpointEvery
+	}
+	if cfg.MaxTimeBudget > 0 && (opts.TimeBudget <= 0 || opts.TimeBudget > cfg.MaxTimeBudget) {
+		opts.TimeBudget = cfg.MaxTimeBudget
+	}
+	return &boardio.Snapshot{
+		Design: d,
+		Conns:  conns,
+		Opts:   opts,
+		Check:  freshCheckpoint(len(conns)),
+	}, nil
+}
+
+// Status reports one job.
+func (s *Server) Status(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return j.status(), true
+}
+
+// Jobs lists every known job, sorted by ID.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.status())
+	}
+	sortStatuses(out)
+	return out
+}
+
+// Ready reports whether the daemon accepts jobs (false once draining).
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
+// Drain shuts the daemon down gracefully: admission stops (Ready flips
+// false), pending retries and in-flight jobs are checkpointed to the
+// journal as interrupted, and the worker pool exits. Running jobs stop
+// at their next connection boundary — the router flushes a final
+// checkpoint through its sink on the way out, so no committed work is
+// lost. ctx bounds the wait; on ctx expiry workers may still be
+// running, but the journal is consistent (running jobs simply recover
+// as of their last checkpoint).
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return errors.New("server: already draining")
+	}
+
+	// Disarm pending retries: a timer we stop before it fires will never
+	// enqueue, so its job parks as interrupted.
+	s.mu.Lock()
+	var park []*Job
+	for _, j := range s.jobs {
+		if j.State == StateRetrying && j.stopRetry != nil && j.stopRetry() {
+			j.stopRetry = nil
+			j.State = StateInterrupted
+			park = append(park, j)
+		}
+	}
+	recs := make([]Job, len(park))
+	for i, j := range park {
+		recs[i] = *j
+	}
+	s.mu.Unlock()
+	for i := range recs {
+		if err := saveJobRecord(s.cfg.JournalDir, &recs[i]); err != nil {
+			s.cfg.Logf("grrd: journaling parked %s: %v", recs[i].ID, err)
+		}
+	}
+
+	// Cancel the run context: workers stop picking up jobs, and running
+	// routers abort at their next connection boundary.
+	s.drainCancel()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Bias shutdown over work: a ready drainCtx always wins, even if
+		// the queue is also ready.
+		select {
+		case <-s.drainCtx.Done():
+			return
+		default:
+		}
+		select {
+		case <-s.drainCtx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one attempt of j and routes the outcome: done,
+// interrupted (drain), retry, or failed.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	j.State = StateRunning
+	j.Attempt++
+	j.stopRetry = nil
+	attempt := j.Attempt
+	rec := *j
+	s.mu.Unlock()
+	if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+		// Can't record that the job is running — journal trouble. Treat
+		// like any transient fault.
+		s.settle(j, attempt, outcome{transient: err})
+		return
+	}
+
+	s.settle(j, attempt, s.execute(j))
+}
+
+// outcome is the classified result of one execution attempt. Exactly
+// one field is meaningful.
+type outcome struct {
+	res         *core.Result // finished (possibly incomplete) run
+	fingerprint uint64
+	auditErr    error
+
+	interrupted *core.Result // drain abort; checkpoint already flushed
+	transient   error        // retryable failure
+	permanent   error        // non-retryable failure
+}
+
+// execute runs one routing attempt with panic isolation. A panic —
+// from the router, an interposer, or injected faults — is contained to
+// this job and classified transient; a faultinject.Crash additionally
+// triggers the OnCrash hook (grrd: die like a real SIGKILL).
+func (s *Server) execute(j *Job) (out outcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			if c, ok := p.(faultinject.Crash); ok && s.cfg.OnCrash != nil {
+				s.cfg.OnCrash(c)
+			}
+			out = outcome{transient: fmt.Errorf("panic: %v", p)}
+		}
+	}()
+
+	s.mu.Lock()
+	snap := j.snap
+	s.mu.Unlock()
+
+	// Run from a shallow copy: the sink and cadence are runtime-only and
+	// must not leak into the journaled snapshot.
+	run := *snap
+	run.Opts.CheckpointSink = func(cp *core.Checkpoint) error {
+		next := *snap
+		next.Check = cp
+		s.mu.Lock()
+		j.snap = &next
+		rec := *j
+		s.mu.Unlock()
+		return saveJobRecord(s.cfg.JournalDir, &rec)
+	}
+
+	b, r, err := run.Restore()
+	if err != nil {
+		// The journaled checkpoint does not fit its own design: nothing a
+		// retry can fix.
+		return outcome{permanent: fmt.Errorf("restore: %w", err)}
+	}
+	if s.cfg.BoardHook != nil {
+		s.cfg.BoardHook(b)
+	}
+
+	res := r.RouteContext(s.drainCtx)
+	switch res.Aborted {
+	case core.AbortNone:
+		return outcome{res: &res, fingerprint: b.Fingerprint(), auditErr: b.Audit()}
+	case core.AbortCancelled:
+		return outcome{interrupted: &res}
+	case core.AbortTime:
+		return outcome{permanent: fmt.Errorf("time budget exhausted after %d/%d routed", res.Metrics.Routed, res.Metrics.Connections)}
+	case core.AbortCheckpoint:
+		return outcome{transient: fmt.Errorf("checkpoint write: %w", res.Invariant)}
+	default: // AbortInvariant
+		var ce *board.ConflictError
+		if errors.As(res.Invariant, &ce) {
+			return outcome{transient: fmt.Errorf("rollback conflict: %w", res.Invariant)}
+		}
+		return outcome{permanent: fmt.Errorf("invariant: %w", res.Invariant)}
+	}
+}
+
+// settle applies an attempt's outcome to the job and journals the
+// transition.
+func (s *Server) settle(j *Job, attempt int, out outcome) {
+	switch {
+	case out.res != nil:
+		if out.auditErr != nil {
+			// A board that fails its final audit is corrupt state, not an
+			// answer; retry from the last good checkpoint.
+			s.retryOrFail(j, attempt, fmt.Errorf("final audit: %w", out.auditErr))
+			return
+		}
+		m := out.res.Metrics
+		s.mu.Lock()
+		// Fold the final metrics into the snapshot so the journal record
+		// carries them; the routes stay at the last checkpoint, which is
+		// all a terminal record needs.
+		next := *j.snap
+		next.Check = checkpointWithMetrics(next.Check, m)
+		j.snap = &next
+		rec := *j
+		s.mu.Unlock()
+		rec.State = StateDone
+		rec.Err = ""
+		rec.Aborted = ""
+		rec.Fingerprint = out.fingerprint
+		rec.AuditOK = true
+		rec.Metrics = &m
+		// Journal the terminal record, then free capacity, then publish:
+		// anyone who observes the job as done can rely on the journal
+		// carrying its result and on its slot being available again.
+		if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+			s.cfg.Logf("grrd: journaling %s done: %v", j.ID, err)
+		}
+		<-s.slots
+		s.mu.Lock()
+		j.State = rec.State
+		j.Err = rec.Err
+		j.Aborted = rec.Aborted
+		j.Fingerprint = rec.Fingerprint
+		j.AuditOK = rec.AuditOK
+		j.Metrics = rec.Metrics
+		s.mu.Unlock()
+		s.cfg.Logf("grrd: %s done: %v", j.ID, out.res)
+
+	case out.interrupted != nil:
+		s.mu.Lock()
+		j.State = StateInterrupted
+		j.Aborted = core.AbortCancelled.String()
+		rec := *j
+		s.mu.Unlock()
+		if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+			s.cfg.Logf("grrd: journaling %s interrupted: %v", j.ID, err)
+		}
+		s.cfg.Logf("grrd: %s interrupted by drain (%d/%d routed)",
+			j.ID, out.interrupted.Metrics.Routed, out.interrupted.Metrics.Connections)
+		// The slot is deliberately not released: the job is still live,
+		// and the daemon is draining — nothing else will want it.
+
+	case out.transient != nil:
+		s.retryOrFail(j, attempt, out.transient)
+
+	default:
+		s.fail(j, out.permanent)
+	}
+}
+
+// retryOrFail schedules another attempt with jittered exponential
+// backoff, or fails the job once attempts are exhausted. During a drain
+// the job parks as interrupted instead — a restarted daemon retries it.
+func (s *Server) retryOrFail(j *Job, attempt int, cause error) {
+	if attempt >= s.cfg.MaxAttempts {
+		s.fail(j, fmt.Errorf("attempt %d/%d: %w", attempt, s.cfg.MaxAttempts, cause))
+		return
+	}
+
+	d := s.backoff(attempt)
+
+	// Journal the retrying state BEFORE arming the timer: a short backoff
+	// could otherwise fire requeue while this record is still being
+	// written, racing two atomic writes on the same journal file.
+	s.mu.Lock()
+	j.State = StateRetrying
+	j.Err = cause.Error()
+	rec := *j
+	s.mu.Unlock()
+	if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+		s.cfg.Logf("grrd: journaling retrying %s: %v", j.ID, err)
+	}
+
+	s.mu.Lock()
+	if s.draining.Load() {
+		// Drain won the race to this point; it saw no armed timer to
+		// stop, so park the job here.
+		j.State = StateInterrupted
+		rec := *j
+		s.mu.Unlock()
+		if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+			s.cfg.Logf("grrd: journaling parked %s: %v", j.ID, err)
+		}
+		return
+	}
+	t := time.AfterFunc(d, func() { s.requeue(j) })
+	j.stopRetry = t.Stop
+	s.mu.Unlock()
+	s.cfg.Logf("grrd: %s attempt %d failed (%v), retrying in %v", j.ID, attempt, cause, d)
+}
+
+// backoff computes the jittered delay before retry attempt+1:
+// RetryBase·2^(attempt-1) capped at RetryMax, uniformly jittered down
+// to half that, so synchronized failures don't retry in lockstep.
+func (s *Server) backoff(attempt int) time.Duration {
+	d := s.cfg.RetryBase << (attempt - 1)
+	if d > s.cfg.RetryMax || d <= 0 {
+		d = s.cfg.RetryMax
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	s.mu.Lock()
+	jit := s.rng.Int63n(half + 1)
+	s.mu.Unlock()
+	return time.Duration(half + jit)
+}
+
+// requeue moves a retrying job back onto the queue when its backoff
+// timer fires.
+func (s *Server) requeue(j *Job) {
+	s.mu.Lock()
+	if j.State != StateRetrying {
+		s.mu.Unlock()
+		return
+	}
+	j.State = StateQueued
+	j.stopRetry = nil
+	rec := *j
+	s.mu.Unlock()
+	if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+		s.cfg.Logf("grrd: journaling requeued %s: %v", j.ID, err)
+	}
+	s.queue <- j
+}
+
+// fail marks j permanently failed: journal the terminal record, free
+// the slot, then publish, so anyone who observes the job as failed can
+// rely on the journal agreeing and on its capacity being available.
+func (s *Server) fail(j *Job, cause error) {
+	s.mu.Lock()
+	rec := *j
+	s.mu.Unlock()
+	rec.State = StateFailed
+	rec.Err = cause.Error()
+	if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+		s.cfg.Logf("grrd: journaling failed %s: %v", j.ID, err)
+	}
+	<-s.slots
+	s.mu.Lock()
+	j.State = rec.State
+	j.Err = rec.Err
+	s.mu.Unlock()
+	s.cfg.Logf("grrd: %s failed: %v", j.ID, cause)
+}
+
+// checkpointWithMetrics returns cp with its metrics replaced.
+func checkpointWithMetrics(cp *core.Checkpoint, m core.Metrics) *core.Checkpoint {
+	next := *cp
+	next.Metrics = m
+	return &next
+}
+
+func ensureDir(dir string) error {
+	return os.MkdirAll(dir, 0o777)
+}
+
+func sortStatuses(sts []Status) {
+	sort.Slice(sts, func(a, b int) bool { return sts[a].ID < sts[b].ID })
+}

@@ -72,3 +72,14 @@ func SmallSpec(seed int64) Spec {
 		NetSizeMin: 2, NetSizeMax: 3, Locality: 20, MarginX: 2, MarginY: 2, Seed: seed,
 	}
 }
+
+// TinySpec is the smallest non-degenerate board: a 2x2 part grid with a
+// dozen two-pin nets, routing in well under a millisecond. Soak and
+// service tests push hundreds of these through a daemon; each seed is a
+// distinct but reproducible job.
+func TinySpec(seed int64) Spec {
+	return Spec{
+		Name: "tiny", ViaCols: 32, ViaRows: 20, Layers: 2, TargetConns: 12,
+		NetSizeMin: 2, NetSizeMax: 2, Locality: 14, MarginX: 2, MarginY: 2, Seed: seed,
+	}
+}
