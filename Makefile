@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench staticcheck vulncheck
+.PHONY: check vet build test race bench lint-metrics staticcheck vulncheck
 
-check: vet build race staticcheck vulncheck
+check: vet build race lint-metrics staticcheck vulncheck
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Every grr_* series registered in code must follow the naming
+# convention and appear in the DESIGN.md §10 catalog (and vice versa).
+lint-metrics:
+	$(GO) run ./tools/lintmetrics
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

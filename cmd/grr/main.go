@@ -63,6 +63,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/grid"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/photoplot"
 	"repro/internal/render"
 	"repro/internal/stats"
@@ -113,6 +114,7 @@ func run() int {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile here")
 		memprofile = flag.String("memprofile", "", "write a heap profile here on exit")
+		dumpStats  = flag.Bool("stats", false, "dump the metrics registry (search effort, phase timings) to stderr after the run")
 
 		hangAt = flag.Int("fault-hang-at", 0, "fault injection: wedge the run inside the Nth segment placement (testing only)")
 	)
@@ -144,6 +146,18 @@ func run() int {
 	defer stopProfiles()
 
 	opts := core.DefaultOptions()
+	if *dumpStats {
+		// The registry aggregates across every board this invocation
+		// routes (one, or the whole -table1 sweep) and dumps on the way
+		// out — the run() int shape exists so defers like this fire
+		// before the process exits.
+		reg := obs.NewRegistry()
+		opts.Metrics = reg
+		defer func() {
+			fmt.Fprintln(os.Stderr, "grr: metrics registry:")
+			reg.DumpTable(os.Stderr)
+		}()
+	}
 	opts.Radius = *radius
 	opts.Sort = *sort
 	opts.Bidirectional = *bidi
@@ -308,6 +322,7 @@ func runResume(ctx context.Context, cfg singleConfig, path string, flagOpts core
 	}
 	snap.Opts.TimeBudget = flagOpts.TimeBudget
 	snap.Opts.Paranoid = snap.Opts.Paranoid || flagOpts.Paranoid
+	snap.Opts.Metrics = flagOpts.Metrics // runtime-only; never serialized
 	snap.Opts.CheckpointEvery = 0
 	if cfg.checkpoint != "" {
 		attachCheckpointSink(&snap.Opts, cfg.checkpoint, cfg.ckEvery, snap.Design, snap.Conns)

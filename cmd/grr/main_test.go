@@ -126,6 +126,38 @@ func TestCheckpointResume(t *testing.T) {
 	}
 }
 
+// TestStatsFlagDumpsRegistry: -stats routes normally and then dumps the
+// metrics registry, with the router's search and phase series present.
+func TestStatsFlagDumpsRegistry(t *testing.T) {
+	brd := writeDesignFile(t)
+	out, code := runGrr(t, "-design", brd, "-stats")
+	if code != exitOK {
+		t.Fatalf("exit code = %d, want %d\n%s", code, exitOK, out)
+	}
+	for _, want := range []string{
+		"grr: metrics registry:",
+		"grr_router_routed_total",
+		"grr_router_connections_total",
+		`grr_router_phase_seconds{phase="zero_via"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStatsFlagOffByDefault: without -stats the dump never appears.
+func TestStatsFlagOffByDefault(t *testing.T) {
+	brd := writeDesignFile(t)
+	out, code := runGrr(t, "-design", brd)
+	if code != exitOK {
+		t.Fatalf("exit code = %d, want %d\n%s", code, exitOK, out)
+	}
+	if strings.Contains(out, "metrics registry") {
+		t.Errorf("registry dump printed without -stats:\n%s", out)
+	}
+}
+
 func TestResumeExcludesDesign(t *testing.T) {
 	out, code := runGrr(t, "-resume", "x.snap", "-design", "y.brd")
 	if code != exitUsage {

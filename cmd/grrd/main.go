@@ -15,10 +15,15 @@
 //	GET  /jobs/{id} one job
 //	GET  /healthz   liveness
 //	GET  /readyz    readiness (503 while draining)
+//	GET  /metrics   Prometheus text exposition (queue, jobs, retries,
+//	                journal, router search effort and phase timings)
+//	GET  /debug/pprof/...  net/http/pprof, only with -pprof
 //
 // On startup grrd prints one line, "grrd: listening on ADDR", and then
 // recovers any interrupted jobs from the journal before serving new
-// ones.
+// ones. Job lifecycle transitions (submit → running → retrying →
+// done/failed) go to stderr as structured logfmt lines stamped with
+// job IDs.
 //
 // Exit codes:
 //
@@ -41,6 +46,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +54,7 @@ import (
 
 	"repro/internal/board"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -73,6 +80,9 @@ func run() int {
 		maxBudget  = flag.Duration("max-time-budget", 0, "cap every job's routing time budget (0 = leave job budgets alone)")
 		ckEvery    = flag.Int("checkpoint-every", 8, "default checkpoint cadence for jobs that set none")
 		drainMax   = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful drain may take")
+		retrySeed  = flag.Int64("retry-seed", 0, "retry jitter RNG seed (0 = derive from entropy each start)")
+		headerMax  = flag.Duration("read-header-timeout", 5*time.Second, "how long a client may take to send request headers")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
 		crashAt = flag.Uint64("crash-at", 0, "fault injection: kill the process (exit 137) at the Nth board mutation across all jobs")
 	)
@@ -86,6 +96,7 @@ func run() int {
 		return exitUsage
 	}
 
+	reg := obs.NewRegistry()
 	cfg := server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -93,8 +104,12 @@ func run() int {
 		MaxAttempts:     *maxAtt,
 		RetryBase:       *retryBase,
 		RetryMax:        *retryMax,
+		RetrySeed:       *retrySeed,
 		MaxTimeBudget:   *maxBudget,
 		CheckpointEvery: *ckEvery,
+		DrainBudget:     *drainMax,
+		Metrics:         reg,
+		Log:             obs.NewLogger(os.Stderr),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -123,16 +138,41 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "grrd:", err)
 		return exitInternal
 	}
+	// Catch signals before announcing the address: anyone who has seen
+	// the banner may SIGTERM us, and an un-notified signal would kill
+	// the process with the default action instead of draining.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	// The one contractual stdout line; tests and wrappers parse it to
 	// find the bound port when -listen used port 0.
 	fmt.Printf("grrd: listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: s.Handler()}
+	handler := s.Handler()
+	if *pprofOn {
+		// Profiling is opt-in: the debug surface leaks heap contents and
+		// stack traces, so it never ships on by default.
+		dbg := http.NewServeMux()
+		dbg.Handle("/", handler)
+		dbg.HandleFunc("GET /debug/pprof/", pprof.Index)
+		dbg.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = dbg
+	}
+
+	// Timeouts on every read path: without them one client holding a
+	// half-sent request pins Shutdown forever (a trivial slowloris keeps
+	// the daemon from ever finishing its drain).
+	hs := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: *headerMax,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	select {
 	case err := <-serveErr:
@@ -158,7 +198,13 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "grrd:", err)
 		code = exitInternal
 	}
-	hs.Shutdown(context.Background())
+	// Bound the HTTP wind-down too: Shutdown waits for in-flight
+	// requests, and a stalled client must not outlast the drain budget.
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := hs.Shutdown(sdCtx); err != nil {
+		hs.Close()
+	}
+	sdCancel()
 	fmt.Fprintln(os.Stderr, "grrd: drained")
 	return code
 }

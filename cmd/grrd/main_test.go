@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/boardio"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/stringer"
 	"repro/internal/workload"
@@ -339,6 +341,137 @@ func TestKillAndRestartEquivalence(t *testing.T) {
 				t.Fatalf("drain exit code = %d, want %d\nstderr:\n%s", code, exitOK, d2.stderr.String())
 			}
 		})
+	}
+}
+
+// TestDaemonMetricsEndpoint is the scrape smoke test: boot the real
+// binary, route one tiny job, and require GET /metrics to serve valid
+// 0.0.4 text exposition covering the job lifecycle, the latency
+// histogram, and the router's own phase timings. It also pins the two
+// observability side contracts: structured job-lifecycle lines on
+// stderr, and no pprof surface unless -pprof is given.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	d := startDaemon(t, t.TempDir())
+
+	st, resp, err := postJob(t, d.base, testSpec(t))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+	}
+	if fin := waitDone(t, d.base, st.ID); fin.State != server.StateDone {
+		t.Fatalf("job did not finish: %+v", fin)
+	}
+
+	mresp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 text exposition", ct)
+	}
+	vals, err := obs.ParseExposition(mresp.Body)
+	if err != nil {
+		t.Fatalf("exposition malformed: %v", err)
+	}
+	for _, name := range []string{
+		"grr_jobs_submitted_total",
+		"grr_jobs_done_total",
+		"grr_job_seconds_count",
+		"grr_router_routed_total",
+		`grr_router_phase_seconds_count{phase="zero_via"}`,
+	} {
+		if vals[name] == 0 {
+			t.Errorf("%s missing or zero after a routed job", name)
+		}
+	}
+
+	// No -pprof flag: the debug surface must not exist.
+	presp, err := http.Get(d.base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /debug/pprof/ without -pprof = %d, want 404", presp.StatusCode)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(); code != exitOK {
+		t.Fatalf("exit code = %d, want %d\nstderr:\n%s", code, exitOK, d.stderr.String())
+	}
+	stderr := d.stderr.String()
+	for _, event := range []string{"event=job_submitted", "event=job_running", "event=job_done"} {
+		if !strings.Contains(stderr, event) {
+			t.Errorf("structured %s line missing from stderr:\n%s", event, stderr)
+		}
+	}
+	if !strings.Contains(stderr, "job="+st.ID) {
+		t.Errorf("lifecycle lines not stamped with %s:\n%s", st.ID, stderr)
+	}
+}
+
+// TestPprofEnabled: the -pprof flag mounts net/http/pprof on the
+// daemon's mux.
+func TestPprofEnabled(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), "-pprof")
+	resp, err := http.Get(d.base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/ with -pprof = %d, want 200", resp.StatusCode)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(); code != exitOK {
+		t.Fatalf("exit code = %d, want %d", code, exitOK)
+	}
+}
+
+// TestSlowClientDoesNotStallDrain pins the slowloris fix: a client that
+// opens a connection, sends half a request header, and then just holds
+// the socket must not keep SIGTERM from completing. Before the server
+// got read timeouts (and a bounded Shutdown), that one socket pinned
+// hs.Shutdown forever.
+func TestSlowClientDoesNotStallDrain(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), "-read-header-timeout", "200ms")
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(d.base, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request: the header block never ends, and never will.
+	if _, err := io.WriteString(conn, "POST /jobs HTTP/1.1\r\nHost: grrd\r\nContent-Type: app"); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(); code != exitOK {
+		t.Fatalf("exit code = %d, want %d\nstderr:\n%s", code, exitOK, d.stderr.String())
+	}
+	// Generous bound: the header timeout is 200ms and the Shutdown
+	// fallback 5s; anything near the old forever-hang fails loudly.
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Errorf("drain with a stalled client took %v", elapsed)
+	}
+	if !strings.Contains(d.stderr.String(), "grrd: drained") {
+		t.Errorf("drain banner missing:\n%s", d.stderr.String())
 	}
 }
 

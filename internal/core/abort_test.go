@@ -163,6 +163,12 @@ func TestBudgetsUnsetChangeNothing(t *testing.T) {
 
 // buildDenseRouter is buildDense stopping short of the Route call.
 func buildDenseRouter(t testing.TB) (*board.Board, *Router) {
+	return buildDenseRouterOpts(t, DefaultOptions())
+}
+
+// buildDenseRouterOpts is buildDenseRouter under caller-chosen options
+// (the obs tests route the same board with a registry armed).
+func buildDenseRouterOpts(t testing.TB, opts Options) (*board.Board, *Router) {
 	t.Helper()
 	b := emptyBoard(t, 20, 8, 2)
 	var conns []Connection
@@ -176,5 +182,5 @@ func buildDenseRouter(t testing.TB) (*board.Board, *Router) {
 		c := pinAt(t, b, geom.Pt(5+3*i, 7))
 		conns = append(conns, Connection{A: a, B: c})
 	}
-	return b, mustRouter(t, b, conns, DefaultOptions())
+	return b, mustRouter(t, b, conns, opts)
 }

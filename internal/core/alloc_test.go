@@ -6,6 +6,7 @@ import (
 	"repro/internal/board"
 	"repro/internal/geom"
 	"repro/internal/layer"
+	"repro/internal/obs"
 )
 
 // wallOff rings grid point c with permanent keepout on every layer so no
@@ -34,7 +35,17 @@ func wallOff(tb testing.TB, b *board.Board, c geom.Point) {
 // permanent keepout so the wavefront exhausts the whole board and the
 // search fails without mutating any channel — every run after the first
 // is a bit-identical steady-state replay.
+//
+// The "instrumented" variant runs the identical flood with an
+// obs.Registry armed and holds it to the same allocation budget: phase
+// timing is two clock reads bracketing the search, and metric flushing
+// happens outside it, so observability must be free on the hot path.
 func TestLeeSteadyStateAllocs(t *testing.T) {
+	t.Run("bare", func(t *testing.T) { leeSteadyStateAllocs(t, nil) })
+	t.Run("instrumented", func(t *testing.T) { leeSteadyStateAllocs(t, obs.NewRegistry()) })
+}
+
+func leeSteadyStateAllocs(t *testing.T, reg *obs.Registry) {
 	b := emptyBoard(t, 40, 40, 2)
 	a := pinAt(t, b, geom.Pt(2, 2))
 	c := pinAt(t, b, geom.Pt(35, 35))
@@ -43,6 +54,7 @@ func TestLeeSteadyStateAllocs(t *testing.T) {
 	opts.Bidirectional = false // one wavefront floods the entire board
 	opts.CostCapFactor = 0     // never abandon early
 	opts.Escalate = false
+	opts.Metrics = reg
 	r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
 	id := r.connID(0)
 
@@ -68,6 +80,14 @@ func TestLeeSteadyStateAllocs(t *testing.T) {
 	if allocs > 8 {
 		t.Errorf("leePts allocated %.0f objects per flood (%d expansions); want O(1), got %.4f allocs/expansion",
 			allocs, perRun, allocs/float64(perRun))
+	}
+	if reg != nil {
+		// The instrumented flood must also have timed itself: every
+		// leePts call lands one Lee-phase observation.
+		h := reg.Histogram(`grr_router_phase_seconds{phase="lee"}`, obs.DurationBuckets())
+		if h.Count() < 7 { // 2 hand runs + 1 AllocsPerRun warm-up + 5 measured
+			t.Errorf("lee phase histogram recorded %d observations, want >= 7", h.Count())
+		}
 	}
 	t.Logf("%d expansions, %.0f allocs per flood (%.5f allocs/expansion)", perRun, allocs, allocs/float64(perRun))
 }

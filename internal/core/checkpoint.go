@@ -184,6 +184,12 @@ func Resume(b *board.Board, conns []Connection, opts Options, cp *Checkpoint) (*
 		r.routes[i] = rt
 	}
 	r.metrics = cp.Metrics
+	if r.obs != nil {
+		// A resumed router publishes only this process's work: the
+		// checkpointed counters become the already-flushed baseline
+		// rather than being re-announced to the registry.
+		r.obs.flushed = cp.Metrics
+	}
 	r.startPass = cp.Pass
 	r.startPos = cp.NextPos
 	r.resumePrev = cp.PrevUnrouted

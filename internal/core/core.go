@@ -26,6 +26,7 @@ import (
 	"repro/internal/board"
 	"repro/internal/geom"
 	"repro/internal/layer"
+	"repro/internal/obs"
 )
 
 // Connection is one pin-to-pin connection produced by the stringer. Both
@@ -183,6 +184,15 @@ type Options struct {
 	// hours of unrecoverable work. The sink is a function, not a path, so
 	// core stays free of serialization concerns (boardio owns the codec).
 	CheckpointSink func(*Checkpoint) error
+	// Metrics, when set, receives live copies of the routing counters
+	// plus per-phase wall-time histograms (obs.go): deltas are flushed
+	// to the registry's atomic series at connection and pass
+	// boundaries, never inside a search, so the hot path stays
+	// allocation-free and the routed output bit-identical. Like
+	// CheckpointSink this is runtime-only state: boardio snapshots do
+	// not carry it, and a resumed router publishes only the work done
+	// in its own process.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the configuration used for all Table 1 runs.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/layer"
@@ -140,8 +142,21 @@ func (r *Router) lee(i int) (Route, geom.Point, bool) {
 	return r.leePts(c.A, c.B, r.connID(i))
 }
 
-// leePts is lee for arbitrary endpoints.
+// leePts is lee for arbitrary endpoints. It is also the Lee phase's
+// timing seam: with a registry armed it brackets the whole
+// search-and-retrace in two clock reads (obs.go); without one it is a
+// direct call, so unbudgeted runs stay untouched. Either way it adds no
+// allocations to the flood (TestLeeSteadyStateAllocs covers both).
 func (r *Router) leePts(a, b geom.Point, id layer.ConnID) (Route, geom.Point, bool) {
+	if r.obs == nil {
+		return r.leeRun(a, b, id)
+	}
+	defer r.obsPhase(phaseLee, time.Now())
+	return r.leeRun(a, b, id)
+}
+
+// leeRun is the retrace-retry loop around leeOnce.
+func (r *Router) leeRun(a, b geom.Point, id layer.ConnID) (Route, geom.Point, bool) {
 	banned := r.scratch.banned
 	clear(banned)
 	const maxRetraceRetries = 6

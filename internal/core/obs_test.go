@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// TestInstrumentedRunBitIdentical pins the ISSUE's determinism
+// guarantee: routing with a registry armed reads the clock but never
+// feeds it back into the algorithm, so metrics, per-connection methods,
+// and the realized board must match a bare run exactly.
+func TestInstrumentedRunBitIdentical(t *testing.T) {
+	b1, r1, res1 := buildDense(t)
+
+	opts := DefaultOptions()
+	opts.Metrics = obs.NewRegistry()
+	b2, r2 := buildDenseRouterOpts(t, opts)
+	res2 := r2.Route()
+
+	if res1.Metrics != res2.Metrics {
+		t.Errorf("metrics differ:\n bare         %+v\n instrumented %+v", res1.Metrics, res2.Metrics)
+	}
+	for i := range r1.Conns {
+		if r1.RouteOf(i).Method != r2.RouteOf(i).Method {
+			t.Errorf("connection %d method differs: %v vs %v",
+				i, r1.RouteOf(i).Method, r2.RouteOf(i).Method)
+		}
+	}
+	if f1, f2 := b1.Fingerprint(), b2.Fingerprint(); f1 != f2 {
+		t.Errorf("board fingerprints differ: %#x vs %#x", f1, f2)
+	}
+}
+
+// TestRegistryMatchesMetricsStruct: after a run, every flushed counter
+// and gauge must agree with the one-shot Metrics struct — the registry
+// is a live view of the same numbers, not a second bookkeeping system
+// that can drift.
+func TestRegistryMatchesMetricsStruct(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.Metrics = reg
+	b, r := buildDenseRouterOpts(t, opts)
+	res := r.Route()
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+
+	counters := map[string]int{
+		"grr_router_lee_expansions_total":                      m.LeeExpansions,
+		"grr_router_lee_blocked_total":                         m.LeeBlocked,
+		"grr_router_rip_ups_total":                             m.RipUps,
+		"grr_router_put_backs_total":                           m.PutBacks,
+		"grr_router_rerouted_total":                            m.ReRouted,
+		"grr_router_trace_calls_total":                         m.TraceCalls,
+		"grr_router_via_queries_total":                         m.ViasCalls,
+		"grr_router_passes_total":                              m.Passes,
+		"grr_router_connections_total":                         m.Connections,
+		"grr_router_routed_total":                              m.Routed,
+		"grr_router_failed_total":                              m.Failed,
+		`grr_router_route_failures_total{cause="no_victims"}`:  m.FailNoVictims,
+		`grr_router_route_failures_total{cause="rounds"}`:      m.FailRounds,
+		`grr_router_route_failures_total{cause="node_budget"}`: m.FailNodeBudget,
+	}
+	for name, want := range counters {
+		if got := reg.Counter(name).Value(); got != int64(want) {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	gauges := map[string]int{
+		"grr_router_wire_length_cells": m.WireLength,
+		"grr_router_vias_placed":       m.ViasAdded,
+	}
+	for mth := Trivial; mth <= PutBack; mth++ {
+		gauges[`grr_router_routed_by_method{method="`+methodLabel[mth]+`"}`] = m.ByMethod[mth]
+	}
+	for name, want := range gauges {
+		if got := reg.Gauge(name).Value(); got != int64(want) {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	// The dense board routes everything with the optimal strategies, so
+	// the ladder's first rungs must have been timed (the congested
+	// full-ladder case — Lee, rip-up, put-back — is covered at the
+	// experiment layer, which routes a scaled Table 1 board). Every
+	// leePts/zeroViaT attempt lands one observation whether it
+	// succeeded or not.
+	if m.TraceCalls == 0 || m.WireLength == 0 {
+		t.Fatalf("degenerate fixture: %+v", m)
+	}
+	zv := reg.Histogram(`grr_router_phase_seconds{phase="zero_via"}`, obs.DurationBuckets())
+	if zv.Count() == 0 {
+		t.Error("zero_via phase recorded no observations")
+	}
+	if reg.Histogram("grr_router_pass_seconds", obs.DurationBuckets()).Count() != int64(m.Passes) {
+		t.Errorf("pass histogram count %d, want %d",
+			reg.Histogram("grr_router_pass_seconds", obs.DurationBuckets()).Count(), m.Passes)
+	}
+}
+
+// TestResumedRouterPublishesOnlyNewWork: a resumed router installs the
+// checkpoint's counters as its already-flushed baseline, so the
+// registry — which in grrd outlives many job attempts — sees only the
+// expansions and passes done in this process, not a re-announcement of
+// the checkpointed history.
+func TestResumedRouterPublishesOnlyNewWork(t *testing.T) {
+	b := emptyBoard(t, 20, 20, 2)
+	var conns []Connection
+	for i := 0; i < 4; i++ {
+		a := pinAt(t, b, geom.Pt(1, 1+2*i))
+		c := pinAt(t, b, geom.Pt(17, 1+2*i))
+		conns = append(conns, Connection{A: a, B: c})
+	}
+	opts := DefaultOptions()
+	opts.Sort = false
+	opts.CheckpointEvery = 1
+	var first *Checkpoint
+	opts.CheckpointSink = func(cp *Checkpoint) error {
+		if first == nil {
+			first = cp
+		}
+		return nil
+	}
+	if res := mustRouter(t, b, conns, opts).Route(); !res.Complete() {
+		t.Fatalf("baseline run incomplete: %+v", res)
+	}
+	if first == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	b2 := emptyBoard(t, 20, 20, 2)
+	conns2 := append([]Connection(nil), conns...)
+	opts2 := DefaultOptions()
+	opts2.Sort = false
+	reg := obs.NewRegistry()
+	opts2.Metrics = reg
+	r2, err := Resume(b2, conns2, opts2, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := r2.Route()
+	if !res2.Complete() {
+		t.Fatalf("resumed run incomplete: %+v", res2)
+	}
+
+	wantExp := res2.Metrics.LeeExpansions - first.Metrics.LeeExpansions
+	if got := reg.Counter("grr_router_lee_expansions_total").Value(); got != int64(wantExp) {
+		t.Errorf("registry expansions = %d, want the post-resume delta %d (total %d, checkpointed %d)",
+			got, wantExp, res2.Metrics.LeeExpansions, first.Metrics.LeeExpansions)
+	}
+	wantWire := res2.Metrics.WireLength - first.Metrics.WireLength
+	if got := reg.Gauge("grr_router_wire_length_cells").Value(); got != int64(wantWire) {
+		t.Errorf("registry wire length = %d, want the post-resume delta %d", got, wantWire)
+	}
+}

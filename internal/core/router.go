@@ -34,6 +34,12 @@ type Router struct {
 	scratch searchScratch
 	viaFree func(geom.Point) bool
 
+	// obs carries the pre-resolved registry handles when
+	// Options.Metrics is set, nil otherwise (obs.go). All observation
+	// happens at connection/pass boundaries via obsFlush plus clock
+	// reads around the ladder phases; the search loops never touch it.
+	obs *routerObs
+
 	// Abort state (see RouteContext). abortArmed is true only when a
 	// time budget or a cancellable context is in play, so unbudgeted
 	// runs skip even the cheap checks and stay bit-identical. The
@@ -105,6 +111,9 @@ func New(b *board.Board, conns []Connection, opts Options) (*Router, error) {
 	r.order = SortOrder(b, r.Conns, opts.Sort)
 	r.scratch.init(b.Cfg)
 	r.viaFree = b.ViaFree
+	if opts.Metrics != nil {
+		r.obs = newRouterObs(opts.Metrics)
+	}
 	return r, nil
 }
 
@@ -233,6 +242,10 @@ func (r *Router) run() Result {
 	r.ckPass, r.ckPos, r.ckPrev = r.startPass, startPos, prevUnrouted
 passes:
 	for pass := r.startPass; pass < r.Opts.MaxPasses; pass++ {
+		var passT0 time.Time
+		if r.obs != nil {
+			passT0 = time.Now()
+		}
 		for pi := startPos; pi < len(r.order); pi++ {
 			i := r.order[pi]
 			r.ckPass, r.ckPos, r.ckPrev = pass, pi, prevUnrouted
@@ -242,6 +255,7 @@ passes:
 			if r.routes[i].Method == NotRouted {
 				r.routeOne(i)
 				r.ckPos = pi + 1
+				r.obsFlush()
 				r.maybeCheckpoint(pass, pi+1, prevUnrouted)
 				if r.abortReason != AbortNone {
 					break passes
@@ -250,6 +264,9 @@ passes:
 		}
 		startPos = 0
 		r.metrics.Passes++
+		if r.obs != nil {
+			r.obs.passTimes.Observe(time.Since(passT0).Seconds())
+		}
 		if !r.paranoidCheck(fmt.Sprintf("pass %d", pass)) {
 			break
 		}
@@ -304,6 +321,7 @@ passes:
 	}
 	r.metrics.Routed = len(r.Conns) - len(res.FailedConns)
 	r.metrics.Failed = len(res.FailedConns)
+	r.obsFlush()
 	res.Metrics = r.metrics
 	res.Aborted = r.abortReason
 	res.Invariant = r.invariant
@@ -384,6 +402,7 @@ func (r *Router) escalate() {
 				}
 				if r.routes[i].Method == NotRouted {
 					r.routeOne(i)
+					r.obsFlush()
 				}
 			}
 			for i := range r.routes {
@@ -418,11 +437,11 @@ func (r *Router) routeOne(i int) bool {
 	defer func() { r.putBack(ripped) }()
 
 	for round := 0; ; round++ {
-		if rt, ok := r.zeroVia(i); ok {
+		if rt, ok := r.zeroViaT(i); ok {
 			r.commit(i, rt, ZeroVia)
 			return true
 		}
-		if rt, ok := r.oneVia(i); ok {
+		if rt, ok := r.oneViaT(i); ok {
 			r.commit(i, rt, OneVia)
 			return true
 		}
@@ -610,6 +629,9 @@ func (r *Router) ripUp(v int) {
 // are re-routed by the pass loop (Section 8.3: "The remaining few must be
 // marked for re-routing in the connection list").
 func (r *Router) putBack(victims []int) {
+	if r.obs != nil && len(victims) > 0 {
+		defer r.obsPhase(phasePutBack, time.Now())
+	}
 	for _, v := range victims {
 		tx, ok := r.ripped[v]
 		if !ok {
@@ -646,11 +668,11 @@ func (r *Router) routeLadder(i int) bool {
 		return false
 	}
 	r.beginConnBudget()
-	if rt, ok := r.zeroVia(i); ok {
+	if rt, ok := r.zeroViaT(i); ok {
 		r.commit(i, rt, ZeroVia)
 		return true
 	}
-	if rt, ok := r.oneVia(i); ok {
+	if rt, ok := r.oneViaT(i); ok {
 		r.commit(i, rt, OneVia)
 		return true
 	}

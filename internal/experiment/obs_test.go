@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestInstrumentedScaledBoard routes a scaled Table 1 board — congested
+// enough to exercise the full strategy ladder, Lee included — with a
+// registry armed, and checks three things end to end: the routed output
+// is bit-identical to an uninstrumented run, the registry's counters
+// agree with the one-shot Metrics struct, and the exposition both
+// parses and carries non-zero search-effort and phase-timing series.
+func TestInstrumentedScaledBoard(t *testing.T) {
+	spec := workload.Table1Specs()[0].Scale(3) // kdj11-2L/3: 2 layers, real congestion
+
+	bare, err := RouteSpec(spec, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	opts := core.DefaultOptions()
+	opts.Metrics = reg
+	inst, err := RouteSpec(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-identical: same counters, same realized board.
+	if bare.Result.Metrics != inst.Result.Metrics {
+		t.Errorf("metrics differ:\n bare         %+v\n instrumented %+v",
+			bare.Result.Metrics, inst.Result.Metrics)
+	}
+	if f1, f2 := bare.Board.Fingerprint(), inst.Board.Fingerprint(); f1 != f2 {
+		t.Errorf("board fingerprints differ: %#x vs %#x", f1, f2)
+	}
+
+	m := inst.Result.Metrics
+	if m.LeeExpansions == 0 || m.RipUps == 0 || m.ByMethod[core.Lee] == 0 {
+		t.Fatalf("scaled board not congested enough to exercise the ladder: %+v", m)
+	}
+
+	// Registry agrees with the struct on the search-effort counters.
+	counters := map[string]int{
+		"grr_router_lee_expansions_total": m.LeeExpansions,
+		"grr_router_rip_ups_total":        m.RipUps,
+		"grr_router_put_backs_total":      m.PutBacks,
+		"grr_router_trace_calls_total":    m.TraceCalls,
+		"grr_router_via_queries_total":    m.ViasCalls,
+		"grr_router_routed_total":         m.Routed,
+	}
+	for name, want := range counters {
+		if got := reg.Counter(name).Value(); got != int64(want) {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("grr_router_vias_placed").Value(); got != int64(m.ViasAdded) {
+		t.Errorf("grr_router_vias_placed = %d, want %d", got, m.ViasAdded)
+	}
+
+	// Every ladder phase ran and was timed.
+	for _, phase := range []string{"zero_via", "one_via", "lee", "put_back"} {
+		h := reg.Histogram(`grr_router_phase_seconds{phase="`+phase+`"}`, obs.DurationBuckets())
+		if h.Count() == 0 {
+			t.Errorf("phase %s recorded no observations", phase)
+		}
+	}
+
+	// And the whole thing renders as valid exposition.
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := obs.ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition malformed: %v", err)
+	}
+	if vals["grr_router_lee_expansions_total"] != float64(m.LeeExpansions) {
+		t.Errorf("scraped expansions %g, want %d",
+			vals["grr_router_lee_expansions_total"], m.LeeExpansions)
+	}
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a line-by-line
+// parser strict enough to catch a malformed emitter. The handler tests
+// and the CI smoke job scrape a live grrd and run every line through
+// ParseExposition; a bad escape, an undeclared family, or an
+// unparsable value fails the build rather than the first real scrape.
+
+// ParseExposition reads Prometheus text exposition and returns the
+// value of every series, keyed by the full series name as written
+// (e.g. `grr_jobs_retried_total{cause="panic"}`). It enforces the
+// subset the Registry emits: every sample must follow a "# TYPE"
+// declaration for its family, label values must be properly quoted,
+// and values must parse as floats. Histogram _bucket/_sum/_count
+// samples appear as ordinary series under their suffixed names.
+func ParseExposition(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	types := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseTypeLine(line, types); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			continue
+		}
+		name, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := name
+		if i := indexByte(fam, '{'); i >= 0 {
+			fam = fam[:i]
+		}
+		if familyOf(fam, types) == "" {
+			return nil, fmt.Errorf("line %d: sample %s has no # TYPE declaration", lineNo, fam)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, name)
+		}
+		out[name] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseTypeLine handles "# TYPE name kind" and ignores other comments.
+func parseTypeLine(line string, types map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[1] != "TYPE" {
+		return nil // ordinary comment or HELP; tolerated
+	}
+	if len(fields) != 4 {
+		return fmt.Errorf("malformed TYPE line %q", line)
+	}
+	name, kind := fields[2], fields[3]
+	if !validMetricName(name) {
+		return fmt.Errorf("TYPE line declares bad metric name %q", name)
+	}
+	switch kind {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("TYPE line declares unknown kind %q", kind)
+	}
+	if prev, ok := types[name]; ok && prev != kind {
+		return fmt.Errorf("family %s re-declared as %s (was %s)", name, kind, prev)
+	}
+	types[name] = kind
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, accounting
+// for the histogram suffixes that share the base family's TYPE line.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if k, ok := types[base]; ok && (k == "histogram" || k == "summary") {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// parseSample splits `name{labels} value` into the full series name
+// and its float value, validating both halves.
+func parseSample(line string) (name string, value float64, err error) {
+	// The value starts after the last space outside any label quoting;
+	// since quoted label values may contain spaces, scan from the end.
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return "", 0, fmt.Errorf("sample %q has no value", line)
+	}
+	name, val := line[:i], line[i+1:]
+	value, err = strconv.ParseFloat(val, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("sample %q: bad value %q", line, val)
+	}
+	bare := name
+	if j := indexByte(name, '{'); j >= 0 {
+		if name[len(name)-1] != '}' {
+			return "", 0, fmt.Errorf("sample %q: unterminated label set", line)
+		}
+		if _, err := parseLabels(name[j+1 : len(name)-1]); err != nil {
+			return "", 0, fmt.Errorf("sample %q: %v", line, err)
+		}
+		bare = name[:j]
+	}
+	if !validMetricName(bare) {
+		return "", 0, fmt.Errorf("sample %q: bad metric name %q", line, bare)
+	}
+	return name, value, nil
+}
+
+// parseLabels validates a brace-less `k="v",k2="v2"` label string and
+// returns the pairs in order. Escapes inside values follow the
+// exposition format: \\, \", \n.
+func parseLabels(s string) ([][2]string, error) {
+	var pairs [][2]string
+	i := 0
+	for i < len(s) {
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j == len(s) {
+			return nil, fmt.Errorf("label %q missing '='", s[i:])
+		}
+		key := s[i:j]
+		if !validLabelName(key) {
+			return nil, fmt.Errorf("bad label name %q", key)
+		}
+		j++ // past '='
+		if j >= len(s) || s[j] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", key)
+		}
+		j++
+		var val strings.Builder
+		closed := false
+		for j < len(s) {
+			c := s[j]
+			if c == '\\' {
+				if j+1 >= len(s) {
+					return nil, fmt.Errorf("label %s: dangling escape", key)
+				}
+				switch s[j+1] {
+				case '\\', '"':
+					val.WriteByte(s[j+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %s: bad escape \\%c", key, s[j+1])
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				j++
+				break
+			}
+			val.WriteByte(c)
+			j++
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s value not closed", key)
+		}
+		pairs = append(pairs, [2]string{key, val.String()})
+		if j < len(s) {
+			if s[j] != ',' {
+				return nil, fmt.Errorf("junk %q after label %s", s[j:], key)
+			}
+			j++
+			if j == len(s) {
+				return nil, fmt.Errorf("trailing ',' in label set %q", s)
+			}
+		}
+		i = j
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("empty label set")
+	}
+	return pairs, nil
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

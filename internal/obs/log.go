@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger writes structured logfmt lines:
+//
+//	ts=2026-08-05T12:00:00.000Z event=job_running job=j42 attempt=2
+//
+// A nil *Logger is a valid no-op receiver, so instrumented code logs
+// unconditionally and callers that don't care pass nothing. With
+// derives a child logger whose lines all carry fixed fields (the
+// daemon stamps every job-scoped line with job=ID this way); children
+// share the parent's writer and mutex, so lines never interleave.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	now   func() time.Time
+	fixed string // pre-rendered " k=v" pairs appended to every line
+}
+
+// NewLogger returns a logger writing logfmt lines to w. A nil w
+// returns a nil logger (no-op).
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{mu: &sync.Mutex{}, w: w, now: time.Now}
+}
+
+// With returns a child logger that appends the given key/value pairs
+// to every line. Pairs are rendered once, here, not per line.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString(l.fixed)
+	appendPairs(&b, kv)
+	return &Logger{mu: l.mu, w: l.w, now: l.now, fixed: b.String()}
+}
+
+// Log writes one line: ts=..., event=<event>, the fixed fields, then
+// the given key/value pairs in order. Values render with %v; values
+// containing spaces or quotes are quoted.
+func (l *Logger) Log(event string, kv ...any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" event=")
+	b.WriteString(event)
+	b.WriteString(l.fixed)
+	appendPairs(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+func appendPairs(b *strings.Builder, kv []any) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(b, "%v", kv[i])
+		b.WriteByte('=')
+		b.WriteString(logValue(kv[i+1]))
+	}
+	if len(kv)%2 != 0 {
+		b.WriteString(" !ODD_KV=")
+		b.WriteString(logValue(kv[len(kv)-1]))
+	}
+}
+
+func logValue(v any) string {
+	s := fmt.Sprintf("%v", v)
+	if strings.ContainsAny(s, " \"=\n") {
+		return fmt.Sprintf("%q", s)
+	}
+	if s == "" {
+		return `""`
+	}
+	return s
+}
+
+// DumpTable writes the registry as an aligned human-readable table,
+// series sorted by name — the grr -stats output. One line per series;
+// histograms render as "count=N sum=S".
+func (r *Registry) DumpTable(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+	for _, f := range fams {
+		srs := append([]*series(nil), f.series...)
+		sort.Slice(srs, func(a, b int) bool { return srs[a].labels < srs[b].labels })
+		for _, s := range srs {
+			switch f.kind {
+			case "counter":
+				fmt.Fprintf(w, "%-56s %d\n", seriesName(f.name, s.labels), s.c.Value())
+			case "gauge":
+				fmt.Fprintf(w, "%-56s %d\n", seriesName(f.name, s.labels), s.g.Value())
+			case "histogram":
+				fmt.Fprintf(w, "%-56s count=%d sum=%.6f\n",
+					seriesName(f.name, s.labels), s.h.Count(), s.h.Sum())
+			}
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package obs is the dependency-free observability layer shared by the
+// router, the grrd job daemon, and the grr CLI: a concurrency-safe
+// metrics registry (counters, gauges, fixed-bucket histograms) with a
+// Prometheus-text-format exporter, plus a small structured logger
+// (log.go) and an exposition parser/validator (expo.go) that the tests
+// and the CI smoke job scrape with.
+//
+// Design constraints, in order:
+//
+//   - Observation is lock-free and allocation-free. A Counter or Gauge
+//     is one atomic word; a Histogram is a fixed array of atomic
+//     bucket counts plus a CAS-updated float sum. The router's Lee
+//     flood observes through pre-resolved handles and never touches
+//     the registry map, so instrumentation adds zero allocations to
+//     the hot path (core's alloc-regression test pins this down).
+//   - Registration is idempotent: asking for an existing series
+//     returns the existing handle, so many routers (the parallel
+//     Table 1 sweep, every grrd job attempt) can share one registry
+//     and their counts aggregate.
+//   - No client library. The Prometheus text exposition is a
+//     line-oriented format a page of code can emit and parse; a
+//     vendored client would be the only third-party dependency in the
+//     repo and would bring its own registry model, default process
+//     metrics, and allocation profile. DESIGN §10 has the longer
+//     argument.
+//
+// Series are named in full at registration, labels inline:
+//
+//	reg.Counter("grr_jobs_done_total")
+//	reg.Counter(`grr_jobs_retried_total{cause="panic"}`)
+//	reg.Histogram(`grr_router_phase_seconds{phase="lee"}`, obs.DurationBuckets())
+//
+// All series of one family (the name before "{") must share one metric
+// type; Registry panics on conflicts and malformed names at
+// registration time, which the tests and the lint-metrics check reach.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing series. The zero value is
+// usable, but handles normally come from Registry.Counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Negative n is a programmer error (counters are
+// monotonic); it is not checked on the hot path, but the lint and the
+// exposition tests will notice a counter that shrinks.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a series that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free and allocation-free: one atomic add on the bucket plus a
+// CAS loop folding the value into the float sum.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf bucket implicit
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Uint64  // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets returns the default latency bucket bounds, in
+// seconds: half a millisecond up to 30 s in a roughly 1-2.5-5
+// progression. Fits both a single Lee flood and a whole routing job.
+func DurationBuckets() []float64 {
+	return []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// series is one registered time series: a family member with a fixed
+// label string and exactly one live metric.
+type series struct {
+	labels string // `k="v",k2="v2"` without braces; "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	kind   string // "counter", "gauge", "histogram"
+	series []*series
+	byLbl  map[string]*series
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration takes the registry lock;
+// observation through the returned handles never does.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter series for name (registering it on first
+// use). Panics on a malformed name or a type conflict with an existing
+// family — programmer errors the tests and lint-metrics catch.
+func (r *Registry) Counter(name string) *Counter {
+	s := r.register(name, "counter", nil)
+	return s.c
+}
+
+// Gauge returns the gauge series for name, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	s := r.register(name, "gauge", nil)
+	return s.g
+}
+
+// Histogram returns the histogram series for name, registering it with
+// the given ascending bucket upper bounds on first use. A later call
+// for the same series returns the existing histogram; the new bounds
+// must match.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram " + name + " needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram " + name + " bounds must ascend")
+		}
+	}
+	s := r.register(name, "histogram", bounds)
+	return s.h
+}
+
+func (r *Registry) register(full, kind string, bounds []float64) *series {
+	name, labels, err := splitSeries(full)
+	if err != nil {
+		panic("obs: " + err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: kind, byLbl: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: %s registered as %s and %s", name, f.kind, kind))
+	}
+	if s := f.byLbl[labels]; s != nil {
+		if kind == "histogram" && len(s.h.bounds) != len(bounds) {
+			panic("obs: histogram " + full + " re-registered with different buckets")
+		}
+		return s
+	}
+	s := &series{labels: labels}
+	switch kind {
+	case "counter":
+		s.c = &Counter{}
+	case "gauge":
+		s.g = &Gauge{}
+	case "histogram":
+		s.h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	f.byLbl[labels] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// splitSeries validates a full series name and splits it into the
+// family name and the brace-less label string.
+func splitSeries(full string) (name, labels string, err error) {
+	name = full
+	if i := indexByte(full, '{'); i >= 0 {
+		if len(full) == 0 || full[len(full)-1] != '}' {
+			return "", "", fmt.Errorf("series %q: unterminated label set", full)
+		}
+		name, labels = full[:i], full[i+1:len(full)-1]
+	}
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("series %q: bad metric name %q", full, name)
+	}
+	if labels != "" {
+		if _, err := parseLabels(labels); err != nil {
+			return "", "", fmt.Errorf("series %q: %v", full, err)
+		}
+	}
+	return name, labels, nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WriteTo renders the registry as Prometheus text exposition: families
+// sorted by name, one "# TYPE" line each, series sorted by label
+// string. It implements io.WriterTo.
+func (r *Registry) WriteTo(w interface{ Write([]byte) (int, error) }) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	var buf bytes.Buffer
+	for _, f := range fams {
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", f.name, f.kind)
+		srs := append([]*series(nil), f.series...)
+		sort.Slice(srs, func(a, b int) bool { return srs[a].labels < srs[b].labels })
+		for _, s := range srs {
+			switch f.kind {
+			case "counter":
+				fmt.Fprintf(&buf, "%s %d\n", seriesName(f.name, s.labels), s.c.Value())
+			case "gauge":
+				fmt.Fprintf(&buf, "%s %d\n", seriesName(f.name, s.labels), s.g.Value())
+			case "histogram":
+				writeHistogram(&buf, f.name, s)
+			}
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// writeHistogram emits the conventional _bucket/_sum/_count triplet
+// with cumulative bucket counts.
+func writeHistogram(buf *bytes.Buffer, name string, s *series) {
+	h := s.h
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		fmt.Fprintf(buf, "%s_bucket{%s} %d\n", name, joinLabels(s.labels, `le="`+le+`"`), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(buf, "%s_bucket{%s} %d\n", name, joinLabels(s.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(buf, "%s_sum%s %s\n", name, braced(s.labels), strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(buf, "%s_count%s %d\n", name, braced(s.labels), cum)
+}
+
+func joinLabels(labels, le string) string {
+	if labels == "" {
+		return le
+	}
+	return labels + "," + le
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// ServeHTTP makes the registry a drop-in scrape handler: grrd mounts it
+// at GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WriteTo(w)
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("grr_test_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Idempotent registration returns the same handle.
+	if r.Counter("grr_test_total") != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	g := r.Gauge("grr_test_depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(`grr_test_total{cause="panic"}`)
+	b := r.Counter(`grr_test_total{cause="conflict"}`)
+	if a == b {
+		t.Fatalf("distinct label sets shared a counter")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Fatalf("labeled counters not independent")
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("grr_test_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Fatalf("sum = %g, want 56.05", got)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition did not parse: %v\n%s", err, buf.String())
+	}
+	// Buckets are cumulative.
+	want := map[string]float64{
+		`grr_test_seconds_bucket{le="0.1"}`:  1,
+		`grr_test_seconds_bucket{le="1"}`:    3,
+		`grr_test_seconds_bucket{le="10"}`:   4,
+		`grr_test_seconds_bucket{le="+Inf"}`: 5,
+		`grr_test_seconds_count`:             5,
+	}
+	for k, v := range want {
+		if vals[k] != v {
+			t.Errorf("%s = %g, want %g\n%s", k, vals[k], v, buf.String())
+		}
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"type conflict", func(r *Registry) {
+			r.Counter("grr_x_total")
+			r.Gauge("grr_x_total")
+		}},
+		{"bad metric name", func(r *Registry) { r.Counter("9grr") }},
+		{"unterminated labels", func(r *Registry) { r.Counter(`grr_x{a="b"`) }},
+		{"unquoted label value", func(r *Registry) { r.Counter(`grr_x{a=b}`) }},
+		{"histogram bounds descend", func(r *Registry) {
+			r.Histogram("grr_x_seconds", []float64{2, 1})
+		}},
+		{"histogram bounds changed", func(r *Registry) {
+			r.Histogram("grr_x_seconds", []float64{1})
+			r.Histogram("grr_x_seconds", []float64{1, 2})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+// TestRegistryConcurrent hammers registration, observation, and export
+// from many goroutines; its value is running under -race (make check
+// runs the suite with the race detector on).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("grr_conc_total")
+			h := r.Histogram("grr_conc_seconds", DurationBuckets())
+			ga := r.Gauge("grr_conc_depth")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-4)
+				ga.Add(1)
+				ga.Add(-1)
+				if i%100 == 0 {
+					// Concurrent registration of a fresh labeled series.
+					r.Counter(`grr_conc_total{lane="` + string(rune('a'+i/100)) + `"}`).Inc()
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseExposition(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("concurrent exposition malformed: %v", err)
+		}
+		select {
+		case <-done:
+			if got := r.Counter("grr_conc_total").Value(); got != 8000 {
+				t.Fatalf("lost updates: counter = %d, want 8000", got)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"grr_x 1\n",                                     // no TYPE declaration
+		"# TYPE grr_x counter\ngrr_x one\n",             // unparsable value
+		"# TYPE grr_x counter\ngrr_x{a=\"b} 1\n",        // unterminated quote
+		"# TYPE grr_x counter\ngrr_x 1\ngrr_x 2\n",      // duplicate series
+		"# TYPE grr_x counter\n# TYPE grr_x gauge\n",    // family re-typed
+		"# TYPE grr_x counter\ngrr_x{a=\"b\"extra} 1\n", // junk after label
+	}
+	for _, s := range bad {
+		if _, err := ParseExposition(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted malformed exposition %q", s)
+		}
+	}
+}
+
+func TestParseExpositionEscapes(t *testing.T) {
+	in := "# TYPE grr_x counter\n" +
+		"grr_x{path=\"a\\\\b\\\"c\\nd\"} 3\n"
+	vals, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 {
+		t.Fatalf("got %d series, want 1", len(vals))
+	}
+	for _, v := range vals {
+		if v != 3 {
+			t.Fatalf("value = %g, want 3", v)
+		}
+	}
+}
+
+func TestLoggerFormatsAndNilSafety(t *testing.T) {
+	var nilLogger *Logger
+	nilLogger.Log("noop", "k", "v") // must not panic
+	if nilLogger.With("job", "j1") != nil {
+		t.Fatalf("nil logger With() should stay nil")
+	}
+
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	jl := l.With("job", "j42")
+	jl.Log("job_running", "attempt", 2, "msg", "has space")
+	got := buf.String()
+	want := `ts=2026-08-05T12:00:00.000Z event=job_running job=j42 attempt=2 msg="has space"` + "\n"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+func TestLoggerConcurrentLinesDoNotInterleave(t *testing.T) {
+	var buf lockedBuffer
+	l := NewLogger(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			jl := l.With("worker", g)
+			for i := 0; i < 200; i++ {
+				jl.Log("tick", "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "ts=") || !strings.Contains(ln, " event=tick ") {
+			t.Fatalf("mangled line %q", ln)
+		}
+	}
+}
+
+// lockedBuffer guards concurrent String() against the logger's writes;
+// the logger serializes its own Write calls through its mutex.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestDumpTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("grr_b_total").Add(2)
+	r.Gauge("grr_a_depth").Set(1)
+	r.Histogram("grr_c_seconds", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	r.DumpTable(&buf)
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	// Sorted by family name.
+	if !strings.HasPrefix(lines[0], "grr_a_depth") ||
+		!strings.HasPrefix(lines[1], "grr_b_total") ||
+		!strings.HasPrefix(lines[2], "grr_c_seconds") {
+		t.Fatalf("unsorted dump:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[2], "count=1 sum=0.5") {
+		t.Fatalf("histogram line = %q", lines[2])
+	}
+}

@@ -3,7 +3,10 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // Handler exposes the daemon over HTTP:
@@ -14,6 +17,8 @@ import (
 //	GET  /jobs/{id} one job's Status (404 if unknown)
 //	GET  /healthz   liveness: 200 while the process serves at all
 //	GET  /readyz    readiness: 200 while accepting jobs, 503 draining
+//	GET  /metrics   Prometheus text exposition of the daemon's registry
+//	                (only when Config.Metrics is set)
 //
 // Liveness and readiness are deliberately distinct: a draining daemon
 // is alive (it is still finishing checkpoints and answering status
@@ -25,15 +30,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if !s.Ready() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
+	if s.cfg.Metrics != nil {
+		mux.Handle("GET /metrics", s.cfg.Metrics)
+	}
 	return mux
 }
 
@@ -47,47 +55,65 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job spec: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job spec: " + err.Error()})
 		return
 	}
 	st, err := s.Submit(spec)
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusAccepted, st)
+		s.writeJSON(w, http.StatusAccepted, st)
 	case errors.Is(err, ErrQueueFull):
 		// Shed load, don't queue unboundedly: tell the client when to
-		// come back instead of making it guess.
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
+		// come back. A slot frees after roughly one backoff interval, so
+		// the hint derives from Config.RetryBase, not a hardcoded guess.
+		w.Header().Set("Retry-After", s.retryAfterFull)
+		s.writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "5")
-		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+		// A draining daemon is gone for good after at most DrainBudget;
+		// steer the client to its replacement on that horizon.
+		w.Header().Set("Retry-After", s.retryAfterDrain)
+		s.writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
 	case errors.Is(err, ErrInternal):
-		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
 	default:
 		// Submit validates the spec before touching the queue, so any
 		// other error is a client-side spec problem.
-		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
 	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Jobs())
+	s.writeJSON(w, http.StatusOK, s.Jobs())
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.Status(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, httpError{Error: "unknown job"})
+		s.writeJSON(w, http.StatusNotFound, httpError{Error: "unknown job"})
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	s.writeJSON(w, http.StatusOK, st)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON renders one response. An Encode error here is a client
+// that hung up mid-body (or a marshal bug) — nothing to send them, but
+// not something to drop silently either.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.log.Log("http_write_error", "status", code, "err", err.Error())
+	}
+}
+
+// retryAfterSeconds renders a duration as the whole-second Retry-After
+// value, rounded up and at least 1 — HTTP has no sub-second form.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }

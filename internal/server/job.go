@@ -24,6 +24,7 @@ package server
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/boardio"
 	"repro/internal/core"
@@ -97,6 +98,11 @@ type Job struct {
 
 	// stopRetry cancels a pending backoff timer; nil when none is armed.
 	stopRetry func() bool
+
+	// created is when this process admitted (or recovered) the job —
+	// runtime-only, for the grr_job_seconds latency histogram. Not
+	// journaled: a restarted daemon measures from recovery.
+	created time.Time
 }
 
 // Status is the JSON shape served by GET /jobs/{id}.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/boardio"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/stringer"
 )
 
@@ -55,8 +56,10 @@ type Config struct {
 	// (defaults 10ms, 2s).
 	RetryBase time.Duration
 	RetryMax  time.Duration
-	// RetrySeed seeds the jitter RNG, so tests replay schedules
-	// (default 1).
+	// RetrySeed seeds the jitter RNG, so tests replay schedules. Zero
+	// means "derive from entropy": every daemon start jitters its retry
+	// schedule differently, so a restarted fleet whose jobs all failed
+	// together does not retry in lockstep. Tests pin explicit seeds.
 	RetrySeed int64
 	// MaxTimeBudget caps the per-job routing time budget; a job asking
 	// for more (or for none) gets exactly this much. Zero leaves job
@@ -76,6 +79,21 @@ type Config struct {
 	OnCrash func(faultinject.Crash)
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
+	// Log, when set, receives structured job-lifecycle lines (submit →
+	// running → retrying → done/failed) stamped with job IDs. Nil is
+	// fine: the obs.Logger is nil-safe.
+	Log *obs.Logger
+	// Metrics, when set, is the registry the daemon publishes into:
+	// queue depth, slots in use, admission rejects, retries by cause,
+	// job latency histograms, journal write/replay counts — and, via
+	// core.Options.Metrics, the router's own search and phase-timing
+	// series. When nil the server still counts into a private registry
+	// (the code never branches), it just isn't scraped.
+	Metrics *obs.Registry
+	// DrainBudget advertises how long a graceful drain may take; it
+	// derives the Retry-After header on 503 draining responses
+	// (default 30s). grrd wires its -drain-grace flag here.
+	DrainBudget time.Duration
 }
 
 func (c *Config) setDefaults() error {
@@ -95,7 +113,10 @@ func (c *Config) setDefaults() error {
 		c.RetryMax = 2 * time.Second
 	}
 	if c.RetrySeed == 0 {
-		c.RetrySeed = 1
+		c.RetrySeed = entropySeed()
+	}
+	if c.DrainBudget <= 0 {
+		c.DrainBudget = 30 * time.Second
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 8
@@ -113,6 +134,14 @@ func (c *Config) setDefaults() error {
 // worker pool, with every job mirrored to the on-disk journal.
 type Server struct {
 	cfg Config
+	obs *serverObs
+	log *obs.Logger
+
+	// Retry-After values for the two load-shedding responses, derived
+	// from Config at startup (backoff base and drain budget) instead of
+	// hardcoded.
+	retryAfterFull  string
+	retryAfterDrain string
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -142,7 +171,9 @@ func New(cfg Config) (*Server, error) {
 	if err := ensureDir(cfg.JournalDir); err != nil {
 		return nil, err
 	}
+	o := newServerObs(cfg.Metrics)
 	recovered, err := loadJournal(cfg.JournalDir, func(path string, err error) {
+		o.journalCorrupt.Inc()
 		cfg.Logf("grrd: skipping corrupt job record %s: %v", path, err)
 	})
 	if err != nil {
@@ -157,16 +188,21 @@ func New(cfg Config) (*Server, error) {
 
 	depth := cfg.QueueDepth + live
 	s := &Server{
-		cfg:   cfg,
-		jobs:  make(map[string]*Job),
-		rng:   rand.New(rand.NewSource(cfg.RetrySeed)),
-		queue: make(chan *Job, depth),
-		slots: make(chan struct{}, depth),
+		cfg:             cfg,
+		obs:             o,
+		log:             cfg.Log,
+		retryAfterFull:  retryAfterSeconds(cfg.RetryBase),
+		retryAfterDrain: retryAfterSeconds(cfg.DrainBudget),
+		jobs:            make(map[string]*Job),
+		rng:             rand.New(rand.NewSource(cfg.RetrySeed)),
+		queue:           make(chan *Job, depth),
+		slots:           make(chan struct{}, depth),
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 
 	for _, j := range recovered {
 		s.jobs[j.ID] = j
+		o.journalReplayed.Inc()
 		if n := jobSeq(j.ID); n >= s.seq {
 			s.seq = n + 1
 		}
@@ -178,12 +214,17 @@ func New(cfg Config) (*Server, error) {
 		s.slots <- struct{}{}
 		prev := j.State
 		j.State = StateQueued
-		if err := saveJobRecord(cfg.JournalDir, j); err != nil {
+		j.created = time.Now()
+		if err := s.saveJob(j); err != nil {
 			return nil, err
 		}
+		o.recovered.Inc()
 		cfg.Logf("grrd: recovered %s (%s, attempt %d, %d/%d routed)",
 			j.ID, prev, j.Attempt, j.snap.Check.Metrics.Routed, len(j.snap.Conns))
+		s.log.Log("job_recovered", "job", j.ID, "prev", string(prev),
+			"attempt", j.Attempt, "routed", j.snap.Check.Metrics.Routed)
 		s.queue <- j
+		s.channelGauges()
 	}
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -206,35 +247,43 @@ func jobSeq(id string) int {
 // when admission is refused.
 func (s *Server) Submit(spec JobSpec) (Status, error) {
 	if s.draining.Load() {
+		s.obs.rejectDrain.Inc()
 		return Status{}, ErrDraining
 	}
 	snap, err := buildSnapshot(spec, s.cfg)
 	if err != nil {
+		s.obs.rejectSpec.Inc()
 		return Status{}, err
 	}
 
 	select {
 	case s.slots <- struct{}{}:
 	default:
+		s.obs.rejectFull.Inc()
 		return Status{}, ErrQueueFull
 	}
 
 	s.mu.Lock()
 	id := fmt.Sprintf("job-%06d", s.seq)
 	s.seq++
-	j := &Job{ID: id, State: StateQueued, snap: snap}
+	j := &Job{ID: id, State: StateQueued, snap: snap, created: time.Now()}
 	s.jobs[id] = j
 	rec := *j
 	s.mu.Unlock()
 
-	if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+	if err := s.saveJob(&rec); err != nil {
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
 		<-s.slots
+		s.obs.rejectJournal.Inc()
+		s.channelGauges()
 		return Status{}, fmt.Errorf("%w: journaling job: %v", ErrInternal, err)
 	}
+	s.obs.submitted.Inc()
 	s.queue <- j
+	s.channelGauges()
+	s.log.Log("job_submitted", "job", id, "conns", len(snap.Conns))
 	return rec.status(), nil
 }
 
@@ -318,6 +367,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return errors.New("server: already draining")
 	}
+	s.log.Log("drain_begin")
 
 	// Disarm pending retries: a timer we stop before it fires will never
 	// enqueue, so its job parks as interrupted.
@@ -336,9 +386,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	for i := range recs {
-		if err := saveJobRecord(s.cfg.JournalDir, &recs[i]); err != nil {
+		if err := s.saveJob(&recs[i]); err != nil {
 			s.cfg.Logf("grrd: journaling parked %s: %v", recs[i].ID, err)
 		}
+		s.obs.interrupted.Inc()
+		s.log.Log("job_interrupted", "job", recs[i].ID, "parked", true)
 	}
 
 	// Cancel the run context: workers stop picking up jobs, and running
@@ -349,8 +401,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	go func() { s.wg.Wait(); close(done) }()
 	select {
 	case <-done:
+		s.log.Log("drain_end")
 		return nil
 	case <-ctx.Done():
+		s.log.Log("drain_end", "err", ctx.Err().Error())
 		return fmt.Errorf("server: drain: %w", ctx.Err())
 	}
 }
@@ -369,6 +423,7 @@ func (s *Server) worker() {
 		case <-s.drainCtx.Done():
 			return
 		case j := <-s.queue:
+			s.channelGauges()
 			s.runJob(j)
 		}
 	}
@@ -384,14 +439,21 @@ func (s *Server) runJob(j *Job) {
 	attempt := j.Attempt
 	rec := *j
 	s.mu.Unlock()
-	if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+	s.obs.attempts.Inc()
+	s.obs.running.Add(1)
+	defer s.obs.running.Add(-1)
+	s.log.Log("job_running", "job", j.ID, "attempt", attempt)
+	if err := s.saveJob(&rec); err != nil {
 		// Can't record that the job is running — journal trouble. Treat
 		// like any transient fault.
-		s.settle(j, attempt, outcome{transient: err})
+		s.settle(j, attempt, outcome{transient: err, cause: causeJournal})
 		return
 	}
 
-	s.settle(j, attempt, s.execute(j))
+	t0 := time.Now()
+	out := s.execute(j)
+	s.obs.attemptSeconds.Observe(time.Since(t0).Seconds())
+	s.settle(j, attempt, out)
 }
 
 // outcome is the classified result of one execution attempt. Exactly
@@ -404,6 +466,10 @@ type outcome struct {
 	interrupted *core.Result // drain abort; checkpoint already flushed
 	transient   error        // retryable failure
 	permanent   error        // non-retryable failure
+
+	// cause tags a transient failure for grr_jobs_retried_total (one of
+	// the cause* constants in metrics.go).
+	cause string
 }
 
 // execute runs one routing attempt with panic isolation. A panic —
@@ -416,7 +482,7 @@ func (s *Server) execute(j *Job) (out outcome) {
 			if c, ok := p.(faultinject.Crash); ok && s.cfg.OnCrash != nil {
 				s.cfg.OnCrash(c)
 			}
-			out = outcome{transient: fmt.Errorf("panic: %v", p)}
+			out = outcome{transient: fmt.Errorf("panic: %v", p), cause: causePanic}
 		}
 	}()
 
@@ -424,9 +490,10 @@ func (s *Server) execute(j *Job) (out outcome) {
 	snap := j.snap
 	s.mu.Unlock()
 
-	// Run from a shallow copy: the sink and cadence are runtime-only and
-	// must not leak into the journaled snapshot.
+	// Run from a shallow copy: the sink, cadence and registry are
+	// runtime-only and must not leak into the journaled snapshot.
 	run := *snap
+	run.Opts.Metrics = s.obs.reg
 	run.Opts.CheckpointSink = func(cp *core.Checkpoint) error {
 		next := *snap
 		next.Check = cp
@@ -456,11 +523,11 @@ func (s *Server) execute(j *Job) (out outcome) {
 	case core.AbortTime:
 		return outcome{permanent: fmt.Errorf("time budget exhausted after %d/%d routed", res.Metrics.Routed, res.Metrics.Connections)}
 	case core.AbortCheckpoint:
-		return outcome{transient: fmt.Errorf("checkpoint write: %w", res.Invariant)}
+		return outcome{transient: fmt.Errorf("checkpoint write: %w", res.Invariant), cause: causeCheckpoint}
 	default: // AbortInvariant
 		var ce *board.ConflictError
 		if errors.As(res.Invariant, &ce) {
-			return outcome{transient: fmt.Errorf("rollback conflict: %w", res.Invariant)}
+			return outcome{transient: fmt.Errorf("rollback conflict: %w", res.Invariant), cause: causeConflict}
 		}
 		return outcome{permanent: fmt.Errorf("invariant: %w", res.Invariant)}
 	}
@@ -474,7 +541,7 @@ func (s *Server) settle(j *Job, attempt int, out outcome) {
 		if out.auditErr != nil {
 			// A board that fails its final audit is corrupt state, not an
 			// answer; retry from the last good checkpoint.
-			s.retryOrFail(j, attempt, fmt.Errorf("final audit: %w", out.auditErr))
+			s.retryOrFail(j, attempt, fmt.Errorf("final audit: %w", out.auditErr), causeAudit)
 			return
 		}
 		m := out.res.Metrics
@@ -496,10 +563,11 @@ func (s *Server) settle(j *Job, attempt int, out outcome) {
 		// Journal the terminal record, then free capacity, then publish:
 		// anyone who observes the job as done can rely on the journal
 		// carrying its result and on its slot being available again.
-		if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+		if err := s.saveJob(&rec); err != nil {
 			s.cfg.Logf("grrd: journaling %s done: %v", j.ID, err)
 		}
 		<-s.slots
+		s.channelGauges()
 		s.mu.Lock()
 		j.State = rec.State
 		j.Err = rec.Err
@@ -507,8 +575,14 @@ func (s *Server) settle(j *Job, attempt int, out outcome) {
 		j.Fingerprint = rec.Fingerprint
 		j.AuditOK = rec.AuditOK
 		j.Metrics = rec.Metrics
+		created := j.created
 		s.mu.Unlock()
+		s.obs.done.Inc()
+		s.observeJobDone(created)
 		s.cfg.Logf("grrd: %s done: %v", j.ID, out.res)
+		s.log.Log("job_done", "job", j.ID, "attempt", attempt,
+			"routed", m.Routed, "conns", m.Connections,
+			"fingerprint", fmt.Sprintf("%016x", rec.Fingerprint))
 
 	case out.interrupted != nil:
 		s.mu.Lock()
@@ -516,26 +590,38 @@ func (s *Server) settle(j *Job, attempt int, out outcome) {
 		j.Aborted = core.AbortCancelled.String()
 		rec := *j
 		s.mu.Unlock()
-		if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+		if err := s.saveJob(&rec); err != nil {
 			s.cfg.Logf("grrd: journaling %s interrupted: %v", j.ID, err)
 		}
+		s.obs.interrupted.Inc()
 		s.cfg.Logf("grrd: %s interrupted by drain (%d/%d routed)",
 			j.ID, out.interrupted.Metrics.Routed, out.interrupted.Metrics.Connections)
+		s.log.Log("job_interrupted", "job", j.ID,
+			"routed", out.interrupted.Metrics.Routed, "conns", out.interrupted.Metrics.Connections)
 		// The slot is deliberately not released: the job is still live,
 		// and the daemon is draining — nothing else will want it.
 
 	case out.transient != nil:
-		s.retryOrFail(j, attempt, out.transient)
+		s.retryOrFail(j, attempt, out.transient, out.cause)
 
 	default:
 		s.fail(j, out.permanent)
 	}
 }
 
+// observeJobDone records end-to-end job latency (admission to terminal
+// state). Jobs recovered from a journal restart count from recovery
+// time — the daemon can only speak for its own lifetime.
+func (s *Server) observeJobDone(created time.Time) {
+	if !created.IsZero() {
+		s.obs.jobSeconds.Observe(time.Since(created).Seconds())
+	}
+}
+
 // retryOrFail schedules another attempt with jittered exponential
 // backoff, or fails the job once attempts are exhausted. During a drain
 // the job parks as interrupted instead — a restarted daemon retries it.
-func (s *Server) retryOrFail(j *Job, attempt int, cause error) {
+func (s *Server) retryOrFail(j *Job, attempt int, cause error, causeTag string) {
 	if attempt >= s.cfg.MaxAttempts {
 		s.fail(j, fmt.Errorf("attempt %d/%d: %w", attempt, s.cfg.MaxAttempts, cause))
 		return
@@ -551,7 +637,7 @@ func (s *Server) retryOrFail(j *Job, attempt int, cause error) {
 	j.Err = cause.Error()
 	rec := *j
 	s.mu.Unlock()
-	if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+	if err := s.saveJob(&rec); err != nil {
 		s.cfg.Logf("grrd: journaling retrying %s: %v", j.ID, err)
 	}
 
@@ -562,15 +648,20 @@ func (s *Server) retryOrFail(j *Job, attempt int, cause error) {
 		j.State = StateInterrupted
 		rec := *j
 		s.mu.Unlock()
-		if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+		if err := s.saveJob(&rec); err != nil {
 			s.cfg.Logf("grrd: journaling parked %s: %v", j.ID, err)
 		}
+		s.obs.interrupted.Inc()
+		s.log.Log("job_interrupted", "job", j.ID, "parked", true)
 		return
 	}
 	t := time.AfterFunc(d, func() { s.requeue(j) })
 	j.stopRetry = t.Stop
 	s.mu.Unlock()
+	s.obs.retry(causeTag)
 	s.cfg.Logf("grrd: %s attempt %d failed (%v), retrying in %v", j.ID, attempt, cause, d)
+	s.log.Log("job_retrying", "job", j.ID, "attempt", attempt,
+		"cause", causeTag, "backoff", d.String(), "err", cause.Error())
 }
 
 // backoff computes the jittered delay before retry attempt+1:
@@ -603,10 +694,12 @@ func (s *Server) requeue(j *Job) {
 	j.stopRetry = nil
 	rec := *j
 	s.mu.Unlock()
-	if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+	if err := s.saveJob(&rec); err != nil {
 		s.cfg.Logf("grrd: journaling requeued %s: %v", j.ID, err)
 	}
 	s.queue <- j
+	s.channelGauges()
+	s.log.Log("job_requeued", "job", j.ID, "attempt", rec.Attempt)
 }
 
 // fail marks j permanently failed: journal the terminal record, free
@@ -618,15 +711,20 @@ func (s *Server) fail(j *Job, cause error) {
 	s.mu.Unlock()
 	rec.State = StateFailed
 	rec.Err = cause.Error()
-	if err := saveJobRecord(s.cfg.JournalDir, &rec); err != nil {
+	if err := s.saveJob(&rec); err != nil {
 		s.cfg.Logf("grrd: journaling failed %s: %v", j.ID, err)
 	}
 	<-s.slots
+	s.channelGauges()
 	s.mu.Lock()
 	j.State = rec.State
 	j.Err = rec.Err
+	created := j.created
 	s.mu.Unlock()
+	s.obs.failed.Inc()
+	s.observeJobDone(created)
 	s.cfg.Logf("grrd: %s failed: %v", j.ID, cause)
+	s.log.Log("job_failed", "job", j.ID, "attempt", rec.Attempt, "err", cause.Error())
 }
 
 // checkpointWithMetrics returns cp with its metrics replaced.

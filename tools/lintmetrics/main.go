@@ -1,0 +1,109 @@
+// Command lintmetrics enforces the repo's metric-name contract
+// (DESIGN.md §10): every series registered in code follows the grr_*
+// snake_case convention, is documented in DESIGN.md's catalog, and —
+// in the other direction — every name the catalog documents still
+// exists in code. Run as `make lint-metrics`; it exits non-zero with
+// one line per violation.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// namePat matches a metric base name wherever it appears: in a
+// registration string literal (labels follow a '{' and are not part of
+// the base name) or in prose.
+var namePat = regexp.MustCompile(`grr_[a-z0-9_]*[a-z0-9]`)
+
+// wellFormed is the convention itself: grr_ prefix, lowercase
+// snake_case, no leading/trailing/doubled underscores.
+var wellFormed = regexp.MustCompile(`^grr_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+
+	inCode, err := collectFromSource(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmetrics:", err)
+		os.Exit(1)
+	}
+	inDocs, err := collectFromFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmetrics:", err)
+		os.Exit(1)
+	}
+
+	var bad []string
+	for name := range inCode {
+		if !wellFormed.MatchString(name) {
+			bad = append(bad, fmt.Sprintf("%s: malformed (want grr_ prefix, lowercase snake_case)", name))
+		}
+		if !inDocs[name] {
+			bad = append(bad, fmt.Sprintf("%s: registered in code but missing from the DESIGN.md §10 catalog", name))
+		}
+	}
+	for name := range inDocs {
+		if !inCode[name] {
+			bad = append(bad, fmt.Sprintf("%s: documented in DESIGN.md but registered nowhere in code", name))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "lintmetrics:", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("lintmetrics: %d metric names consistent between code and DESIGN.md\n", len(inCode))
+}
+
+// collectFromSource gathers metric base names from every non-test .go
+// file under cmd/ and internal/. Scanning text rather than the AST
+// keeps concatenated registrations (labelled series built in loops)
+// visible: only the base name before '{' matters.
+func collectFromSource(root string) (map[string]bool, error) {
+	names := make(map[string]bool)
+	for _, dir := range []string{"cmd", "internal"} {
+		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range namePat.FindAllString(string(data), -1) {
+				names[m] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+func collectFromFile(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make(map[string]bool)
+	for _, m := range namePat.FindAllString(string(data), -1) {
+		names[m] = true
+	}
+	return names, nil
+}
