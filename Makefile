@@ -1,16 +1,20 @@
-# Repo-wide checks. `make check` is what CI (and pre-commit discipline)
-# runs: vet, build everything, then the full test suite under the race
-# detector — the parallel Table 1 sweep and the grrd job daemon (worker
-# pool, retry timers, drain) only count as exercised when they run
-# race-clean — plus a staticcheck pass and a vulnerability scan when
-# those tools are available (each needs the tool and, for govulncheck,
-# network access, so both are skipped, loudly, where missing).
+# Repo-wide checks. `make check` is what CI's default job (and
+# pre-commit discipline) runs: vet, build everything, the full test
+# suite, the metric-name lint, plus a staticcheck pass and a
+# vulnerability scan when those tools are available (each needs the
+# tool and, for govulncheck, network access, so both are skipped,
+# loudly, where missing). The race detector moved to its own target —
+# `make race-concurrency` is the focused sweep CI runs as a dedicated
+# job (Tx/clone shadows, the speculative router, and the jc=4
+# determinism tests), `make race` the full-suite version for local
+# soaks — so the default job stays fast while every concurrency path
+# still has to run race-clean before merge.
 
 GO ?= go
 
-.PHONY: check vet build test race bench lint-metrics staticcheck vulncheck
+.PHONY: check vet build test race race-concurrency bench microbench lint-metrics staticcheck vulncheck
 
-check: vet build race lint-metrics staticcheck vulncheck
+check: vet build test lint-metrics staticcheck vulncheck
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +28,25 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The concurrency surface under the race detector: the packages that
+# own the Tx journal, shadow clones and the speculative router, plus
+# the root-level jc=4 bit-identity and checkpoint/resume tests. This is
+# what CI's dedicated race job runs.
+race-concurrency:
+	$(GO) test -race ./internal/core/... ./internal/board/...
+	$(GO) test -race -run 'TestConcurrent' .
+
+# The Table 1 sweep at jc=1 and jc=4, written to BENCH_<gitsha>.json —
+# one comparable artifact per commit. BENCH_SCALE > 1 shrinks the boards
+# for quick runs; the sequential/concurrent bit-identity assertion runs
+# either way. `make microbench` is the old go-test microbenchmark pass.
+BENCH_SCALE ?= 1
+BENCH_JC ?= 1,4
+
 bench:
+	$(GO) run ./tools/benchjson -scale $(BENCH_SCALE) -jc $(BENCH_JC) -out .
+
+microbench:
 	$(GO) test -bench=. -benchmem .
 
 # Every grr_* series registered in code must follow the naming

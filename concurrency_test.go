@@ -1,0 +1,203 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/boardio"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+// routeEquiv demands that two runs of the same problem are
+// bit-identical: equal Metrics structs, equal board fingerprints, clean
+// audits, and an identical segment/via chain for every connection.
+func routeEquiv(t *testing.T, name string, ref, got *experiment.Run) {
+	t.Helper()
+	if ref.Result.Metrics != got.Result.Metrics {
+		t.Errorf("%s: metrics differ:\n ref %+v\n got %+v", name, ref.Result.Metrics, got.Result.Metrics)
+	}
+	if rf, gf := ref.Board.Fingerprint(), got.Board.Fingerprint(); rf != gf {
+		t.Errorf("%s: board fingerprints differ: %016x vs %016x", name, rf, gf)
+	}
+	if err := got.Board.Audit(); err != nil {
+		t.Errorf("%s: audit failed: %v", name, err)
+	}
+	fp1, fp2 := routeFingerprint(ref), routeFingerprint(got)
+	if fp1 != fp2 {
+		l1, l2 := strings.Split(fp1, "\n"), strings.Split(fp2, "\n")
+		for i := 0; i < len(l1) && i < len(l2); i++ {
+			if l1[i] != l2[i] {
+				t.Fatalf("%s: route chains diverge at line %d:\n ref: %s\n got: %s", name, i, l1[i], l2[i])
+			}
+		}
+		t.Fatalf("%s: route chains differ in length: %d vs %d lines", name, len(l1), len(l2))
+	}
+}
+
+// TestConcurrentMatchesSequential is the concurrency engine's bit-
+// identity contract (DESIGN §11): -jc N must produce exactly the output
+// of -jc 1 — same Metrics struct, same board fingerprint, same route
+// chain per connection — because the committer adopts a speculative
+// result only when it is provably the route the sequential ladder would
+// have found, and re-routes sequentially otherwise. The seed spread
+// covers boards that exercise every ladder rung including rip-up.
+//
+// How much the workers *win* is scheduler-dependent — on a single CPU
+// the committer usually reaches a position first and routes inline, so
+// any given run may adopt nothing. Engagement is therefore asserted in
+// aggregate (some run must have produced speculative results at all)
+// and the adopt path specifically gets its own retried subtest below,
+// rather than a flaky per-run adoption floor.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	specs := []workload.Spec{
+		workload.Table1Specs()[3].Scale(3), // coproc: large, congested
+		workload.Table1Specs()[0].Scale(2), // kdj11 2L: infeasible residue
+		workload.Table1Specs()[5].Scale(3), // icache
+	}
+	engaged := 0 // speculative results produced, adopted or not, across all runs
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			opts := core.DefaultOptions()
+			ref, err := experiment.RouteSpec(spec, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Result.Metrics.Routed == 0 {
+				t.Fatal("degenerate test: nothing routed")
+			}
+			for _, jc := range []int{2, 4} {
+				copts := opts
+				copts.Workers = jc
+				got, err := experiment.RouteSpec(spec, copts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				routeEquiv(t, fmt.Sprintf("jc=%d", jc), ref, got)
+				adopted, conflicts, misses := got.Router.SpecStats()
+				t.Logf("jc=%d: adopted %d, conflicts %d, misses %d", jc, adopted, conflicts, misses)
+				engaged += adopted + conflicts
+			}
+		})
+	}
+	if engaged == 0 {
+		t.Error("no worker produced a speculative result in any run: the engine is routing everything inline")
+	}
+}
+
+// TestConcurrentAdoptionEngages pins the adopt path itself: at least
+// one jc=4 run must merge a speculative result by journal replay rather
+// than routing inline. Adoption needs a worker to beat the committer to
+// a position, which one CPU rarely allows under cooperative scheduling,
+// so the test raises GOMAXPROCS (OS threads preempt even on one core)
+// and retries a handful of runs — each of which must still be
+// bit-identical to the sequential reference — before declaring the
+// path dead.
+func TestConcurrentAdoptionEngages(t *testing.T) {
+	spec := workload.Table1Specs()[3].Scale(3)
+	opts := core.DefaultOptions()
+	ref, err := experiment.RouteSpec(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	copts := opts
+	copts.Workers = 4
+	const attempts = 8
+	for i := 0; i < attempts; i++ {
+		got, err := experiment.RouteSpec(spec, copts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routeEquiv(t, fmt.Sprintf("attempt %d", i), ref, got)
+		if adopted, conflicts, misses := got.Router.SpecStats(); adopted > 0 {
+			t.Logf("attempt %d: adopted %d (conflicts %d, misses %d)", i, adopted, conflicts, misses)
+			return
+		}
+	}
+	t.Errorf("no speculative result adopted in %d jc=4 runs at GOMAXPROCS=4: the adopt path is not engaging", attempts)
+}
+
+// TestConcurrentCheckpointResumeEquivalence cuts a concurrent run off
+// mid-flight at a checkpoint, resumes it — once sequentially, once
+// concurrently — and demands both finishes be bit-identical to an
+// uninterrupted sequential run. This is the guarantee that lets grrd
+// recover a -jc job after SIGKILL: checkpoints cut at merge-turn
+// boundaries (OpenTxs()==0) carry exactly the sequential run's state.
+func TestConcurrentCheckpointResumeEquivalence(t *testing.T) {
+	spec := workload.Table1Specs()[3].Scale(3)
+	opts := core.DefaultOptions()
+
+	ref, err := experiment.RouteSpec(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, resumeJC := range []int{1, 4} {
+		resumeJC := resumeJC
+		t.Run(fmt.Sprintf("resume-jc%d", resumeJC), func(t *testing.T) {
+			// Run concurrently, capturing checkpoints, and stop partway:
+			// the sink returns an error after enough attempts, aborting
+			// the run with AbortCheckpoint — a stand-in for SIGKILL that
+			// leaves a durable checkpoint behind.
+			copts := opts
+			copts.Workers = 4
+			copts.CheckpointEvery = 40
+			var last *core.Checkpoint
+			cut := 0
+			copts.CheckpointSink = func(ck *core.Checkpoint) error {
+				cut++
+				if cut >= 4 {
+					return fmt.Errorf("simulated crash")
+				}
+				last = ck
+				return nil
+			}
+			d, err := workload.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interrupted, err := experiment.RouteDesign(d, copts, stringer.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if interrupted.Result.Aborted != core.AbortCheckpoint {
+				t.Fatalf("expected AbortCheckpoint, got %v", interrupted.Result.Aborted)
+			}
+			if last == nil {
+				t.Fatal("no checkpoint captured before the cut")
+			}
+
+			// Serialize through the snapshot codec (exactly grrd's
+			// journal path) and resume with the requested worker count.
+			ropts := opts
+			ropts.Workers = resumeJC
+			snap := &boardio.Snapshot{
+				Design: interrupted.Design,
+				Conns:  interrupted.Strung.Conns,
+				Opts:   ropts,
+				Check:  last,
+			}
+			var buf strings.Builder
+			if err := boardio.WriteSnapshot(&buf, snap); err != nil {
+				t.Fatal(err)
+			}
+			snap2, err := boardio.ReadSnapshot(strings.NewReader(buf.String()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := experiment.ResumeSnapshot(context.Background(), snap2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			routeEquiv(t, "resumed", ref, resumed)
+		})
+	}
+}

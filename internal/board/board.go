@@ -44,6 +44,10 @@ type Board struct {
 	interposer Interposer
 	// observer, when set, is notified after every applied mutation.
 	observer MutationObserver
+	// onMutate, when set, is also notified after every applied mutation
+	// (see OnMutate) — the concurrent router's commit-log feed, kept
+	// separate from the Interpose seam so both can be active at once.
+	onMutate func(Record)
 
 	// seq counts applied mutations; openTxs counts transactions holding
 	// unresolved journal entries (see OpenTxs); commitEpoch counts
@@ -86,11 +90,14 @@ func (b *Board) Interpose(i Interposer) {
 // Mutations returns the number of mutations applied to the board so far.
 func (b *Board) Mutations() uint64 { return b.seq }
 
-// mutated records one applied mutation and notifies the observer.
+// mutated records one applied mutation and notifies the observers.
 func (b *Board) mutated(rec Record) {
 	b.seq++
 	if b.observer != nil {
 		b.observer.ObserveMutation(rec)
+	}
+	if b.onMutate != nil {
+		b.onMutate(rec)
 	}
 }
 

@@ -1,0 +1,109 @@
+// Shadow-board support for the concurrent router (DESIGN §11): cloning
+// a board for a worker's private read snapshot, replaying committed
+// mutation records to keep a clone in sync, and mapping records to the
+// grid rectangles they touch so the committer can test region overlap
+// without replaying journals.
+package board
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// OnMutate installs f to be called after every applied mutation, in
+// addition to any MutationObserver installed via Interpose. The
+// concurrent router's committer uses it to feed the shared commit log
+// that worker shadows replay; nil removes it. Unlike the interposer
+// seam this hook can never veto anything.
+func (b *Board) OnMutate(f func(Record)) { b.onMutate = f }
+
+// Clone returns an independent board holding bit-identical routing
+// state: every segment (with its owner), the off-grid hole list and the
+// via-map counts. Interposer, observer and OnMutate hooks are not
+// copied, and the clone's mutation/transaction counters start at zero —
+// a clone is a fresh board that happens to hold the same metal, so
+// clone.Fingerprint() == b.Fingerprint(). The concurrent router gives
+// each worker a clone as its private read snapshot.
+func (b *Board) Clone() *Board {
+	c := MustNew(b.Cfg)
+	c.UseViaMap = b.UseViaMap
+	if len(b.OffGridHoles) > 0 {
+		c.OffGridHoles = append([]geom.Point(nil), b.OffGridHoles...)
+	}
+	for li, l := range b.Layers {
+		ok := true
+		l.VisitSegments(func(ch int, s *layer.Segment) bool {
+			if c.applySegment(li, ch, s.Lo, s.Hi, s.Owner) == nil {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			panic("board: Clone could not replay a segment")
+		}
+	}
+	c.seq = 0
+	return c
+}
+
+// ApplyRecord applies one committed mutation record to the board — the
+// shadow-sync path: worker snapshots replay the committer's log through
+// it. Records bypass the interposer (they already happened on the
+// master board; a veto here could only desynchronize the shadow). A
+// record that cannot be applied — its space is taken, or the metal it
+// removes is not present — returns an error, which on a shadow means
+// the shadow has diverged and is unusable.
+func (b *Board) ApplyRecord(rec Record) error {
+	switch rec.Kind {
+	case OpAddSegment:
+		if b.applySegment(rec.Layer, rec.Ch, rec.Span.Lo, rec.Span.Hi, rec.Owner) == nil {
+			return fmt.Errorf("board: ApplyRecord: space for %v is taken", rec)
+		}
+	case OpRemoveSegment:
+		s := b.Layers[rec.Layer].Chan(rec.Ch).SegmentAt(rec.Span.Lo)
+		if s == nil || s.Lo != rec.Span.Lo || s.Hi != rec.Span.Hi || s.Owner != rec.Owner {
+			return fmt.Errorf("board: ApplyRecord: no segment matching %v", rec)
+		}
+		b.RemoveSegment(rec.Layer, s)
+	case OpPlaceVia:
+		if _, ok := b.placeViaQuiet(rec.At, rec.Owner); !ok {
+			return fmt.Errorf("board: ApplyRecord: space for %v is taken", rec)
+		}
+	case OpRemoveVia:
+		pv := PlacedVia{At: rec.At, Segs: make([]*layer.Segment, 0, len(b.Layers))}
+		for _, l := range b.Layers {
+			ch, pos := b.Cfg.ChanPos(l.Orient, rec.At)
+			s := l.Chan(ch).SegmentAt(pos)
+			if s == nil || s.Lo != pos || s.Hi != pos || s.Owner != rec.Owner {
+				return fmt.Errorf("board: ApplyRecord: no via metal matching %v on layer %d", rec, l.Index)
+			}
+			pv.Segs = append(pv.Segs, s)
+		}
+		b.RemoveVia(pv)
+	default:
+		return fmt.Errorf("board: ApplyRecord: unknown record kind %v", rec.Kind)
+	}
+	return nil
+}
+
+// RecordRect returns the grid rectangle covered by the record's metal: a
+// 1-wide strip along the channel for segment ops, a single cell for via
+// ops (a via occupies one grid point on every layer). Any grid cell
+// whose occupancy — on any layer, or in the via map — the mutation
+// changed lies inside the returned rectangle; the concurrent router's
+// region-overlap test relies on that freedom from false negatives.
+func (b *Board) RecordRect(rec Record) geom.Rect {
+	switch rec.Kind {
+	case OpPlaceVia, OpRemoveVia:
+		return geom.Bounding(rec.At, rec.At)
+	default:
+		o := b.Layers[rec.Layer].Orient
+		return geom.Bounding(
+			b.Cfg.PointAt(o, rec.Ch, rec.Span.Lo),
+			b.Cfg.PointAt(o, rec.Ch, rec.Span.Hi),
+		)
+	}
+}

@@ -1,0 +1,329 @@
+package board
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layer"
+)
+
+// populate places a small spread of metal: two segments on different
+// layers and a via, under three owners.
+func populate(t *testing.T, b *Board) {
+	t.Helper()
+	if b.AddSegment(0, 1, 0, 8, 7) == nil {
+		t.Fatal("setup segment 1 failed")
+	}
+	if b.AddSegment(1, 2, 3, 11, 8) == nil {
+		t.Fatal("setup segment 2 failed")
+	}
+	if _, ok := b.PlaceVia(geom.Pt(9, 9), 9); !ok {
+		t.Fatal("setup via failed")
+	}
+}
+
+func TestCloneIsBitIdenticalAndIndependent(t *testing.T) {
+	b := testBoard(t, 5, 5, 2)
+	populate(t, b)
+	c := b.Clone()
+	if c.Fingerprint() != b.Fingerprint() {
+		t.Fatal("clone fingerprint differs from original")
+	}
+	if err := c.Audit(); err != nil {
+		t.Fatalf("clone fails audit: %v", err)
+	}
+	// Occupied space must be occupied by the same owner on the clone.
+	if c.FreeAt(0, geom.Pt(1, 4)) {
+		t.Error("segment metal missing on clone")
+	}
+	if c.ViaFree(geom.Pt(9, 9)) {
+		t.Error("via missing on clone")
+	}
+	// Mutating the clone must not leak into the original, and vice versa.
+	base := b.Fingerprint()
+	if c.AddSegment(0, 3, 0, 5, 11) == nil {
+		t.Fatal("clone add failed")
+	}
+	if b.Fingerprint() != base {
+		t.Error("mutating the clone changed the original")
+	}
+	if b.AddSegment(1, 4, 0, 5, 12) == nil {
+		t.Fatal("original add failed")
+	}
+	if c.Fingerprint() == b.Fingerprint() {
+		t.Error("boards should have diverged")
+	}
+	// The clone's counters start fresh: it is a new board that happens to
+	// hold the same metal.
+	if got := c.Mutations(); got != 1 {
+		t.Errorf("clone Mutations = %d after one mutation, want 1", got)
+	}
+}
+
+// TestApplyRecordReplaysMutationStream drives a board through adds,
+// removals and via ops while recording the mutation stream via OnMutate,
+// replays the stream onto a clone taken at the start, and demands the
+// final boards be bit-identical. This is exactly the shadow-sync path of
+// the concurrent router.
+func TestApplyRecordReplaysMutationStream(t *testing.T) {
+	b := testBoard(t, 6, 6, 2)
+	populate(t, b)
+	shadow := b.Clone()
+
+	var log []Record
+	b.OnMutate(func(rec Record) { log = append(log, rec) })
+
+	s := b.AddSegment(0, 3, 0, 11, 21)
+	if s == nil {
+		t.Fatal("add failed")
+	}
+	pv, ok := b.PlaceVia(geom.Pt(3, 12), 21)
+	if !ok {
+		t.Fatal("via failed")
+	}
+	b.RemoveVia(pv)
+	b.RemoveSegment(0, s)
+	tx := b.Begin()
+	if tx.AddSegment(1, 1, 0, 8, 22) == nil {
+		t.Fatal("tx add failed")
+	}
+	if _, ok := tx.PlaceVia(geom.Pt(12, 3), 22); !ok {
+		t.Fatal("tx via failed")
+	}
+	tx.Commit()
+	b.OnMutate(nil)
+
+	// Via placement/removal decomposes into one unit-segment record per
+	// layer on the mutation stream (drillVia runs through AddSegment), so
+	// the three via ops contribute two records each on a 2-layer board:
+	// 1 add + 2 via-place + 2 via-remove + 1 remove + 1 tx-add + 2 tx-via.
+	if len(log) != 9 {
+		t.Fatalf("observed %d records, want 9", len(log))
+	}
+	for _, rec := range log {
+		if err := shadow.ApplyRecord(rec); err != nil {
+			t.Fatalf("ApplyRecord(%v): %v", rec, err)
+		}
+	}
+	if shadow.Fingerprint() != b.Fingerprint() {
+		t.Error("replayed shadow differs from master")
+	}
+	if err := shadow.Audit(); err != nil {
+		t.Errorf("shadow fails audit: %v", err)
+	}
+}
+
+// TestApplyRecordViaOps covers the OpPlaceVia/OpRemoveVia branches the
+// mutation stream never produces (it decomposes vias into segment
+// records): the committer's adopt path replays worker Tx journals, which
+// do journal via ops as single records.
+func TestApplyRecordViaOps(t *testing.T) {
+	b := testBoard(t, 5, 5, 2)
+	ref := testBoard(t, 5, 5, 2)
+	if err := b.ApplyRecord(Record{Kind: OpPlaceVia, At: geom.Pt(6, 6), Owner: 7}); err != nil {
+		t.Fatalf("ApplyRecord place via: %v", err)
+	}
+	if _, ok := ref.PlaceVia(geom.Pt(6, 6), 7); !ok {
+		t.Fatal("reference via failed")
+	}
+	if b.Fingerprint() != ref.Fingerprint() {
+		t.Error("applied via differs from directly placed via")
+	}
+	if err := b.ApplyRecord(Record{Kind: OpRemoveVia, At: geom.Pt(6, 6), Owner: 7}); err != nil {
+		t.Fatalf("ApplyRecord remove via: %v", err)
+	}
+	if b.Fingerprint() != testBoard(t, 5, 5, 2).Fingerprint() {
+		t.Error("via removal did not restore the empty board")
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("audit: %v", err)
+	}
+}
+
+// TestApplyRecordRejectsDivergence: records that do not match the
+// board's state — occupied space on an add, missing or mismatched metal
+// on a remove — must error rather than corrupt the board.
+func TestApplyRecordRejectsDivergence(t *testing.T) {
+	b := testBoard(t, 5, 5, 2)
+	populate(t, b)
+	fp := b.Fingerprint()
+	bad := []Record{
+		{Kind: OpAddSegment, Layer: 0, Ch: 1, Span: geom.Iv(2, 4), Owner: 30},   // space taken
+		{Kind: OpRemoveSegment, Layer: 0, Ch: 1, Span: geom.Iv(0, 4), Owner: 7}, // span mismatch
+		{Kind: OpRemoveSegment, Layer: 0, Ch: 1, Span: geom.Iv(0, 8), Owner: 8}, // owner mismatch
+		{Kind: OpRemoveSegment, Layer: 0, Ch: 3, Span: geom.Iv(0, 8), Owner: 7}, // nothing there
+		{Kind: OpPlaceVia, At: geom.Pt(9, 9), Owner: 30},                        // site taken
+		{Kind: OpRemoveVia, At: geom.Pt(3, 3), Owner: 9},                        // no via there
+		{Kind: OpRemoveVia, At: geom.Pt(9, 9), Owner: 8},                        // owner mismatch
+		{Kind: OpKind(200)}, // unknown op
+	}
+	for _, rec := range bad {
+		if err := b.ApplyRecord(rec); err == nil {
+			t.Errorf("ApplyRecord(%v) accepted a divergent record", rec)
+		}
+	}
+	if b.Fingerprint() != fp {
+		t.Error("rejected records changed the board")
+	}
+}
+
+// TestTxOccupiesCoversEveryRecord is the false-negative-freedom contract
+// of the region fingerprint: every cell a journaled mutation touched
+// must lie inside one of the Occupies rectangles, so the committer's
+// overlap test can never miss a real conflict.
+func TestTxOccupiesCoversEveryRecord(t *testing.T) {
+	b := testBoard(t, 6, 6, 2)
+	tx := b.Begin()
+	if len(tx.Occupies()) != 0 {
+		t.Error("empty Tx occupies something")
+	}
+	if tx.AddSegment(0, 1, 0, 8, 7) == nil {
+		t.Fatal("add failed")
+	}
+	if tx.AddSegment(1, 4, 2, 9, 7) == nil {
+		t.Fatal("add failed")
+	}
+	if _, ok := tx.PlaceVia(geom.Pt(12, 12), 7); !ok {
+		t.Fatal("via failed")
+	}
+	occ := tx.Occupies()
+	// Two layers touched plus a via rect.
+	if len(occ) != 3 {
+		t.Fatalf("Occupies returned %d rects, want 3: %v", len(occ), occ)
+	}
+	for _, rec := range tx.Records() {
+		r := b.RecordRect(rec)
+		covered := false
+		for _, o := range occ {
+			if o.Intersect(r) == r {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("record %v rect %v not covered by any Occupies rect %v", rec, r, occ)
+		}
+	}
+	if _, err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordRectSpansSegmentMetal(t *testing.T) {
+	b := testBoard(t, 5, 5, 2)
+	var recs []Record
+	b.OnMutate(func(rec Record) { recs = append(recs, rec) })
+	if b.AddSegment(0, 2, 1, 7, 7) == nil {
+		t.Fatal("add failed")
+	}
+	if _, ok := b.PlaceVia(geom.Pt(6, 9), 8); !ok {
+		t.Fatal("via failed")
+	}
+	b.OnMutate(nil)
+	segRect := b.RecordRect(recs[0])
+	o := b.Layers[0].Orient
+	for pos := 1; pos <= 7; pos++ {
+		if p := b.Cfg.PointAt(o, 2, pos); !p.In(segRect) {
+			t.Errorf("segment cell %v outside RecordRect %v", p, segRect)
+		}
+	}
+	viaRect := b.RecordRect(recs[1])
+	if want := geom.Bounding(geom.Pt(6, 9), geom.Pt(6, 9)); viaRect != want {
+		t.Errorf("via RecordRect = %v, want %v", viaRect, want)
+	}
+}
+
+// TestTxConcurrentShadows is the -race stress test for the concurrent
+// engine's sharing pattern: one master board whose committed records
+// feed a shared log, and N goroutines each owning a private Clone that
+// replays the log and runs its own speculative Begin/Adopt/Rollback
+// bursts — some touching regions disjoint from the master's commits,
+// some overlapping them (overlap on a private shadow is legal; the
+// journal just records what applied). Boards are never shared between
+// goroutines; only the log is, under a mutex — exactly the discipline
+// concurrent.go relies on. The test asserts OpenTxs accounting and
+// post-rollback fingerprints stay exact on every shadow.
+func TestTxConcurrentShadows(t *testing.T) {
+	const workers = 4
+	const rounds = 50
+
+	b := testBoard(t, 8, 8, 2)
+	populate(t, b)
+
+	var mu sync.Mutex
+	var log []Record
+	b.OnMutate(func(rec Record) {
+		mu.Lock()
+		log = append(log, rec)
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		shadow := b.Clone()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			applied := 0
+			for round := 0; round < rounds; round++ {
+				// Sync with the master's committed history so far.
+				mu.Lock()
+				pending := log[applied:]
+				applied = len(log)
+				mu.Unlock()
+				for _, rec := range pending {
+					if err := shadow.ApplyRecord(rec); err != nil {
+						errs <- err
+						return
+					}
+				}
+				base := shadow.Fingerprint()
+
+				// A speculative burst: a main tx adopting a leg tx, with
+				// segment spans that sometimes collide with master metal
+				// replayed above (the add just fails and journals nothing).
+				main := shadow.Begin()
+				ch := (w + round) % 7
+				main.AddSegment(0, ch, 0, 5, layer.ConnID(100+w))
+				leg := shadow.Begin()
+				leg.AddSegment(1, ch, 6, 11, layer.ConnID(100+w))
+				leg.PlaceVia(geom.Pt(3*ch, 3*ch), layer.ConnID(100+w))
+				main.Adopt(leg)
+				if _, err := main.Rollback(); err != nil {
+					errs <- err
+					return
+				}
+				if n := shadow.OpenTxs(); n != 0 {
+					errs <- fmt.Errorf("shadow %d: OpenTxs = %d after rollback", w, n)
+					return
+				}
+				if shadow.Fingerprint() != base {
+					errs <- fmt.Errorf("shadow %d: rollback did not restore the shadow", w)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+
+	// Concurrently, the master keeps committing fresh metal into the log.
+	for round := 0; round < rounds; round++ {
+		tx := b.Begin()
+		tx.AddSegment(0, 7, round%12, round%12, layer.ConnID(200+round))
+		tx.Commit()
+	}
+	wg.Wait()
+	b.OnMutate(nil)
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Audit(); err != nil {
+		t.Errorf("master fails audit: %v", err)
+	}
+}

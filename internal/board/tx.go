@@ -118,6 +118,44 @@ func (tx *Tx) Records() []Record {
 	return out
 }
 
+// Occupies summarizes the region the transaction's mutations touch as a
+// small set of grid rectangles: one bounding rectangle per layer with
+// segment records, plus one for all via records (a via touches every
+// layer and the via map at its point). The summary is free of false
+// negatives — every grid cell whose occupancy any journaled mutation
+// changed lies inside one of the returned rectangles — so the
+// concurrent router's committer can test two transactions for possible
+// overlap without replaying either journal. False positives are
+// expected: the rectangles are bounding boxes.
+func (tx *Tx) Occupies() []geom.Rect {
+	empty := geom.R(0, 0, -1, -1)
+	perLayer := make([]geom.Rect, len(tx.b.Layers))
+	for i := range perLayer {
+		perLayer[i] = empty
+	}
+	vias := empty
+	for i := range tx.entries {
+		rec := tx.entries[i].rec
+		r := tx.b.RecordRect(rec)
+		switch rec.Kind {
+		case OpPlaceVia, OpRemoveVia:
+			vias = vias.Union(r)
+		default:
+			perLayer[rec.Layer] = perLayer[rec.Layer].Union(r)
+		}
+	}
+	var out []geom.Rect
+	for _, r := range perLayer {
+		if !r.Empty() {
+			out = append(out, r)
+		}
+	}
+	if !vias.Empty() {
+		out = append(out, vias)
+	}
+	return out
+}
+
 func (tx *Tx) append(e txEntry) {
 	if tx.done {
 		panic("board: mutation through a resolved Tx")

@@ -132,6 +132,7 @@ var optionFields = []optionField{
 	{"nodebudget", func(o *core.Options) int64 { return int64(o.NodeBudget) }, func(o *core.Options, v int64) { o.NodeBudget = int(v) }},
 	{"paranoid", func(o *core.Options) int64 { return boolInt(o.Paranoid) }, func(o *core.Options, v int64) { o.Paranoid = v != 0 }},
 	{"checkpointevery", func(o *core.Options) int64 { return int64(o.CheckpointEvery) }, func(o *core.Options, v int64) { o.CheckpointEvery = int(v) }},
+	{"workers", func(o *core.Options) int64 { return int64(o.Workers) }, func(o *core.Options, v int64) { o.Workers = int(v) }},
 }
 
 // OptionNames lists the router options the snapshot codec — and the

@@ -40,12 +40,17 @@ func wallOff(tb testing.TB, b *board.Board, c geom.Point) {
 // obs.Registry armed and holds it to the same allocation budget: phase
 // timing is two clock reads bracketing the search, and metric flushing
 // happens outside it, so observability must be free on the hot path.
+// The "tracked" variant floods with read-region tracking armed, exactly
+// as a concurrent worker's speculative attempt runs: tracking is pure
+// interval arithmetic into preallocated fields, so it must fit the same
+// budget.
 func TestLeeSteadyStateAllocs(t *testing.T) {
-	t.Run("bare", func(t *testing.T) { leeSteadyStateAllocs(t, nil) })
-	t.Run("instrumented", func(t *testing.T) { leeSteadyStateAllocs(t, obs.NewRegistry()) })
+	t.Run("bare", func(t *testing.T) { leeSteadyStateAllocs(t, nil, false) })
+	t.Run("instrumented", func(t *testing.T) { leeSteadyStateAllocs(t, obs.NewRegistry(), false) })
+	t.Run("tracked", func(t *testing.T) { leeSteadyStateAllocs(t, nil, true) })
 }
 
-func leeSteadyStateAllocs(t *testing.T, reg *obs.Registry) {
+func leeSteadyStateAllocs(t *testing.T, reg *obs.Registry, tracked bool) {
 	b := emptyBoard(t, 40, 40, 2)
 	a := pinAt(t, b, geom.Pt(2, 2))
 	c := pinAt(t, b, geom.Pt(35, 35))
@@ -57,6 +62,12 @@ func leeSteadyStateAllocs(t *testing.T, reg *obs.Registry) {
 	opts.Metrics = reg
 	r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
 	id := r.connID(0)
+	var region readRegion
+	if tracked {
+		r.search.TrackReads(true)
+		region = readRegion{cells: emptyRect(), vias: emptyRect()}
+		r.track = &region
+	}
 
 	// Warm up: the first flood grows the heap backing arrays and map
 	// buckets to their high-water marks.

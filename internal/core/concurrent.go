@@ -1,0 +1,538 @@
+// Intra-board concurrent routing (DESIGN §11): with Options.Workers > 1
+// the router becomes an optimistic-concurrency engine over the board's
+// mutation journal. N worker goroutines route connections speculatively,
+// each against its own full board clone (a read snapshot kept in sync by
+// replaying the committer's mutation log), journaling placements into a
+// private Tx and reporting the journal records plus a conservative
+// read-region summary. A single committer — the Route goroutine —
+// consumes results in the deterministic connection order, never in
+// completion order: a speculative success whose region no later-logged
+// mutation touched is provably the route the sequential ladder would
+// have found, and is adopted by replaying its records through a master
+// transaction; everything else (speculation failures, region overlaps,
+// replay collisions) falls back to the ordinary sequential routeOne at
+// the connection's merge turn. Adoption is therefore an optimization
+// only: the routed output — Fingerprint, Audit, metrics, checkpoints —
+// is bit-identical to Workers <= 1 at every worker count, and the
+// sequential path remains the oracle the tests compare against.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// specWindow bounds how far past the merge position workers may claim
+// work, as a multiple of the worker count: enough lookahead to keep
+// every worker busy, little enough that snapshots stay fresh and a
+// no-progress pass does not speculate far beyond its cutoff.
+const specWindow = 4
+
+// emptyRect is the empty-region sentinel (geom.Rect's zero value is the
+// single cell at the origin, not empty).
+func emptyRect() geom.Rect { return geom.R(0, 0, -1, -1) }
+
+// readRegion accumulates the board region one connection attempt reads
+// and writes: cells covers channel-cell occupancy (searcher scans plus
+// every cell the attempt tried to place metal on), vias covers via-map
+// probe sites. Placements appear in both their own transaction's
+// journal and cells, so region disjointness between an adopted result
+// and every later-logged mutation means neither could have observed or
+// blocked the other.
+type readRegion struct {
+	cells geom.Rect
+	vias  geom.Rect
+}
+
+// trackRun notes that the current attempt read (and possibly wrote) the
+// cells of channel ch spanning [lo, hi] on layer li.
+func (r *Router) trackRun(li, ch, lo, hi int) {
+	if r.track == nil {
+		return
+	}
+	o := r.B.Layers[li].Orient
+	rect := geom.Bounding(r.B.Cfg.PointAt(o, ch, lo), r.B.Cfg.PointAt(o, ch, hi))
+	r.track.cells = r.track.cells.Union(rect)
+}
+
+// trackPt notes a via probe or drill at p: the via map at p and the
+// cell p on every layer.
+func (r *Router) trackPt(p geom.Point) {
+	if r.track == nil {
+		return
+	}
+	pr := geom.Bounding(p, p)
+	r.track.cells = r.track.cells.Union(pr)
+	r.track.vias = r.track.vias.Union(pr)
+}
+
+// workerRes is one speculative routing attempt's outcome.
+type workerRes struct {
+	ok      bool           // the no-rip-up ladder found a route
+	method  Method         // ZeroVia, OneVia, Lee or Trivial when ok
+	records []board.Record // the route's journal (placements only)
+	cells   geom.Rect      // read/write region: channel cells
+	vias    geom.Rect      // read region: via-map probe sites
+	epoch   int            // commit-log length the snapshot included
+	delta   Metrics        // search counters to merge on adoption
+	dirty   bool           // set at merge time: region overlaps the log tail
+}
+
+// logEntry is one committed master-board mutation: the record workers
+// replay onto their shadows and the grid rectangle it touched, against
+// which the committer tests speculative read regions.
+type logEntry struct {
+	rec  board.Record
+	rect geom.Rect
+}
+
+// conc is the shared scheduler state: the commit log, the claim/merge
+// cursors of the current pass, and the per-position results. The mutex
+// guards everything below it; the committer additionally reads log
+// without the lock, which is safe because only the committer appends.
+type conc struct {
+	r      *Router
+	window int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	log       []logEntry
+	order     []int
+	methods   []Method // scheduler's mirror of routes[].Method
+	nextClaim int
+	mergePos  int
+	claimed   map[int]bool
+	results   map[int]*workerRes
+	stopped   bool
+
+	wg      sync.WaitGroup
+	workers []*specWorker
+}
+
+// specWorker is one speculation goroutine: a full Router over a board
+// clone, tracking reads, plus the log prefix its shadow has applied.
+type specWorker struct {
+	c       *conc
+	rt      *Router
+	applied int
+	region  readRegion
+	busy    *obs.Gauge // nil without a registry
+}
+
+// newConc builds the scheduler, installs the commit-log hook on the
+// master board, clones one shadow per worker and starts the goroutines.
+func newConc(r *Router) *conc {
+	n := r.Opts.Workers
+	c := &conc{
+		r:       r,
+		window:  max(8, n*specWindow),
+		order:   r.order,
+		methods: make([]Method, len(r.Conns)),
+		claimed: make(map[int]bool, 64),
+		results: make(map[int]*workerRes, 64),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i := range r.routes {
+		c.methods[i] = r.routes[i].Method
+	}
+	r.B.OnMutate(func(rec board.Record) {
+		rect := r.B.RecordRect(rec)
+		c.mu.Lock()
+		c.log = append(c.log, logEntry{rec: rec, rect: rect})
+		c.mu.Unlock()
+	})
+	var busy *obs.Gauge
+	if r.obs != nil {
+		busy = r.obs.workersBusy
+	}
+	for w := 0; w < n; w++ {
+		sw := &specWorker{c: c, rt: newWorkerRouter(r), busy: busy}
+		c.workers = append(c.workers, sw)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			sw.loop()
+		}()
+	}
+	return c
+}
+
+// newWorkerRouter builds a worker's private router: a clone of the
+// master board, the same options minus everything operational
+// (checkpointing, observability, paranoia — a worker rolls back every
+// attempt, so per-rollback fingerprint verification would dominate its
+// runtime), sharing the master's cancellation flag and deadline so a
+// mid-search abort reaches workers too.
+func newWorkerRouter(r *Router) *Router {
+	opts := r.Opts
+	opts.Workers = 0
+	opts.Metrics = nil
+	opts.CheckpointEvery, opts.CheckpointSink = 0, nil
+	opts.Paranoid = false
+	wr, err := New(r.B.Clone(), r.Conns, opts)
+	if err != nil {
+		// New validated these exact connections for the master already.
+		panic(fmt.Sprintf("core: worker router construction failed: %v", err))
+	}
+	wr.abortArmed = true
+	wr.deadline = r.deadline
+	wr.cancelled = r.cancelled
+	wr.search.TrackReads(true)
+	return wr
+}
+
+// beginPass resets the claim/merge cursors for a pass starting at
+// startPos and wakes the workers.
+func (c *conc) beginPass(startPos int) {
+	c.mu.Lock()
+	c.nextClaim = startPos
+	c.mergePos = startPos
+	clear(c.claimed)
+	clear(c.results)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// findClaim returns the next claimable order position, or -1: at or
+// past the claim cursor, within the speculation window of the merge
+// position, unclaimed, and believed unrouted. Callers hold mu.
+func (c *conc) findClaim() int {
+	limit := min(c.mergePos+c.window, len(c.order))
+	for pos := c.nextClaim; pos < limit; pos++ {
+		if c.claimed[pos] || c.methods[c.order[pos]] != NotRouted {
+			continue
+		}
+		return pos
+	}
+	return -1
+}
+
+// take consumes position pi at its merge turn. If no worker claimed it
+// the committer claims it itself and returns nil (route inline); else
+// it waits for the speculative result and tests its region against the
+// log tail the snapshot missed.
+func (c *conc) take(pi int) *workerRes {
+	var t0 time.Time
+	if c.r.obs != nil {
+		t0 = time.Now()
+	}
+	c.mu.Lock()
+	if !c.claimed[pi] {
+		c.claimed[pi] = true
+		c.mu.Unlock()
+		return nil
+	}
+	for c.results[pi] == nil {
+		c.cond.Wait()
+	}
+	res := c.results[pi]
+	delete(c.results, pi)
+	c.mu.Unlock()
+	if c.r.obs != nil {
+		c.r.obs.commitWait.Observe(time.Since(t0).Seconds())
+	}
+	// The log is append-only and only the committer (this goroutine)
+	// appends, so the tail scan needs no lock.
+	res.dirty = regionDirty(res, c.log[res.epoch:])
+	return res
+}
+
+// regionDirty reports whether any logged mutation the speculation's
+// snapshot missed touches its read/write region. Any overlap means the
+// sequential ladder might have seen different board state, so the
+// result cannot be proven identical and must be discarded.
+func regionDirty(res *workerRes, tail []logEntry) bool {
+	for k := range tail {
+		rect := tail[k].rect
+		if !res.cells.Intersect(rect).Empty() || !res.vias.Intersect(rect).Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// merged publishes the outcome of merge turn pi: refresh the method
+// mirror, advance the merge cursor, wake waiting workers. The full
+// mirror refresh is needed only when the merge ripped up or re-routed
+// other connections; otherwise only position pi changed.
+func (c *conc) merged(pi int, full bool) {
+	c.mu.Lock()
+	if full {
+		for k := range c.methods {
+			c.methods[k] = c.r.routes[k].Method
+		}
+	} else {
+		i := c.order[pi]
+		c.methods[i] = c.r.routes[i].Method
+	}
+	c.mergePos = pi + 1
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// shutdown stops the workers and removes the commit-log hook. Workers
+// finish (or abort, when the master's deadline or cancellation flag is
+// armed) their in-flight attempt first; shutdown is idempotent.
+func (c *conc) shutdown() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+	c.r.B.OnMutate(nil)
+}
+
+// loop is a worker goroutine: claim, sync the shadow, speculate,
+// deliver, repeat.
+func (w *specWorker) loop() {
+	c := w.c
+	for {
+		c.mu.Lock()
+		pos := -1
+		for {
+			if c.stopped {
+				c.mu.Unlock()
+				return
+			}
+			if pos = c.findClaim(); pos >= 0 {
+				break
+			}
+			c.cond.Wait()
+		}
+		c.claimed[pos] = true
+		if pos >= c.nextClaim {
+			c.nextClaim = pos + 1
+		}
+		epoch := len(c.log)
+		pending := c.log[w.applied:epoch]
+		i := c.order[pos]
+		c.mu.Unlock()
+
+		if w.busy != nil {
+			w.busy.Add(1)
+		}
+		for _, le := range pending {
+			if err := w.rt.B.ApplyRecord(le.rec); err != nil {
+				// The log is the master's serial mutation history; a
+				// shadow that cannot replay it has diverged — a bug, not
+				// a routing conflict.
+				panic(fmt.Sprintf("core: shadow board diverged: %v", err))
+			}
+		}
+		w.applied = epoch
+		res := w.attempt(i)
+		res.epoch = epoch
+		if w.busy != nil {
+			w.busy.Add(-1)
+		}
+
+		c.mu.Lock()
+		c.results[pos] = res
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// attempt runs the speculative no-rip-up ladder — exactly the sequence
+// routeOne tries before any rip-up — for connection i on the shadow,
+// then rolls the route back so the shadow stays at its synced log
+// prefix. The returned records and region are everything the committer
+// needs to adopt or discard the result.
+func (w *specWorker) attempt(i int) *workerRes {
+	res := &workerRes{cells: emptyRect(), vias: emptyRect()}
+	rt := w.rt
+	if c := rt.Conns[i]; c.A == c.B {
+		res.ok, res.method = true, Trivial
+		return res
+	}
+	rt.search.ResetReads()
+	w.region = readRegion{cells: emptyRect(), vias: emptyRect()}
+	rt.track = &w.region
+	before := rt.metrics
+	route, method, ok := rt.speculate(i)
+	rt.track = nil
+	res.delta = searchDelta(before, rt.metrics)
+	cells, vias := rt.search.ReadExtent()
+	res.cells = w.region.cells.Union(cells)
+	res.vias = w.region.vias.Union(vias)
+	if !ok {
+		return res
+	}
+	if route.tx != nil {
+		res.records = route.tx.Records()
+	}
+	res.ok, res.method = true, method
+	rt.rollback(&route)
+	return res
+}
+
+// speculate is routeOne's pre-rip-up strategy ladder, returning the
+// open route instead of committing it.
+func (r *Router) speculate(i int) (Route, Method, bool) {
+	r.beginConnBudget()
+	if rt, ok := r.zeroViaT(i); ok {
+		return rt, ZeroVia, true
+	}
+	if rt, ok := r.oneViaT(i); ok {
+		return rt, OneVia, true
+	}
+	if rt, _, ok := r.lee(i); ok {
+		return rt, Lee, true
+	}
+	return Route{}, NotRouted, false
+}
+
+// searchDelta extracts the search-side counter growth of one attempt:
+// the counters the sequential ladder would have bumped identically.
+// Everything else (ByMethod, WireLength, ViasAdded, rip-up counters) is
+// produced by the master at commit time.
+func searchDelta(before, after Metrics) Metrics {
+	var d Metrics
+	d.LeeExpansions = after.LeeExpansions - before.LeeExpansions
+	d.LeeBlocked = after.LeeBlocked - before.LeeBlocked
+	d.TraceCalls = after.TraceCalls - before.TraceCalls
+	d.ViasCalls = after.ViasCalls - before.ViasCalls
+	return d
+}
+
+// adopt replays a clean speculative result through a master
+// transaction and commits it as connection i's route, folding in the
+// worker's search counters. A replay collision (impossible while the
+// region test is sound, but cheap to guard) rolls back and reports
+// false; the caller then falls back to the sequential ladder.
+func (r *Router) adopt(i int, res *workerRes) bool {
+	if res.method == Trivial {
+		r.routes[i] = Route{Method: Trivial}
+		r.metrics.ByMethod[Trivial]++
+		return true
+	}
+	var rt Route
+	for _, rec := range res.records {
+		switch rec.Kind {
+		case board.OpAddSegment:
+			s := r.tx(&rt).AddSegment(rec.Layer, rec.Ch, rec.Span.Lo, rec.Span.Hi, rec.Owner)
+			if s == nil {
+				r.rollback(&rt)
+				return false
+			}
+			rt.Segs = append(rt.Segs, PlacedSeg{Layer: rec.Layer, Seg: s})
+		case board.OpPlaceVia:
+			pv, ok := r.tx(&rt).PlaceVia(rec.At, rec.Owner)
+			if !ok {
+				r.rollback(&rt)
+				return false
+			}
+			rt.Vias = append(rt.Vias, pv)
+		default:
+			// A no-rip-up ladder journals placements only.
+			r.rollback(&rt)
+			return false
+		}
+	}
+	r.metrics.LeeExpansions += res.delta.LeeExpansions
+	r.metrics.LeeBlocked += res.delta.LeeBlocked
+	r.metrics.TraceCalls += res.delta.TraceCalls
+	r.metrics.ViasCalls += res.delta.ViasCalls
+	r.commit(i, rt, res.method)
+	return true
+}
+
+// mergeOne routes connection i at its merge turn: adopt the clean
+// speculative result, or fall back to the full sequential routeOne
+// (rip-up rights included) on the master board.
+func (r *Router) mergeOne(i int, res *workerRes) {
+	switch {
+	case res == nil:
+		r.routeOne(i)
+	case !res.ok:
+		r.specMisses++
+		if r.obs != nil {
+			r.obs.specMisses.Add(1)
+		}
+		r.routeOne(i)
+	case res.dirty || !r.adopt(i, res):
+		r.specConflicts++
+		if r.obs != nil {
+			r.obs.specConflicts.Add(1)
+		}
+		r.routeOne(i)
+	default:
+		r.specAdopted++
+		if r.obs != nil {
+			r.obs.specAdopted.Add(1)
+		}
+	}
+}
+
+// runConcurrent is run() with the inner loop split between speculation
+// (workers) and in-order merging (this goroutine). Pass accounting,
+// checkpoint cadence, escalation and the final result are bit-identical
+// to the sequential loop.
+func (r *Router) runConcurrent() Result {
+	c := newConc(r)
+	defer c.shutdown()
+
+	r.metrics.Connections = len(r.Conns)
+	prevUnrouted := len(r.Conns) + 1
+	startPos := 0
+	if r.resumed {
+		prevUnrouted = r.resumePrev
+		startPos = r.startPos
+	}
+	r.ckPass, r.ckPos, r.ckPrev = r.startPass, startPos, prevUnrouted
+passes:
+	for pass := r.startPass; pass < r.Opts.MaxPasses; pass++ {
+		var passT0 time.Time
+		if r.obs != nil {
+			passT0 = time.Now()
+		}
+		c.beginPass(startPos)
+		for pi := startPos; pi < len(r.order); pi++ {
+			i := r.order[pi]
+			r.ckPass, r.ckPos, r.ckPrev = pass, pi, prevUnrouted
+			if r.abortCheck() {
+				break passes
+			}
+			full := false
+			if r.routes[i].Method == NotRouted {
+				res := c.take(pi)
+				ripBase := r.metrics.RipUps + r.metrics.ReRouted
+				r.mergeOne(i, res)
+				full = r.metrics.RipUps+r.metrics.ReRouted != ripBase
+				r.ckPos = pi + 1
+				r.obsFlush()
+				r.maybeCheckpoint(pass, pi+1, prevUnrouted)
+				if r.abortReason != AbortNone {
+					break passes
+				}
+			}
+			c.merged(pi, full)
+		}
+		startPos = 0
+		r.metrics.Passes++
+		if r.obs != nil {
+			r.obs.passTimes.Observe(time.Since(passT0).Seconds())
+		}
+		if !r.paranoidCheck(fmt.Sprintf("pass %d", pass)) {
+			break
+		}
+		unrouted := r.countUnrouted()
+		if unrouted == 0 || unrouted >= prevUnrouted {
+			break
+		}
+		prevUnrouted = unrouted
+	}
+	// Escalation and the final audit run sequentially on the master;
+	// stop the workers first (idempotent with the deferred shutdown).
+	c.shutdown()
+	return r.finish()
+}

@@ -61,6 +61,17 @@ type routerObs struct {
 
 	phase     [numPhases]*obs.Histogram
 	passTimes *obs.Histogram
+
+	// Concurrent-engine series (DESIGN §11). These are updated directly
+	// at merge turns and by workers (the registry handles are atomic),
+	// not flushed from Metrics: speculation outcomes are operational
+	// counters and deliberately not part of the Metrics struct, whose
+	// integer serialization belongs to the snapshot codec.
+	workersBusy   *obs.Gauge
+	specAdopted   *obs.Counter
+	specConflicts *obs.Counter
+	specMisses    *obs.Counter
+	commitWait    *obs.Histogram
 }
 
 // newRouterObs registers (or re-resolves — registration is idempotent,
@@ -82,6 +93,12 @@ func newRouterObs(reg *obs.Registry) *routerObs {
 		wireLength:  reg.Gauge("grr_router_wire_length_cells"),
 		vias:        reg.Gauge("grr_router_vias_placed"),
 		passTimes:   reg.Histogram("grr_router_pass_seconds", obs.DurationBuckets()),
+
+		workersBusy:   reg.Gauge("grr_router_workers_busy"),
+		specAdopted:   reg.Counter("grr_router_spec_adopted_total"),
+		specConflicts: reg.Counter("grr_router_spec_conflicts_total"),
+		specMisses:    reg.Counter("grr_router_spec_misses_total"),
+		commitWait:    reg.Histogram("grr_router_commit_wait_seconds", obs.DurationBuckets()),
 	}
 	for i, cause := range [...]string{"no_victims", "rounds", "node_budget"} {
 		o.fail[i] = reg.Counter(`grr_router_route_failures_total{cause="` + cause + `"}`)

@@ -43,12 +43,28 @@ type Router struct {
 	// Abort state (see RouteContext). abortArmed is true only when a
 	// time budget or a cancellable context is in play, so unbudgeted
 	// runs skip even the cheap checks and stay bit-identical. The
-	// cancelled flag is the only field another goroutine touches.
+	// cancelled flag is the only field another goroutine touches; it is
+	// a pointer so the concurrent engine's worker routers can share the
+	// master's flag and notice a cancellation mid-search.
 	abortArmed  bool
 	deadline    time.Time
-	cancelled   atomic.Bool
+	cancelled   *atomic.Bool
 	abortReason AbortReason
 	invariant   error
+
+	// track, when non-nil, accumulates the read/write region of the
+	// connection attempt in flight. Only the concurrent engine's worker
+	// routers set it (concurrent.go); on a sequential router the cost is
+	// one nil check per placement.
+	track *readRegion
+
+	// Speculation outcome counters (concurrent runs only): attempts
+	// adopted as-is, speculative successes discarded because a prior
+	// commit overlapped their region (then re-routed sequentially), and
+	// speculative failures routed sequentially at their merge turn.
+	specAdopted   int
+	specConflicts int
+	specMisses    int
 
 	// Per-connection node-budget state: LeeExpansions at the start of
 	// the connection being routed, and whether its budget ran out.
@@ -107,6 +123,7 @@ func New(b *board.Board, conns []Connection, opts Options) (*Router, error) {
 	}
 	r.routes = make([]Route, len(r.Conns))
 	r.ripped = make(map[int]*board.Tx)
+	r.cancelled = new(atomic.Bool)
 	r.search = sla.NewSearcher(b.Cfg)
 	r.order = SortOrder(b, r.Conns, opts.Sort)
 	r.scratch.init(b.Cfg)
@@ -154,6 +171,18 @@ func (r *Router) RouteOf(i int) *Route { return &r.routes[i] }
 
 // Metrics returns the counters accumulated so far.
 func (r *Router) Metrics() Metrics { return r.metrics }
+
+// SpecStats reports the speculation outcomes of a concurrent run
+// (Options.Workers > 1): connections adopted straight from a worker's
+// speculative result, speculative successes discarded because a prior
+// commit overlapped their read region, and speculative failures — all
+// three re-routed sequentially at their merge turn. Sequential runs
+// report zeros. These are operational counters, deliberately kept out
+// of Metrics (whose integer serialization is part of the snapshot
+// codec); the obs registry exports them as grr_router_spec_* series.
+func (r *Router) SpecStats() (adopted, conflicts, misses int) {
+	return r.specAdopted, r.specConflicts, r.specMisses
+}
 
 // Route runs the complete algorithm of Section 8.4 and returns the
 // result. It may be called only once per Router.
@@ -232,6 +261,9 @@ func (r *Router) beginConnBudget() {
 // behaves exactly like the uninterrupted run: the algorithm consumes no
 // other history.
 func (r *Router) run() Result {
+	if r.Opts.Workers > 1 && len(r.Conns) > 0 {
+		return r.runConcurrent()
+	}
 	r.metrics.Connections = len(r.Conns)
 	prevUnrouted := len(r.Conns) + 1
 	startPos := 0
@@ -273,12 +305,7 @@ passes:
 		// Count what is actually unrouted at the end of the pass: rip-up
 		// victims whose put-back failed are unrouted again even though
 		// their own routeOne call succeeded earlier in the pass.
-		unrouted := 0
-		for i := range r.routes {
-			if r.routes[i].Method == NotRouted {
-				unrouted++
-			}
-		}
+		unrouted := r.countUnrouted()
 		if unrouted == 0 || unrouted >= prevUnrouted {
 			// No progress: the problem is too hard; stop rather than rip
 			// up connections indefinitely (Section 8.4).
@@ -286,14 +313,25 @@ passes:
 		}
 		prevUnrouted = unrouted
 	}
+	return r.finish()
+}
 
-	if r.Opts.Escalate && r.abortReason == AbortNone {
-		unrouted := 0
-		for i := range r.routes {
-			if r.routes[i].Method == NotRouted {
-				unrouted++
-			}
+// countUnrouted returns the number of currently unrouted connections.
+func (r *Router) countUnrouted() int {
+	unrouted := 0
+	for i := range r.routes {
+		if r.routes[i].Method == NotRouted {
+			unrouted++
 		}
+	}
+	return unrouted
+}
+
+// finish is the tail shared by the sequential and concurrent outer
+// loops: escalation, the final abort checkpoint, and result assembly.
+func (r *Router) finish() Result {
+	if r.Opts.Escalate && r.abortReason == AbortNone {
+		unrouted := r.countUnrouted()
 		// Escalation is for cracking a handful of local congestion
 		// knots. A large residue means the problem is infeasible (the
 		// kdj11 2-layer case); burning the stronger settings on it
@@ -519,6 +557,7 @@ func (r *Router) invariantStop(err error) {
 // junction needed) and the caller simply tries another strategy.
 func (r *Router) materialize(rt *Route, li int, runs []sla.Run, id layer.ConnID) bool {
 	for _, run := range runs {
+		r.trackRun(li, run.Chan, run.Span.Lo, run.Span.Hi)
 		s := r.tx(rt).AddSegment(li, run.Chan, run.Span.Lo, run.Span.Hi, id)
 		if s == nil {
 			r.rollback(rt)
@@ -545,6 +584,7 @@ func (r *Router) rollback(rt *Route) {
 
 // drill places a via for rt at p.
 func (r *Router) drill(rt *Route, p geom.Point, id layer.ConnID) bool {
+	r.trackPt(p)
 	pv, ok := r.tx(rt).PlaceVia(p, id)
 	if !ok {
 		return false

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -38,6 +39,14 @@ var (
 type Config struct {
 	// Workers is the routing worker pool size (default 4).
 	Workers int
+	// CPUSlots bounds the total routing goroutines the daemon may run at
+	// once: with a full pool, each of the Workers jobs is allowed at most
+	// CPUSlots/Workers intra-board workers (core.Options.Workers, the
+	// "workers" job option), so jobs × per-job parallelism can never
+	// oversubscribe the machine. Jobs asking for more are clamped at
+	// admission, not rejected. Default: GOMAXPROCS, but never below
+	// Workers — the pool itself is always allowed to run.
+	CPUSlots int
 	// QueueDepth bounds the live jobs — queued, running or awaiting
 	// retry — the daemon will hold (default 16). Beyond it, Submit sheds
 	// load with ErrQueueFull. Jobs recovered from the journal at startup
@@ -99,6 +108,12 @@ type Config struct {
 func (c *Config) setDefaults() error {
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	if c.CPUSlots <= 0 {
+		c.CPUSlots = runtime.GOMAXPROCS(0)
+	}
+	if c.CPUSlots < c.Workers {
+		c.CPUSlots = c.Workers
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 16
@@ -320,6 +335,15 @@ func buildSnapshot(spec JobSpec, cfg Config) (*boardio.Snapshot, error) {
 	}
 	if cfg.MaxTimeBudget > 0 && (opts.TimeBudget <= 0 || opts.TimeBudget > cfg.MaxTimeBudget) {
 		opts.TimeBudget = cfg.MaxTimeBudget
+	}
+	// Clamp per-job intra-board parallelism (the "workers" option) so a
+	// full worker pool cannot oversubscribe the machine. Harmless to the
+	// result either way: -jc N is bit-identical to sequential routing.
+	if maxJC := cfg.CPUSlots / cfg.Workers; opts.Workers > maxJC {
+		opts.Workers = maxJC
+	}
+	if opts.Workers < 0 {
+		opts.Workers = 0
 	}
 	return &boardio.Snapshot{
 		Design: d,

@@ -585,3 +585,75 @@ func writeFile(path, content string) error {
 		return err
 	})
 }
+
+// TestJobWorkersClampedToCPUSlots: per-job intra-board parallelism (the
+// "workers" job option) is admitted but clamped so that a full worker
+// pool can never run more than CPUSlots routing goroutines in total.
+func TestJobWorkersClampedToCPUSlots(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 2
+	cfg.CPUSlots = 8
+	if err := cfg.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ask, want int64
+	}{
+		{64, 4}, // 8 slots / 2 pool workers = 4 per job, max
+		{4, 4},  // exactly at the bound
+		{3, 3},  // within the bound: passes through
+		{1, 1},
+		{-5, 0}, // nonsense normalizes to sequential
+	}
+	for _, c := range cases {
+		snap, err := buildSnapshot(testSpec(t, 1, map[string]int64{"workers": c.ask}), cfg)
+		if err != nil {
+			t.Fatalf("workers=%d rejected: %v", c.ask, err)
+		}
+		if got := int64(snap.Opts.Workers); got != c.want {
+			t.Errorf("workers=%d admitted as %d, want %d", c.ask, got, c.want)
+		}
+	}
+
+	// Defaulting: CPUSlots never drops below the pool size, so on any
+	// machine a job asking for 1 worker (sequential engine) is untouched.
+	one := testConfig(t)
+	one.Workers = 4
+	if err := one.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if one.CPUSlots < one.Workers {
+		t.Errorf("CPUSlots defaulted to %d, below the pool size %d", one.CPUSlots, one.Workers)
+	}
+}
+
+// TestSubmitConcurrentJobMatchesSequential: a job routed with intra-board
+// workers must finish bit-identically to the daemon-free sequential run —
+// the grrd-level restatement of the -jc determinism contract.
+func TestSubmitConcurrentJobMatchesSequential(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.CPUSlots = 8 // Workers=1, so jobs may use up to 8 intra-board workers
+	spec := testSpec(t, 6, nil)
+	wantFP, wantM := baseline(t, spec, cfg)
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainServer(t, s)
+
+	st, err := s.Submit(testSpec(t, 6, map[string]int64{"workers": 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, s, st.ID)
+	if fin.State != StateDone || fin.AuditOK == nil || !*fin.AuditOK {
+		t.Fatalf("job did not finish clean: %+v", fin)
+	}
+	if fp := fingerprintString(wantFP); fin.Fingerprint != fp {
+		t.Errorf("fingerprint = %s, want %s", fin.Fingerprint, fp)
+	}
+	if *fin.Metrics != wantM {
+		t.Errorf("metrics diverged from sequential run:\n got  %+v\n want %+v", *fin.Metrics, wantM)
+	}
+}

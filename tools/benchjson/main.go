@@ -1,0 +1,221 @@
+// Command benchjson runs the Table 1 sweep at a set of intra-board
+// worker counts and writes the results as machine-readable JSON to
+// BENCH_<gitsha>.json, so successive commits can be compared number by
+// number instead of by eyeballing test logs.
+//
+// For every board and every -jc value it records wall-clock seconds,
+// heap allocations, routed/failed counts, via count, rip-ups and the
+// speculation counters (adoptions, conflicts, misses). Before writing
+// anything it asserts the concurrency contract: every worker count must
+// produce a bit-identical board fingerprint and Metrics struct to the
+// sequential run — a divergence is a hard error, not a data point.
+//
+// The environment block records GOMAXPROCS and NumCPU: speedup figures
+// are only meaningful on hardware that can actually run the workers in
+// parallel, and a single-core container will legitimately report ~1×.
+//
+// Usage:
+//
+//	go run ./tools/benchjson -scale 4 -jc 1,4 -out .
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+type runResult struct {
+	Workers   int     `json:"workers"`
+	Seconds   float64 `json:"seconds"`
+	Allocs    uint64  `json:"allocs"`
+	Bytes     uint64  `json:"bytes"`
+	Routed    int     `json:"routed"`
+	Failed    int     `json:"failed"`
+	Vias      int     `json:"vias"`
+	RipUps    int     `json:"rip_ups"`
+	Adopted   int     `json:"spec_adopted"`
+	Conflicts int     `json:"spec_conflicts"`
+	Misses    int     `json:"spec_misses"`
+}
+
+type boardResult struct {
+	Board       string      `json:"board"`
+	Conns       int         `json:"conns"`
+	Fingerprint string      `json:"fingerprint"`
+	Runs        []runResult `json:"runs"`
+	// Speedup is sequential seconds / fastest concurrent seconds (1.0
+	// when only jc=1 ran).
+	Speedup float64 `json:"speedup"`
+}
+
+type output struct {
+	GitSHA     string        `json:"git_sha"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Scale      int           `json:"scale"`
+	When       string        `json:"when"`
+	Boards     []boardResult `json:"boards"`
+}
+
+func main() {
+	var (
+		scale  = flag.Int("scale", 1, "shrink Table 1 boards by this factor")
+		jcList = flag.String("jc", "1,4", "comma-separated intra-board worker counts; must include 1")
+		outDir = flag.String("out", ".", "directory for BENCH_<gitsha>.json")
+		boards = flag.String("boards", "", "comma-separated board-name filter (default: all)")
+	)
+	flag.Parse()
+
+	jcs, err := parseJCs(*jcList)
+	if err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	for _, b := range strings.Split(*boards, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			want[b] = true
+		}
+	}
+
+	out := output{
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      *scale,
+		When:       time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, spec := range workload.Table1Specs() {
+		if len(want) > 0 && !want[spec.Name] {
+			continue
+		}
+		br, err := benchBoard(spec.Scale(*scale), jcs)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", spec.Name, err))
+		}
+		out.Boards = append(out.Boards, br)
+		fmt.Printf("%-10s %5d conns:", br.Board, br.Conns)
+		for _, r := range br.Runs {
+			fmt.Printf("  jc=%d %.3fs", r.Workers, r.Seconds)
+		}
+		fmt.Printf("  speedup %.2fx\n", br.Speedup)
+	}
+
+	path := filepath.Join(*outDir, "BENCH_"+out.GitSHA+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(out)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+// benchBoard routes one board once per worker count, asserting that
+// every run reproduces the sequential run bit-exactly.
+func benchBoard(spec workload.Spec, jcs []int) (boardResult, error) {
+	br := boardResult{Board: spec.Name}
+	var refM core.Metrics
+	var refFP uint64
+	for i, jc := range jcs {
+		opts := core.DefaultOptions()
+		opts.Workers = jc
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		run, err := experiment.RouteSpec(spec, opts)
+		if err != nil {
+			return br, err
+		}
+		runtime.ReadMemStats(&after)
+
+		m := run.Result.Metrics
+		fp := run.Board.Fingerprint()
+		if i == 0 {
+			refM, refFP = m, fp
+			br.Conns = m.Connections
+			br.Fingerprint = fmt.Sprintf("%016x", fp)
+		} else {
+			if fp != refFP {
+				return br, fmt.Errorf("jc=%d fingerprint %016x differs from jc=%d's %016x", jc, fp, jcs[0], refFP)
+			}
+			if m != refM {
+				return br, fmt.Errorf("jc=%d metrics differ from jc=%d:\n got  %+v\n want %+v", jc, jcs[0], m, refM)
+			}
+		}
+		if err := run.Board.Audit(); err != nil {
+			return br, fmt.Errorf("jc=%d audit: %w", jc, err)
+		}
+		adopted, conflicts, misses := run.Router.SpecStats()
+		br.Runs = append(br.Runs, runResult{
+			Workers:   jc,
+			Seconds:   run.Elapsed.Seconds(),
+			Allocs:    after.Mallocs - before.Mallocs,
+			Bytes:     after.TotalAlloc - before.TotalAlloc,
+			Routed:    m.Routed,
+			Failed:    m.Failed,
+			Vias:      m.ViasAdded,
+			RipUps:    m.RipUps,
+			Adopted:   adopted,
+			Conflicts: conflicts,
+			Misses:    misses,
+		})
+	}
+	br.Speedup = 1
+	for _, r := range br.Runs[1:] {
+		if s := br.Runs[0].Seconds / r.Seconds; s > br.Speedup {
+			br.Speedup = s
+		}
+	}
+	return br, nil
+}
+
+func parseJCs(s string) ([]int, error) {
+	var jcs []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -jc value %q", f)
+		}
+		jcs = append(jcs, n)
+	}
+	if len(jcs) == 0 || jcs[0] != 1 {
+		return nil, fmt.Errorf("-jc must start with 1 (the sequential reference): %q", s)
+	}
+	return jcs, nil
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
