@@ -12,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-concurrency bench microbench lint-metrics staticcheck vulncheck
+.PHONY: check vet build test race race-concurrency soak-fleet bench microbench lint-metrics staticcheck vulncheck
 
 check: vet build test lint-metrics staticcheck vulncheck
 
@@ -35,6 +35,17 @@ race:
 race-concurrency:
 	$(GO) test -race ./internal/core/... ./internal/board/...
 	$(GO) test -race -run 'TestConcurrent' .
+
+# The fleet chaos soak under the race detector: four workers plus a
+# coordinator in one process, scripted partitions, a heartbeat-muted
+# zombie and a full node kill, with every job required to finish
+# bit-identical to its oracle and committed done in exactly one journal
+# fleet-wide. CI runs this as its own job; the kill/handoff acceptance
+# test rides along because it exercises the same failover machinery
+# through the real grrd binary.
+soak-fleet:
+	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestFleetChaosSoak'
+	$(GO) test -race -count=1 ./cmd/grrd/ -run 'TestFleet'
 
 # The Table 1 sweep at jc=1 and jc=4, written to BENCH_<gitsha>.json —
 # one comparable artifact per commit. BENCH_SCALE > 1 shrinks the boards

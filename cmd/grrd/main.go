@@ -7,6 +7,14 @@
 //
 //	grrd -journal-dir /var/lib/grrd
 //	grrd -journal-dir d -listen 127.0.0.1:8377 -workers 8 -queue-depth 32
+//	grrd -coordinator -listen 127.0.0.1:8370
+//	grrd -journal-dir d -node-name a -join http://127.0.0.1:8370
+//
+// With -coordinator the process serves the fleet front door instead of
+// routing jobs itself (internal/fleet): workers join it with -join and
+// -node-name, heartbeat their load, and get fenced and failed over if
+// they go quiet. Clients submit to the coordinator exactly as they
+// would to a single grrd.
 //
 // Endpoints:
 //
@@ -54,6 +62,7 @@ import (
 
 	"repro/internal/board"
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -85,20 +94,39 @@ func run() int {
 		headerMax  = flag.Duration("read-header-timeout", 5*time.Second, "how long a client may take to send request headers")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
+		coordMode = flag.Bool("coordinator", false, "run as the fleet coordinator instead of a worker daemon")
+		joinURL   = flag.String("join", "", "worker mode: coordinator base URL to join (e.g. http://127.0.0.1:8370)")
+		nodeName  = flag.String("node-name", "", "worker mode: fleet-unique node name (required with -join)")
+		hbEvery   = flag.Duration("heartbeat-every", time.Second, "heartbeat cadence (worker: send; coordinator: expect and sweep)")
+		hbMiss    = flag.Int("heartbeat-miss", 3, "coordinator mode: missed beats before a node is fenced and failed over")
+		cacheSize = flag.Int("route-cache", 64, "coordinator mode: design-fingerprint route cache entries (negative disables)")
+
 		crashAt = flag.Uint64("crash-at", 0, "fault injection: kill the process (exit 137) at the Nth board mutation across all jobs")
 	)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "grrd: unexpected arguments:", flag.Args())
+		return exitUsage
+	}
+	if *coordMode {
+		if *joinURL != "" {
+			fmt.Fprintln(os.Stderr, "grrd: -coordinator and -join are mutually exclusive")
+			return exitUsage
+		}
+		return runCoordinator(*listen, *hbEvery, *hbMiss, *cacheSize, *retryBase, *retryMax, *headerMax)
+	}
 	if *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "grrd: -journal-dir is required")
 		return exitUsage
 	}
-	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "grrd: unexpected arguments:", flag.Args())
+	if *joinURL != "" && *nodeName == "" {
+		fmt.Fprintln(os.Stderr, "grrd: -join requires -node-name")
 		return exitUsage
 	}
 
 	reg := obs.NewRegistry()
 	cfg := server.Config{
+		NodeName:        *nodeName,
 		Workers:         *workers,
 		CPUSlots:        *cpuSlots,
 		QueueDepth:      *queueDepth,
@@ -149,6 +177,28 @@ func run() int {
 	// The one contractual stdout line; tests and wrappers parse it to
 	// find the bound port when -listen used port 0.
 	fmt.Printf("grrd: listening on %s\n", ln.Addr())
+
+	// Fleet membership is strictly additive: the agent joins and
+	// heartbeats in the background, and if the coordinator is down the
+	// daemon serves its local queue exactly as a standalone grrd would.
+	var agentCancel context.CancelFunc = func() {}
+	if *joinURL != "" {
+		agent := fleet.NewAgent(fleet.AgentConfig{
+			Node:        *nodeName,
+			Addr:        "http://" + ln.Addr().String(),
+			Journal:     *journalDir,
+			Coordinator: *joinURL,
+			Server:      s,
+			Every:       *hbEvery,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		var actx context.Context
+		actx, agentCancel = context.WithCancel(context.Background())
+		go agent.Run(actx)
+	}
+	defer agentCancel()
 
 	handler := s.Handler()
 	if *pprofOn {
@@ -209,4 +259,57 @@ func run() int {
 	sdCancel()
 	fmt.Fprintln(os.Stderr, "grrd: drained")
 	return code
+}
+
+// runCoordinator serves the fleet coordinator on listen. It prints the
+// same contractual banner as a worker, so the harnesses that parse it
+// need not care which mode they launched.
+func runCoordinator(listen string, hbEvery time.Duration, hbMiss, cacheSize int,
+	retryBase, retryMax, headerMax time.Duration) int {
+	reg := obs.NewRegistry()
+	c := fleet.New(fleet.Config{
+		HeartbeatEvery: hbEvery,
+		HeartbeatMiss:  hbMiss,
+		CacheSize:      cacheSize,
+		RetryBase:      retryBase,
+		RetryMax:       retryMax,
+		Metrics:        reg,
+		Log:            obs.NewLogger(os.Stderr),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	defer c.Close()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grrd:", err)
+		return exitInternal
+	}
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("grrd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: headerMax,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "grrd:", err)
+		return exitInternal
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "grrd: %v: shutting down coordinator\n", got)
+	}
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := hs.Shutdown(sdCtx); err != nil {
+		hs.Close()
+	}
+	sdCancel()
+	return exitOK
 }

@@ -55,7 +55,13 @@ type daemon struct {
 // and blocks until the startup line announces the bound address.
 func startDaemon(t *testing.T, journalDir string, extra ...string) *daemon {
 	t.Helper()
-	args := append([]string{"-journal-dir", journalDir, "-workers", "1"}, extra...)
+	return startRawDaemon(t, append([]string{"-journal-dir", journalDir, "-workers", "1"}, extra...)...)
+}
+
+// startRawDaemon is startDaemon without the worker-mode default flags —
+// the entry point the coordinator-mode tests use.
+func startRawDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
 	cmd := exec.Command(grrdBin, args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr

@@ -2,12 +2,15 @@ package boardio
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/board"
@@ -482,9 +485,14 @@ func SetIOSeam(s *IOSeam) *IOSeam {
 // closed, and only then renamed over path. A crash at any point leaves
 // either the previous file or the new one, never a torn or — because of
 // the fsync — a zero-length file that the rename made visible before
-// the data reached disk. Any failure removes the temp file and leaves
-// path untouched. The snapshot codec and the grrd job journal both
-// persist through it.
+// the data reached disk. After the rename the parent directory is
+// fsynced too: the file fsync makes the *bytes* durable, but the rename
+// itself lives in the directory, and without the directory sync a crash
+// right after AtomicWrite returns can roll the name back to the old
+// file (or to nothing, for a first write) even though the caller was
+// told the record was durable. Any failure removes the temp file and
+// leaves path untouched. The snapshot codec and the grrd job journal
+// both persist through it.
 func AtomicWrite(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -509,7 +517,26 @@ func AtomicWrite(path string, write func(io.Writer) error) error {
 		os.Remove(tmp)
 		return fmt.Errorf("%s: %w", tmp, err)
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory, making any rename inside it durable.
+// Platforms whose filesystems refuse to fsync directories report
+// EINVAL/ENOTSUP; those are ignored — there is nothing more the code
+// can do, and failing the write would be worse than the status quo.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("fsync %s: %w", dir, err)
+	}
+	return nil
 }
 
 // SaveSnapshot writes s to path via AtomicWrite: a crash mid-write can

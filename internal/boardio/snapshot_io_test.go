@@ -1,6 +1,7 @@
 package boardio
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"os"
@@ -89,6 +90,53 @@ func TestLoadSnapshotInjectedReadFailure(t *testing.T) {
 
 	if _, err := LoadSnapshot(path); !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("load with failing reader: err = %v, want ErrInjected", err)
+	}
+}
+
+// TestSnapshotTruncatedTrailer is the deterministic regression test for
+// truncation at the section/trailer boundary: a snapshot cut anywhere
+// inside (or just before) its checksum trailer — the exact shape a crash
+// mid-write produces — must be rejected, never parsed as a shorter but
+// "valid" snapshot. This was previously covered only by whatever the
+// fuzz corpus happened to contain.
+func TestSnapshotTruncatedTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, testSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Locate the trailer: the final "checksum ..." line.
+	i := bytes.LastIndex(data, []byte("\nchecksum "))
+	if i < 0 {
+		t.Fatal("snapshot has no checksum trailer")
+	}
+	trailerStart := i + 1 // first byte of "checksum"
+
+	cuts := []struct {
+		name string
+		at   int
+	}{
+		{"before-trailer", trailerStart},                  // last section complete, trailer absent
+		{"mid-keyword", trailerStart + len("check")},      // inside the tag
+		{"after-tag", trailerStart + len("checksum ")},    // tag complete, no digits
+		{"mid-digits", trailerStart + len("checksum ") + 7}, // half the hash
+		{"last-digit-lost", len(data) - 2},                // hash one hex digit short
+	}
+	for _, c := range cuts {
+		t.Run(c.name, func(t *testing.T) {
+			if c.at <= 0 || c.at >= len(data) {
+				t.Fatalf("cut point %d out of range (len %d)", c.at, len(data))
+			}
+			if _, err := ReadSnapshot(bytes.NewReader(data[:c.at])); err == nil {
+				t.Errorf("snapshot truncated at byte %d accepted", c.at)
+			}
+		})
+	}
+
+	// Sanity: the untruncated bytes still parse.
+	if _, err := ReadSnapshot(bytes.NewReader(data)); err != nil {
+		t.Fatalf("untruncated snapshot rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/server"
+)
+
+// specKey fingerprints a job spec: FNV-64a over the design text, the
+// connection list, and the options in sorted order. Two submissions
+// with the same key describe the same routing problem — and the router
+// being deterministic, the same problem has the same answer, which is
+// what makes the route cache sound.
+func specKey(spec server.JobSpec) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(spec.Design))
+	h.Write([]byte{0})
+	h.Write([]byte(spec.Conns))
+	h.Write([]byte{0})
+	names := make([]string, 0, len(spec.Options))
+	for k := range spec.Options {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h.Write([]byte(k))
+		h.Write([]byte{'='})
+		h.Write([]byte(strconv.FormatInt(spec.Options[k], 10)))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// rendezvous scores one (node, job-key) pair for highest-random-weight
+// placement: every coordinator computes the same ranking from the same
+// fleet view, no shared state needed, and a node joining or leaving
+// only reshuffles the jobs that hashed to it.
+func rendezvous(nodeName string, key uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(nodeName))
+	h.Write([]byte{0})
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(key >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// routeCache remembers terminal done Statuses by spec key, bounded
+// FIFO: routing answers are immutable (deterministic router, immutable
+// spec), so eviction is purely about memory, and FIFO is as good as
+// anything for a correctness-free eviction choice.
+type routeCache struct {
+	mu    sync.Mutex
+	max   int
+	order []uint64
+	byKey map[uint64]server.Status
+}
+
+// newRouteCache builds a cache holding at most max entries; max < 0
+// disables caching entirely (every lookup misses, every put drops).
+func newRouteCache(max int) *routeCache {
+	return &routeCache{max: max, byKey: make(map[uint64]server.Status)}
+}
+
+func (rc *routeCache) get(key uint64) (server.Status, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	st, ok := rc.byKey[key]
+	return st, ok
+}
+
+func (rc *routeCache) put(key uint64, st server.Status) {
+	if rc.max < 0 || st.State != server.StateDone {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, ok := rc.byKey[key]; ok {
+		return
+	}
+	for len(rc.order) >= rc.max {
+		evict := rc.order[0]
+		rc.order = rc.order[1:]
+		delete(rc.byKey, evict)
+	}
+	rc.byKey[key] = st
+	rc.order = append(rc.order, key)
+}
+
+func (rc *routeCache) len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.byKey)
+}

@@ -1,0 +1,498 @@
+// Package fleet turns a set of grrd daemons into one fault-tolerant
+// routing service. A Coordinator fronts N worker nodes:
+//
+//   - jobs are admitted at the coordinator and placed by rendezvous
+//     hashing over the live, unsaturated nodes, then forwarded with
+//     bounded retry and jittered exponential backoff (the same shape
+//     grrd uses for its own job retries);
+//   - workers heartbeat their occupancy (the server.Load report); a
+//     node that misses its deadline is FENCED — its journal epoch is
+//     bumped with the fenced marker, so a zombie that was merely
+//     partitioned can never journal (and thus never double-commit)
+//     again — and its live jobs are recovered from the journal and
+//     resumed on peers, bit-identically, from their last durable
+//     checkpoint;
+//   - an idle node pulls queued work from the most-loaded peer through
+//     the coordinator (work stealing), keeping the fleet busy without
+//     the workers knowing about each other;
+//   - results of completed jobs are cached by design fingerprint, so
+//     resubmitting an identical board costs nothing — the router is
+//     deterministic, the previous answer IS the answer.
+//
+// Degradation is graceful in both directions: a worker that cannot
+// reach the coordinator keeps serving its local queue (the agent just
+// retries joining), and a coordinator whose pool has shrunk to nothing
+// sheds load with 429 + Retry-After exactly like a single saturated
+// grrd.
+//
+// The fencing model assumes the coordinator can reach each node's
+// journal directory through the filesystem (shared storage or
+// single-host supervision). What travels over HTTP is job records in
+// the checksummed grrdjob format — a truncated transfer fails its
+// checksum, it cannot admit half a job.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Config parameterizes a Coordinator. Zero values get defaults from
+// New.
+type Config struct {
+	// HeartbeatEvery is the cadence workers are expected to beat at
+	// (default 1s). The coordinator also sweeps at this cadence.
+	HeartbeatEvery time.Duration
+	// HeartbeatMiss is how many consecutive beats a node may miss
+	// before it is declared dead and fenced (default 3): the failover
+	// deadline is HeartbeatEvery × HeartbeatMiss.
+	HeartbeatMiss int
+	// ForwardAttempts bounds transport-level retries per node while
+	// forwarding one job (default 3). Admission refusals (429/503) are
+	// not retried on the same node — the next candidate is tried.
+	ForwardAttempts int
+	// RetryBase and RetryMax shape the forwarding backoff exactly like
+	// server.Config shapes job retries: attempt n waits roughly
+	// RetryBase·2ⁿ⁻¹ jittered to [d/2, d), capped at RetryMax
+	// (defaults 10ms, 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed seeds the backoff jitter (0 = fixed default seed; the
+	// coordinator's jitter has no correctness role).
+	RetrySeed int64
+	// CacheSize bounds the design-fingerprint route cache (default 64
+	// entries, FIFO; 0 uses the default, negative disables caching).
+	CacheSize int
+	// Transport is the HTTP transport for all coordinator→node calls —
+	// the seam the chaos tests wire a faultinject.Partition into. Nil
+	// uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+	// Log, when set, receives structured fleet-lifecycle lines (join,
+	// heartbeat-miss, fence, handoff, steal). Nil is fine.
+	Log *obs.Logger
+	// Metrics, when set, is the registry the coordinator publishes
+	// fleet series into (and serves at /metrics).
+	Metrics *obs.Registry
+}
+
+func (c *Config) setDefaults() {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.HeartbeatMiss <= 0 {
+		c.HeartbeatMiss = 3
+	}
+	if c.ForwardAttempts <= 0 {
+		c.ForwardAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = 1
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// NodeView is the exported name of the coordinator's per-worker state,
+// as served by GET /nodes and returned by Nodes.
+type NodeView = node
+
+// node is the coordinator's view of one worker.
+type node struct {
+	Name    string      `json:"node"`
+	Addr    string      `json:"addr"`    // base URL, e.g. http://127.0.0.1:8377
+	Journal string      `json:"journal"` // journal dir (reachable via the filesystem)
+	Epoch   uint64      `json:"epoch"`
+	Load    server.Load `json:"load"`
+	Fenced  bool        `json:"fenced"`
+
+	lastBeat time.Time
+}
+
+// alive reports whether the node is scheduling-eligible at all.
+func (n *node) alive() bool { return !n.Fenced }
+
+// assignment tracks where a job lives and, when known, its spec key
+// for the route cache.
+type assignment struct {
+	node string
+	key  uint64 // 0 = unknown (recovered jobs lose theirs; harmless)
+}
+
+// Coordinator is the fleet's front door and failure detector.
+type Coordinator struct {
+	cfg    Config
+	client *http.Client
+	obs    *fleetObs
+	log    *obs.Logger
+	cache  *routeCache
+
+	mu      sync.Mutex
+	nodes   map[string]*node
+	assign  map[string]assignment    // jobID → owner
+	results map[string]server.Status // terminal statuses (survive node death)
+	pending []*server.Job            // recovered/stolen records awaiting a home
+	rng     *rand.Rand
+
+	stop   chan struct{}
+	stopWg sync.WaitGroup
+	once   sync.Once
+}
+
+// New builds a Coordinator and starts its sweep loop (failure
+// detection, handoff delivery, work stealing). Close stops it.
+func New(cfg Config) *Coordinator {
+	cfg.setDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		client:  &http.Client{Transport: cfg.Transport, Timeout: 30 * time.Second},
+		obs:     newFleetObs(cfg.Metrics),
+		log:     cfg.Log,
+		cache:   newRouteCache(cfg.CacheSize),
+		nodes:   make(map[string]*node),
+		assign:  make(map[string]assignment),
+		results: make(map[string]server.Status),
+		rng:     rand.New(rand.NewSource(cfg.RetrySeed)),
+		stop:    make(chan struct{}),
+	}
+	c.stopWg.Add(1)
+	go c.sweepLoop()
+	return c
+}
+
+// Close stops the sweep loop. In-flight HTTP handlers finish on their
+// own; the coordinator serves until its listener closes.
+func (c *Coordinator) Close() {
+	c.once.Do(func() { close(c.stop) })
+	c.stopWg.Wait()
+}
+
+// Join registers (or re-registers) a worker. A known name is replaced
+// wholesale: a rejoin is a new incarnation — the server itself refuses
+// to start on a fenced journal dir, so an incarnation that made it far
+// enough to join is journaling somewhere legitimate.
+func (c *Coordinator) Join(name, addr, journal string, epoch uint64, load server.Load) error {
+	if name == "" || addr == "" {
+		return errors.New("fleet: join needs node name and addr")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.nodes[name]; ok && old.alive() && old.Journal != journal {
+		// Two live daemons claiming one name but different journals is
+		// operator error, and accepting the second would let them shadow
+		// each other's jobs. First writer wins.
+		return fmt.Errorf("fleet: node %s already joined with journal %s", name, old.Journal)
+	}
+	c.nodes[name] = &node{
+		Name: name, Addr: addr, Journal: journal, Epoch: epoch,
+		Load: load, lastBeat: time.Now(),
+	}
+	c.obs.joined.Inc()
+	c.publishNodeGauges()
+	c.cfg.Logf("fleet: node %s joined (%s, journal %s, epoch %d)", name, addr, journal, epoch)
+	c.log.Log("fleet_join", "node", name, "addr", addr, "epoch", epoch)
+	return nil
+}
+
+// errFencedNode marks a heartbeat or join from an incarnation the
+// fleet has already fenced: the HTTP layer answers 410 Gone.
+var errFencedNode = errors.New("fleet: node is fenced")
+
+// Heartbeat records a beat from a worker. An unknown name asks the
+// agent to re-join; a fenced node (or a stale epoch — a zombie from a
+// previous incarnation) is told it is gone.
+func (c *Coordinator) Heartbeat(name string, epoch uint64, load server.Load) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	if !ok {
+		return fmt.Errorf("fleet: unknown node %s", name)
+	}
+	if n.Fenced || epoch != n.Epoch {
+		return fmt.Errorf("%w: %s (epoch %d, fleet has %d)", errFencedNode, name, epoch, n.Epoch)
+	}
+	n.lastBeat = time.Now()
+	n.Load = load
+	c.obs.heartbeats.Inc()
+	c.publishNodeGauges()
+	return nil
+}
+
+// Nodes returns the coordinator's current fleet view, sorted by name.
+func (c *Coordinator) Nodes() []node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// sweepLoop is the coordinator's heartbeat: every HeartbeatEvery it
+// checks deadlines, fences the dead, delivers pending handoffs, and
+// brokers one work-steal.
+func (c *Coordinator) sweepLoop() {
+	defer c.stopWg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.sweep()
+		}
+	}
+}
+
+// sweep runs one round of failure detection and rebalancing.
+func (c *Coordinator) sweep() {
+	deadline := time.Duration(c.cfg.HeartbeatMiss) * c.cfg.HeartbeatEvery
+	now := time.Now()
+
+	c.mu.Lock()
+	var dead []*node
+	for _, n := range c.nodes {
+		if n.alive() && now.Sub(n.lastBeat) > deadline {
+			n.Fenced = true // claim it under the lock; fence outside
+			dead = append(dead, n)
+		}
+	}
+	c.publishNodeGauges()
+	c.mu.Unlock()
+
+	for _, n := range dead {
+		c.fence(n)
+	}
+	c.deliverPending()
+	c.stealOnce()
+}
+
+// fence finalizes a dead node: bump its journal epoch with the fenced
+// marker (from this instant every journal write the zombie attempts is
+// refused — it cannot double-commit), then recover its jobs from the
+// journal: terminal records become servable results, live records go
+// to the pending-handoff list for resumption on a peer.
+func (c *Coordinator) fence(n *node) {
+	c.obs.fenced.Inc()
+	epoch, err := server.FenceJournal(n.Journal)
+	if err != nil {
+		// The journal dir is gone or unwritable. Nothing to recover from —
+		// but also nothing a zombie could commit to. Log and move on.
+		c.cfg.Logf("fleet: fencing %s: %v", n.Name, err)
+		c.log.Log("fleet_fence_error", "node", n.Name, "err", err.Error())
+		return
+	}
+	c.cfg.Logf("fleet: node %s missed its heartbeat deadline; fenced at epoch %d", n.Name, epoch)
+	c.log.Log("fleet_fence", "node", n.Name, "epoch", epoch)
+
+	recs, err := server.LoadRecords(n.Journal, func(path string, err error) {
+		c.cfg.Logf("fleet: skipping corrupt record %s: %v", path, err)
+	})
+	if err != nil {
+		c.cfg.Logf("fleet: reading %s journal: %v", n.Name, err)
+		return
+	}
+	c.mu.Lock()
+	for _, rec := range recs {
+		if rec.State.Live() {
+			c.pending = append(c.pending, rec)
+			c.obs.recoveredJobs.Inc()
+			c.log.Log("fleet_job_recovered", "job", rec.ID, "from", n.Name,
+				"state", string(rec.State), "attempt", rec.Attempt)
+			continue
+		}
+		if rec.State.Terminal() {
+			// The node is gone but its answers are not: serve them from here.
+			st := rec.Status()
+			c.results[rec.ID] = st
+			if a, ok := c.assign[rec.ID]; ok && a.key != 0 && st.State == server.StateDone {
+				c.cache.put(a.key, st)
+			}
+		}
+	}
+	c.obs.pendingGauge.Set(int64(len(c.pending)))
+	c.mu.Unlock()
+}
+
+// deliverPending tries to re-home every recovered/stolen record. A
+// record that finds no taker stays pending for the next sweep — jobs
+// are never dropped, they wait for capacity.
+func (c *Coordinator) deliverPending() {
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+
+	var keep []*server.Job
+	for _, rec := range pending {
+		target, err := c.handoff(rec)
+		if err != nil {
+			keep = append(keep, rec)
+			c.cfg.Logf("fleet: no home for %s yet: %v", rec.ID, err)
+			continue
+		}
+		c.mu.Lock()
+		key := c.assign[rec.ID].key
+		c.assign[rec.ID] = assignment{node: target, key: key}
+		c.mu.Unlock()
+		c.obs.handoffs.Inc()
+		c.log.Log("fleet_handoff", "job", rec.ID, "to", target, "attempt", rec.Attempt)
+	}
+	c.mu.Lock()
+	c.pending = append(c.pending, keep...)
+	c.obs.pendingGauge.Set(int64(len(c.pending)))
+	c.mu.Unlock()
+}
+
+// stealOnce brokers at most one steal per sweep: the idlest ready node
+// pulls one queued job from the most-loaded peer. One per sweep keeps
+// rebalancing gentle — a persistent imbalance drains over a few
+// sweeps; a transient one often resolves itself first.
+func (c *Coordinator) stealOnce() {
+	c.mu.Lock()
+	var donor, thief *node
+	for _, n := range c.nodes {
+		if !n.alive() {
+			continue
+		}
+		// Donors: anything with queued work that is not leaving. Saturated
+		// nodes are prime donors (that is what the /readyz split is for);
+		// draining and fenced nodes are drain-only — their queue is the
+		// failover path's business, not the stealer's.
+		if n.Load.Queued > 0 && n.Load.Health != server.HealthDraining &&
+			(donor == nil || n.Load.Queued > donor.Load.Queued) {
+			donor = n
+		}
+		// Thieves: ready nodes with free capacity, idlest first.
+		if n.Load.Health == server.HealthReady && n.Load.Live < n.Load.Slots &&
+			(thief == nil || n.Load.Live < thief.Load.Live) {
+			thief = n
+		}
+	}
+	if donor == nil || thief == nil || donor == thief ||
+		thief.Load.Live >= donor.Load.Queued+donor.Load.Live-1 {
+		// No imbalance worth moving a checkpoint over the network for.
+		c.mu.Unlock()
+		return
+	}
+	donorName, donorAddr, thiefName := donor.Name, donor.Addr, thief.Name
+	c.mu.Unlock()
+
+	rec, err := c.stealFrom(donorAddr)
+	if err != nil {
+		c.cfg.Logf("fleet: stealing from %s: %v", donorName, err)
+		return
+	}
+	if rec == nil {
+		return // queue emptied itself between heartbeat and steal
+	}
+	target, err := c.handoffTo(thiefName, rec)
+	if err != nil {
+		// The thief would not take it; give it back to the donor, and if
+		// even that fails, park it as pending — it is journaled as
+		// handed_off on the donor, so nothing is lost either way.
+		if _, backErr := c.handoffTo(donorName, rec); backErr != nil {
+			c.mu.Lock()
+			c.pending = append(c.pending, rec)
+			c.obs.pendingGauge.Set(int64(len(c.pending)))
+			c.mu.Unlock()
+		}
+		return
+	}
+	c.mu.Lock()
+	key := c.assign[rec.ID].key
+	c.assign[rec.ID] = assignment{node: target, key: key}
+	c.mu.Unlock()
+	c.obs.steals.Inc()
+	c.log.Log("fleet_steal", "job", rec.ID, "from", donorName, "to", thiefName)
+}
+
+// candidates returns scheduling-eligible nodes for a job key, best
+// first: ready nodes by descending rendezvous score, then saturated
+// nodes (they shed load themselves, but they are alive and their
+// refusal carries a Retry-After worth propagating). Draining and
+// fenced nodes never appear.
+func (c *Coordinator) candidates(key uint64) []*node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ready, saturated []*node
+	for _, n := range c.nodes {
+		if !n.alive() {
+			continue
+		}
+		switch n.Load.Health {
+		case server.HealthReady:
+			ready = append(ready, n)
+		case server.HealthSaturated:
+			saturated = append(saturated, n)
+		}
+	}
+	score := func(n *node) uint64 { return rendezvous(n.Name, key) }
+	sort.Slice(ready, func(a, b int) bool { return score(ready[a]) > score(ready[b]) })
+	sort.Slice(saturated, func(a, b int) bool { return score(saturated[a]) > score(saturated[b]) })
+	return append(ready, saturated...)
+}
+
+// backoff computes the jittered delay before transport retry
+// attempt+1 — the same shape as the server's job-retry backoff.
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	d := c.cfg.RetryBase << (attempt - 1)
+	if d > c.cfg.RetryMax || d <= 0 {
+		d = c.cfg.RetryMax
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	c.mu.Lock()
+	jit := c.rng.Int63n(half + 1)
+	c.mu.Unlock()
+	return time.Duration(half + jit)
+}
+
+// sleep waits d or until the coordinator stops.
+func (c *Coordinator) sleep(d time.Duration) {
+	select {
+	case <-c.stop:
+	case <-time.After(d):
+	}
+}
+
+// publishNodeGauges refreshes the per-health node-count gauges.
+// Callers hold mu.
+func (c *Coordinator) publishNodeGauges() {
+	counts := map[string]int64{}
+	for _, n := range c.nodes {
+		switch {
+		case n.Fenced:
+			counts["fenced"]++
+		default:
+			counts[n.Load.Health]++
+		}
+	}
+	for state, g := range c.obs.nodesByState {
+		g.Set(counts[state])
+	}
+}

@@ -1,0 +1,384 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/boardio"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/stringer"
+	"repro/internal/workload"
+)
+
+// buildSpec generates a small seeded board as a JobSpec; distinct
+// seeds are distinct but reproducible routing problems.
+func buildSpec(t *testing.T, seed int64) server.JobSpec {
+	t.Helper()
+	d, err := workload.Generate(workload.TinySpec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := boardio.WriteDesign(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	return server.JobSpec{Design: sb.String(), Options: map[string]int64{"checkpointevery": 1}}
+}
+
+// oracle routes spec directly — no daemon, no fleet — and returns the
+// deterministic fingerprint every fleet path must reproduce.
+func oracle(t *testing.T, spec server.JobSpec) uint64 {
+	t.Helper()
+	d, err := boardio.ReadDesign(strings.NewReader(spec.Design))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strung, err := stringer.String(d, stringer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	for name, v := range spec.Options {
+		if err := boardio.ApplyOption(&opts, name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := &boardio.Snapshot{
+		Design: d, Conns: strung.Conns, Opts: opts,
+		Check: &core.Checkpoint{
+			PrevUnrouted: len(strung.Conns) + 1,
+			Routes:       make([]core.ConnRoute, len(strung.Conns)),
+		},
+	}
+	b, r, err := snap.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Route()
+	if res.Aborted != core.AbortNone || !res.Complete() {
+		t.Fatalf("oracle run did not complete: %v", res)
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Fingerprint()
+}
+
+func TestSpecKey(t *testing.T) {
+	a := buildSpec(t, 1)
+	if specKey(a) != specKey(buildSpec(t, 1)) {
+		t.Error("identical specs key differently")
+	}
+	if specKey(a) == specKey(buildSpec(t, 2)) {
+		t.Error("different designs share a key")
+	}
+	b := buildSpec(t, 1)
+	b.Options["radius"] = 3
+	if specKey(a) == specKey(b) {
+		t.Error("different options share a key")
+	}
+	c := buildSpec(t, 1)
+	c.Conns = "synthetic"
+	if specKey(a) == specKey(c) {
+		t.Error("different conns share a key")
+	}
+}
+
+func TestRouteCacheFIFO(t *testing.T) {
+	rc := newRouteCache(2)
+	done := func(id string) server.Status { return server.Status{ID: id, State: server.StateDone} }
+	rc.put(1, done("a"))
+	rc.put(2, done("b"))
+	rc.put(3, done("c")) // evicts 1
+	if _, ok := rc.get(1); ok {
+		t.Error("oldest entry not evicted")
+	}
+	for _, k := range []uint64{2, 3} {
+		if _, ok := rc.get(k); !ok {
+			t.Errorf("entry %d missing", k)
+		}
+	}
+	// Non-terminal and failed statuses are never cached: only a done
+	// answer is a reusable answer.
+	rc.put(4, server.Status{ID: "d", State: server.StateFailed})
+	if _, ok := rc.get(4); ok {
+		t.Error("failed status cached")
+	}
+	if rc.len() != 2 {
+		t.Errorf("cache size = %d, want 2", rc.len())
+	}
+
+	off := newRouteCache(-1)
+	off.put(9, done("z"))
+	if _, ok := off.get(9); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+// TestRendezvousStability: removing one node only moves the keys that
+// node owned — every other key keeps its winner. This is the property
+// that makes failover cheap: the survivors' assignments don't churn.
+func TestRendezvousStability(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	winner := func(key uint64, pool []string) string {
+		best, bestScore := "", uint64(0)
+		for _, n := range pool {
+			if s := rendezvous(n, key); best == "" || s > bestScore {
+				best, bestScore = n, s
+			}
+		}
+		return best
+	}
+	moved, kept := 0, 0
+	for key := uint64(0); key < 500; key++ {
+		before := winner(key, nodes)
+		after := winner(key, nodes[:3]) // drop "d"
+		if before == "d" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %d moved from %s to %s though its node survived", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved %d kept %d of 500", moved, kept)
+	}
+}
+
+// fleetNode is one in-process worker: a real server.Server behind a
+// real listener, with a running Agent.
+type fleetNode struct {
+	name   string
+	srv    *server.Server
+	ts     *httptest.Server
+	cancel context.CancelFunc
+}
+
+// startNode boots a worker and joins it to the coordinator at coordURL.
+func startNode(t *testing.T, name, coordURL string, cfg server.Config,
+	client *http.Client, drop func() bool) *fleetNode {
+	t.Helper()
+	cfg.NodeName = name
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = time.Millisecond
+		cfg.RetryMax = 20 * time.Millisecond
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	agent := NewAgent(AgentConfig{
+		Node: name, Addr: ts.URL, Journal: cfg.JournalDir,
+		Coordinator: coordURL, Server: s,
+		Every:         20 * time.Millisecond,
+		Client:        client,
+		DropHeartbeat: drop,
+	})
+	go agent.Run(ctx)
+	n := &fleetNode{name: name, srv: s, ts: ts, cancel: cancel}
+	t.Cleanup(func() {
+		n.cancel()
+		n.ts.Close()
+		// Drain before the test framework deletes the journal dir under a
+		// still-running worker.
+		dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		n.srv.Drain(dctx)
+		dcancel()
+	})
+	return n
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// submit posts a spec through the coordinator, retrying 429s (the
+// fleet sheds load when saturated; a client that wants the job in just
+// asks again).
+func submit(t *testing.T, coordURL string, spec server.JobSpec) server.Status {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Post(coordURL+"/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st server.Status
+		decodeErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			if decodeErr != nil {
+				t.Fatal(decodeErr)
+			}
+			return st
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			time.Sleep(10 * time.Millisecond)
+		default:
+			t.Fatalf("submit: unexpected status %d", resp.StatusCode)
+		}
+	}
+	t.Fatal("submit: fleet never accepted the job")
+	return server.Status{}
+}
+
+// coordStatus polls one job through the coordinator.
+func coordStatus(t *testing.T, coordURL, id string) (server.Status, bool) {
+	t.Helper()
+	resp, err := http.Get(coordURL + "/jobs/" + id)
+	if err != nil {
+		return server.Status{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.Status{}, false
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return server.Status{}, false
+	}
+	return st, true
+}
+
+func waitJobDone(t *testing.T, coordURL, id string, timeout time.Duration) server.Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if st, ok := coordStatus(t, coordURL, id); ok && st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, _ := coordStatus(t, coordURL, id)
+	t.Fatalf("job %s never finished via the coordinator (last: %+v)", id, st)
+	return server.Status{}
+}
+
+// TestWorkStealingRebalances: a node wedged on a long job with work
+// queued behind it loses that queued work to an idle peer — through
+// the coordinator's steal broker, not any worker-to-worker chatter —
+// and the stolen job finishes on the thief with the oracle
+// fingerprint.
+func TestWorkStealingRebalances(t *testing.T) {
+	c := New(Config{
+		HeartbeatEvery: 25 * time.Millisecond,
+		HeartbeatMiss:  40, // failover off: this test is about stealing, not fencing
+		CacheSize:      -1,
+		Logf:           t.Logf,
+	})
+	ts := httptest.NewServer(c.Handler())
+	defer func() {
+		ts.Close()
+		c.Close()
+	}()
+
+	spec := buildSpec(t, 7)
+	want := oracle(t, spec)
+
+	// Node "busy": worker pool of one, first job wedges mid-mutation.
+	blk := faultinject.BlockAt(1)
+	t.Cleanup(blk.Release)
+	var first atomic.Bool
+	busyCfg := server.Config{
+		QueueDepth: 4, JournalDir: t.TempDir(), Logf: t.Logf,
+		BoardHook: func(b *board.Board) {
+			if first.CompareAndSwap(false, true) {
+				b.Interpose(blk)
+			}
+		},
+	}
+	busy := startNode(t, "busy", ts.URL, busyCfg, nil, nil)
+
+	if _, err := busy.srv.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, blk.Fired, "blocker never fired")
+	queued, err := busy.srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An idle peer joins; within a few sweeps the coordinator moves the
+	// queued job over and it completes there.
+	idle := startNode(t, "idle", ts.URL,
+		server.Config{QueueDepth: 4, JournalDir: t.TempDir(), Logf: t.Logf}, nil, nil)
+
+	fin := waitJobDone(t, ts.URL, queued.ID, 20*time.Second)
+	blk.Release()
+	if fin.State != server.StateDone {
+		t.Fatalf("stolen job: %+v", fin)
+	}
+	if wantS := fmt.Sprintf("%016x", want); fin.Fingerprint != wantS {
+		t.Errorf("stolen job fingerprint = %s, want %s", fin.Fingerprint, wantS)
+	}
+	// It ran on the thief: the donor's copy is handed_off, the thief's
+	// is done.
+	if st, ok := busy.srv.Status(queued.ID); !ok || st.State != server.StateHandedOff {
+		t.Errorf("donor copy = %+v, want handed_off", st)
+	}
+	if st, ok := idle.srv.Status(queued.ID); !ok || st.State != server.StateDone {
+		t.Errorf("thief copy = %+v, want done", st)
+	}
+}
+
+// TestCoordinatorDegradesToRetryAfter: with every node gone saturated
+// — or no nodes at all — the coordinator sheds load like a single
+// busy grrd: 429 with a Retry-After, never a hang or a 500.
+func TestCoordinatorDegradesToRetryAfter(t *testing.T) {
+	c := New(Config{HeartbeatEvery: 25 * time.Millisecond, CacheSize: -1, Logf: t.Logf})
+	ts := httptest.NewServer(c.Handler())
+	defer func() {
+		ts.Close()
+		c.Close()
+	}()
+
+	body, _ := json.Marshal(buildSpec(t, 3))
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit with no nodes = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After")
+	}
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("empty-fleet readyz = %d, want 503", rz.StatusCode)
+	}
+}

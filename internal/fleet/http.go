@@ -1,0 +1,399 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Handler exposes the coordinator over HTTP. The job surface mirrors a
+// single grrd — clients talk to the fleet exactly as they would talk
+// to one daemon — plus the fleet-control endpoints the agents use:
+//
+//	POST /jobs      submit; placed on a worker (202), served from the
+//	                route cache (200), or shed with 429 + Retry-After
+//	                when no node can take it
+//	GET  /jobs      fleet-wide job list (proxied node views merged with
+//	                the coordinator's own results and pending handoffs)
+//	GET  /jobs/{id} one job, proxied to its current owner; terminal
+//	                results are served from the coordinator even after
+//	                the node that computed them is gone
+//	POST /join      agent registration {node, addr, journal, epoch}
+//	POST /heartbeat agent liveness + load {node, epoch, load}; 410 once
+//	                the node is fenced — the zombie's cue that its jobs
+//	                have moved on
+//	GET  /nodes     the coordinator's fleet view
+//	GET  /healthz   liveness
+//	GET  /readyz    200 while at least one node is schedulable
+//	GET  /metrics   fleet series (only when Config.Metrics is set)
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", c.handleSubmit)
+	mux.HandleFunc("GET /jobs", c.handleList)
+	mux.HandleFunc("GET /jobs/{id}", c.handleStatus)
+	mux.HandleFunc("POST /join", c.handleJoin)
+	mux.HandleFunc("POST /heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Nodes())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if len(c.candidates(0)) == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no schedulable nodes"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	if c.cfg.Metrics != nil {
+		mux.Handle("GET /metrics", c.cfg.Metrics)
+	}
+	return mux
+}
+
+// joinRequest is the agent registration / heartbeat payload.
+type joinRequest struct {
+	Node    string      `json:"node"`
+	Addr    string      `json:"addr,omitempty"`
+	Journal string      `json:"journal,omitempty"`
+	Epoch   uint64      `json:"epoch"`
+	Load    server.Load `json:"load"`
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad join: " + err.Error()})
+		return
+	}
+	if err := c.Join(req.Node, req.Addr, req.Journal, req.Epoch, req.Load); err != nil {
+		writeJSON(w, http.StatusConflict, httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "joined"})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad heartbeat: " + err.Error()})
+		return
+	}
+	err := c.Heartbeat(req.Node, req.Epoch, req.Load)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case errors.Is(err, errFencedNode):
+		// 410, not 404: the node existed and is deliberately gone. The
+		// zombie must not re-join with the same journal — and cannot, the
+		// fenced EPOCH file refuses it at startup.
+		writeJSON(w, http.StatusGone, httpError{Error: err.Error()})
+	default:
+		// Unknown node: the coordinator restarted and lost its view. 404
+		// tells the agent to re-join, which rebuilds it.
+		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+	}
+}
+
+// handleSubmit admits one job into the fleet: route-cache lookup
+// first, then rendezvous-ordered forwarding with per-node transport
+// retries. Admission refusals walk to the next candidate; when every
+// node refuses, the strongest Retry-After seen propagates to the
+// client — a shrunken pool looks exactly like one saturated grrd.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "reading body: " + err.Error()})
+		return
+	}
+	var spec server.JobSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	key := specKey(spec)
+	if st, ok := c.cache.get(key); ok {
+		c.obs.cacheHits.Inc()
+		w.Header().Set("X-Grr-Cache", "hit")
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	c.obs.cacheMisses.Inc()
+
+	cands := c.candidates(key)
+	retryAfter := 0
+	for _, n := range cands {
+		st, done, ra := c.forward(n, body)
+		if done {
+			c.mu.Lock()
+			c.assign[st.ID] = assignment{node: n.Name, key: key}
+			c.mu.Unlock()
+			c.obs.forwarded.Inc()
+			c.log.Log("fleet_forward", "job", st.ID, "node", n.Name)
+			w.Header().Set("X-Grr-Node", n.Name)
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+		if ra > retryAfter {
+			retryAfter = ra
+		}
+	}
+	c.obs.rejected.Inc()
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	msg := "fleet: no node accepted the job"
+	if len(cands) == 0 {
+		msg = "fleet: no schedulable nodes"
+	}
+	writeJSON(w, http.StatusTooManyRequests, httpError{Error: msg})
+}
+
+// forward delivers one submission to one node with bounded transport
+// retries. It returns the accepted Status, or done=false with the
+// node's Retry-After hint (seconds; 0 when none was offered).
+func (c *Coordinator) forward(n *node, body []byte) (st server.Status, done bool, retryAfter int) {
+	t0 := time.Now()
+	defer func() { c.obs.forwardSeconds.Observe(time.Since(t0).Seconds()) }()
+	for attempt := 1; attempt <= c.cfg.ForwardAttempts; attempt++ {
+		resp, err := c.client.Post(n.Addr+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			// Transport failure: the node may be partitioned or mid-restart.
+			// Back off and retry — the same classifier shape grrd applies to
+			// its own transient faults.
+			c.obs.forwardRetries.Inc()
+			c.cfg.Logf("fleet: forwarding to %s (attempt %d): %v", n.Name, attempt, err)
+			if attempt < c.cfg.ForwardAttempts {
+				c.sleep(c.backoff(attempt))
+			}
+			continue
+		}
+		func() {
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				done = json.NewDecoder(resp.Body).Decode(&st) == nil
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+					retryAfter = s
+				}
+			default:
+				// 400s: the spec is bad everywhere; no Retry-After, the loop
+				// ends and the client gets the refusal.
+				var e httpError
+				_ = json.NewDecoder(resp.Body).Decode(&e)
+				c.cfg.Logf("fleet: node %s refused job: %d %s", n.Name, resp.StatusCode, e.Error)
+			}
+		}()
+		return st, done, retryAfter
+	}
+	return server.Status{}, false, 0
+}
+
+// handleStatus serves one job's status: the coordinator's own results
+// first (they outlive their node), then a pending-handoff synthesis,
+// then a proxy to the current owner.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	if st, ok := c.results[id]; ok {
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	for _, rec := range c.pending {
+		if rec.ID == id {
+			st := rec.Status()
+			c.mu.Unlock()
+			// In the coordinator's hands between owners: report it as the
+			// journal last saw it. It will be queued on a peer shortly.
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+	a, ok := c.assign[id]
+	var addr string
+	if ok {
+		if n, live := c.nodes[a.node]; live {
+			addr = n.Addr
+		}
+	}
+	key := a.key
+	c.mu.Unlock()
+
+	if !ok {
+		writeJSON(w, http.StatusNotFound, httpError{Error: "unknown job"})
+		return
+	}
+	if addr == "" {
+		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: "job owner unavailable; failover in progress"})
+		return
+	}
+	resp, err := c.client.Get(addr + "/jobs/" + id)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: "job owner unreachable: " + err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(b)
+		return
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		writeJSON(w, http.StatusBadGateway, httpError{Error: "bad status from owner: " + err.Error()})
+		return
+	}
+	if st.State.Terminal() {
+		c.mu.Lock()
+		c.results[id] = st
+		c.mu.Unlock()
+		if key != 0 {
+			c.cache.put(key, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleList merges every alive node's job list with the
+// coordinator's own results and pending records. A node's live view
+// wins over the coordinator's stale copy; results of dead nodes appear
+// only here.
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	byID := make(map[string]server.Status)
+	c.mu.Lock()
+	for id, st := range c.results {
+		byID[id] = st
+	}
+	for _, rec := range c.pending {
+		byID[rec.ID] = rec.Status()
+	}
+	var addrs []string
+	for _, n := range c.nodes {
+		if n.alive() {
+			addrs = append(addrs, n.Addr)
+		}
+	}
+	c.mu.Unlock()
+
+	for _, addr := range addrs {
+		resp, err := c.client.Get(addr + "/jobs")
+		if err != nil {
+			continue
+		}
+		var sts []server.Status
+		err = json.NewDecoder(resp.Body).Decode(&sts)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, st := range sts {
+			byID[st.ID] = st
+		}
+	}
+	out := make([]server.Status, 0, len(byID))
+	for _, st := range byID {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// stealFrom asks one node to relinquish a queued job; nil when it had
+// nothing to give.
+func (c *Coordinator) stealFrom(addr string) (*server.Job, error) {
+	resp, err := c.client.Post(addr+"/fleet/steal", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return server.DecodeRecord(resp.Body)
+	case http.StatusNoContent:
+		return nil, nil
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fleet: steal: %d %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+}
+
+// handoff delivers a detached record to the best available node (by
+// rendezvous over the record's ID) and returns the adopting node's
+// name.
+func (c *Coordinator) handoff(rec *server.Job) (string, error) {
+	h := fnv.New64a()
+	h.Write([]byte(rec.ID))
+	cands := c.candidates(h.Sum64())
+	if len(cands) == 0 {
+		return "", fmt.Errorf("fleet: no schedulable node for %s", rec.ID)
+	}
+	var lastErr error
+	for _, n := range cands {
+		if _, err := c.handoffTo(n.Name, rec); err != nil {
+			lastErr = err
+			continue
+		}
+		return n.Name, nil
+	}
+	return "", lastErr
+}
+
+// handoffTo delivers a record to one named node. A 409 duplicate
+// counts as success: the node already owns a live copy — exactly the
+// state handoff was trying to reach.
+func (c *Coordinator) handoffTo(nodeName string, rec *server.Job) (string, error) {
+	c.mu.Lock()
+	n, ok := c.nodes[nodeName]
+	var addr string
+	if ok {
+		addr = n.Addr
+	}
+	c.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("fleet: unknown node %s", nodeName)
+	}
+	var buf bytes.Buffer
+	if err := rec.EncodeRecord(&buf); err != nil {
+		return "", fmt.Errorf("fleet: encoding %s: %w", rec.ID, err)
+	}
+	resp, err := c.client.Post(addr+"/fleet/handoff", "application/x-grrdjob", &buf)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted, http.StatusConflict:
+		return nodeName, nil
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", fmt.Errorf("fleet: handoff of %s to %s: %d %s",
+			rec.ID, nodeName, resp.StatusCode, bytes.TrimSpace(b))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

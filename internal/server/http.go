@@ -16,7 +16,16 @@ import (
 //	GET  /jobs      list all jobs
 //	GET  /jobs/{id} one job's Status (404 if unknown)
 //	GET  /healthz   liveness: 200 while the process serves at all
-//	GET  /readyz    readiness: 200 while accepting jobs, 503 draining
+//	GET  /readyz    readiness: 200 ready, 503 with a body naming WHY
+//	                not — "draining", "saturated" or "fenced" — so a
+//	                fleet scheduler can tell "will free up, steal from
+//	                it" (saturated) apart from "only ever shrinks"
+//	                (draining, fenced)
+//	GET  /load      the Load occupancy report (fleet heartbeats relay it)
+//	POST /fleet/steal    relinquish one queued job: 200 + its journal
+//	                     record, 204 when nothing is stealable
+//	POST /fleet/handoff  adopt a journal record from a peer: 202 +
+//	                     Status, or the usual 429/503 shedding
 //	GET  /metrics   Prometheus text exposition of the daemon's registry
 //	                (only when Config.Metrics is set)
 //
@@ -32,17 +41,93 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if !s.Ready() {
-			s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-			return
-		}
-		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /load", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, s.Load())
 	})
+	mux.HandleFunc("POST /fleet/steal", s.handleSteal)
+	mux.HandleFunc("POST /fleet/handoff", s.handleHandoff)
 	if s.cfg.Metrics != nil {
 		mux.Handle("GET /metrics", s.cfg.Metrics)
 	}
 	return mux
+}
+
+// handleReadyz answers readiness with a body that names the posture.
+// Ready and saturated nodes both keep their place in the fleet ("ready"
+// is 200; "saturated" is 503 so plain load balancers back off too, but
+// the body tells the fleet scheduler it is a steal-from candidate that
+// will free up). Draining and fenced nodes are leaving: drain-only.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if h != HealthReady {
+		code = http.StatusServiceUnavailable
+	}
+	switch h {
+	case HealthSaturated:
+		// Saturated is temporary: a slot frees after roughly one backoff.
+		w.Header().Set("Retry-After", s.retryAfterFull)
+	case HealthDraining:
+		w.Header().Set("Retry-After", s.retryAfterDrain)
+	}
+	s.writeJSON(w, code, map[string]string{"status": h})
+}
+
+// handleSteal pops one queued job for a peer: its full journal record
+// (checkpoint included) is the response body, in the grrdjob format.
+// The job is already flipped to handed_off and journaled before a byte
+// is written, so a half-delivered response can at worst strand the job
+// as handed_off here — never run it in two places.
+func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
+	if s.fenced.Load() || s.draining.Load() {
+		// A leaving node's queue is the coordinator's to recover wholesale,
+		// not to nibble at job by job.
+		s.writeJSON(w, http.StatusServiceUnavailable, httpError{Error: "node is " + s.Health()})
+		return
+	}
+	rec, err := s.Steal()
+	if err != nil {
+		s.writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		return
+	}
+	if rec == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-grrdjob")
+	if err := rec.EncodeRecord(w); err != nil {
+		s.log.Log("http_write_error", "job", rec.ID, "err", err.Error())
+	}
+}
+
+// handleHandoff adopts a journal record a peer (or the coordinator)
+// delivers. The record travels in the same checksummed grrdjob format
+// the journal uses on disk — a truncated or corrupted transfer fails
+// the checksum and is rejected, it cannot admit a half-job.
+func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	rec, err := DecodeRecord(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job record: " + err.Error()})
+		return
+	}
+	st, err := s.Adopt(rec)
+	switch {
+	case err == nil:
+		s.writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", s.retryAfterFull)
+		s.writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrFenced):
+		w.Header().Set("Retry-After", s.retryAfterDrain)
+		s.writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+	case errors.Is(err, ErrDuplicate):
+		s.writeJSON(w, http.StatusConflict, httpError{Error: err.Error()})
+	case errors.Is(err, ErrInternal):
+		s.writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+	default:
+		s.writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+	}
 }
 
 // httpError is the uniform error payload.

@@ -52,14 +52,28 @@ const (
 	// StateFailed: gave up — attempts exhausted, budget expired, or a
 	// permanent error.
 	StateFailed State = "failed"
+	// StateHandedOff: this node relinquished the job to a peer — stolen
+	// while queued, or recovered from this journal by the fleet
+	// coordinator after the node was fenced. Locally final: the node
+	// never runs it again and a restart never requeues it; the
+	// authoritative record now lives in the new owner's journal.
+	StateHandedOff State = "handed_off"
 )
 
-// Terminal reports whether a job in this state will never run again.
+// Terminal reports whether the job reached a final answer (done or
+// failed). A handed-off job is NOT terminal: it is still live somewhere,
+// just not here — use Live to ask whether THIS node still owns it.
 func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Live reports whether this node still owns the job: false once it is
+// terminal or handed off to a peer. Recovery requeues exactly the live
+// records; steal and fencing flip jobs to handed_off so a restarted (or
+// zombie) node cannot run work a peer now owns.
+func (s State) Live() bool { return !s.Terminal() && s != StateHandedOff }
 
 func parseState(v string) (State, error) {
 	switch s := State(v); s {
-	case StateQueued, StateRunning, StateRetrying, StateInterrupted, StateDone, StateFailed:
+	case StateQueued, StateRunning, StateRetrying, StateInterrupted, StateDone, StateFailed, StateHandedOff:
 		return s, nil
 	}
 	return "", fmt.Errorf("server: unknown job state %q", v)
@@ -121,6 +135,15 @@ type Status struct {
 	AuditOK     *bool         `json:"audit_ok,omitempty"`
 	Metrics     *core.Metrics `json:"metrics,omitempty"`
 }
+
+// Status snapshots a detached job record — one produced by
+// DecodeRecord or LoadRecords, which nothing else mutates. For jobs
+// owned by a live Server, use Server.Status instead.
+func (j *Job) Status() Status { return j.status() }
+
+// Snapshot returns the job's routing snapshot (problem + latest durable
+// checkpoint). Same detached-record caveat as Status.
+func (j *Job) Snapshot() *boardio.Snapshot { return j.snap }
 
 // status snapshots the job. Callers hold the server mutex.
 func (j *Job) status() Status {

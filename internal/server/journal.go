@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -255,4 +256,115 @@ func readJobPath(path string) (*Job, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return j, nil
+}
+
+// Exported record codec — the fleet layer ships job records between
+// nodes (steal, handoff) and reads a fenced node's journal directly, in
+// exactly the on-disk format, so a handed-off job carries its checkpoint
+// bit-for-bit.
+
+// EncodeRecord serializes j in the grrdjob v1 journal format.
+func (j *Job) EncodeRecord(w io.Writer) error { return writeJobRecord(w, j) }
+
+// DecodeRecord parses and validates one grrdjob v1 record.
+func DecodeRecord(r io.Reader) (*Job, error) { return readJobRecord(r) }
+
+// SaveRecord writes j's record into dir crash-safely, bypassing any
+// server's fence guard — it is the fleet coordinator's write path into
+// a journal it has fenced and now owns.
+func SaveRecord(dir string, j *Job) error { return saveJobRecord(dir, j) }
+
+// LoadRecords reads every job record in dir, sorted by ID, reporting
+// (and skipping) corrupt files through warn. It is loadJournal exported
+// for the fleet coordinator's post-fence recovery scan.
+func LoadRecords(dir string, warn func(path string, err error)) ([]*Job, error) {
+	return loadJournal(dir, warn)
+}
+
+// Journal fencing. The journal directory carries an epoch file,
+// "EPOCH", holding a monotonic epoch token:
+//
+//	epoch <n>\n          — owned by the node that started at epoch n
+//	epoch <n> fenced\n   — the coordinator revoked the journal at n
+//
+// A server adopts the epoch it finds at startup (creating epoch 1 on a
+// fresh directory) and re-checks the file around every journal write:
+// any change — a bumped number or the fenced marker — means a newer
+// owner exists, the write is refused with ErrFenced, and the node stops
+// committing. That is what makes failover safe against zombies: a
+// partitioned-but-alive node whose jobs were handed to a peer cannot
+// double-commit results into a journal it no longer owns. (The check
+// brackets the atomic rename rather than being transactional with it;
+// the residual window is noted in DESIGN §12.3.)
+
+// ErrFenced means this node's journal epoch has been revoked by the
+// fleet coordinator: the job now runs on a peer, and every further
+// journal write here must fail rather than double-commit.
+var ErrFenced = errors.New("server: journal fenced (epoch revoked)")
+
+const epochFile = "EPOCH"
+
+func epochPath(dir string) string { return filepath.Join(dir, epochFile) }
+
+// ReadEpoch reports the journal directory's epoch token. A missing file
+// is epoch 0 (fresh directory), not an error.
+func ReadEpoch(dir string) (epoch uint64, fenced bool, err error) {
+	data, err := os.ReadFile(epochPath(dir))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	f := strings.Fields(string(data))
+	if len(f) < 2 || f[0] != "epoch" {
+		return 0, false, fmt.Errorf("server: malformed epoch file %s: %q", epochPath(dir), string(data))
+	}
+	n, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("server: bad epoch %q in %s", f[1], epochPath(dir))
+	}
+	return n, len(f) > 2 && f[2] == "fenced", nil
+}
+
+// WriteEpoch stamps the journal directory with an epoch token.
+func WriteEpoch(dir string, epoch uint64, fenced bool) error {
+	return boardio.AtomicWrite(epochPath(dir), func(w io.Writer) error {
+		line := fmt.Sprintf("epoch %d\n", epoch)
+		if fenced {
+			line = fmt.Sprintf("epoch %d fenced\n", epoch)
+		}
+		_, err := io.WriteString(w, line)
+		return err
+	})
+}
+
+// FenceJournal revokes dir's current epoch: it bumps the token and sets
+// the fenced marker, so the (possibly still running) previous owner's
+// next journal write fails with ErrFenced and a future server refuses
+// to start on the directory at all. Returns the new epoch. Idempotent:
+// fencing an already-fenced journal bumps again, which is harmless —
+// no server ever owns a fenced epoch.
+func FenceJournal(dir string) (uint64, error) {
+	n, _, err := ReadEpoch(dir)
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteEpoch(dir, n+1, true); err != nil {
+		return 0, err
+	}
+	return n + 1, nil
+}
+
+// checkEpoch verifies that dir still carries exactly epoch own with no
+// fence marker, returning ErrFenced otherwise.
+func checkEpoch(dir string, own uint64) error {
+	n, fenced, err := ReadEpoch(dir)
+	if err != nil {
+		return err
+	}
+	if fenced || n != own {
+		return fmt.Errorf("%w: journal at epoch %d (fenced=%v), this node owns %d", ErrFenced, n, fenced, own)
+	}
+	return nil
 }

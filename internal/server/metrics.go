@@ -3,6 +3,7 @@ package server
 import (
 	crand "crypto/rand"
 	"encoding/binary"
+	"errors"
 	"time"
 
 	"repro/internal/obs"
@@ -53,6 +54,10 @@ type serverObs struct {
 	journalWriteErrs *obs.Counter
 	journalReplayed  *obs.Counter
 	journalCorrupt   *obs.Counter
+
+	stolen        *obs.Counter
+	adopted       *obs.Counter
+	journalFenced *obs.Counter
 }
 
 func newServerObs(reg *obs.Registry) *serverObs {
@@ -85,6 +90,10 @@ func newServerObs(reg *obs.Registry) *serverObs {
 		journalWriteErrs: reg.Counter("grr_journal_write_errors_total"),
 		journalReplayed:  reg.Counter("grr_journal_records_replayed_total"),
 		journalCorrupt:   reg.Counter("grr_journal_records_corrupt_total"),
+
+		stolen:        reg.Counter("grr_jobs_stolen_total"),
+		adopted:       reg.Counter("grr_jobs_adopted_total"),
+		journalFenced: reg.Counter("grr_journal_writes_fenced_total"),
 	}
 	for _, cause := range retryCauses {
 		o.retried[cause] = reg.Counter(`grr_jobs_retried_total{cause="` + cause + `"}`)
@@ -113,8 +122,20 @@ func (s *Server) channelGauges() {
 
 // saveJob journals one job record through saveJobRecord, counting
 // writes and write failures. All journal writes in the server go
-// through here.
+// through here — and every one re-checks the journal epoch first, so a
+// node whose jobs were fenced over to a peer (epoch bumped in its
+// journal dir) is refused before it can double-commit anything. The
+// first refusal latches s.fenced: the node stops admitting and fails
+// its in-flight work without journaling.
 func (s *Server) saveJob(rec *Job) error {
+	if err := checkEpoch(s.cfg.JournalDir, s.epoch); err != nil {
+		if errors.Is(err, ErrFenced) && s.fenced.CompareAndSwap(false, true) {
+			s.cfg.Logf("grrd: journal fenced, refusing write for %s: %v", rec.ID, err)
+			s.log.Log("journal_fenced", "job", rec.ID, "epoch", s.epoch)
+		}
+		s.obs.journalFenced.Inc()
+		return err
+	}
 	err := saveJobRecord(s.cfg.JournalDir, rec)
 	s.obs.journalWrites.Inc()
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,11 +33,19 @@ var (
 	// ErrInternal marks daemon-side admission failures (journal I/O),
 	// as opposed to bad job specs.
 	ErrInternal = errors.New("server: internal error")
+	// ErrDuplicate: Adopt was offered a job ID this node already owns in
+	// a live or terminal state (not handed_off, which re-adopts cleanly).
+	ErrDuplicate = errors.New("server: job already present")
 )
 
 // Config parameterizes a Server. The zero value of every field gets a
 // sensible default from New; only JournalDir is required.
 type Config struct {
+	// NodeName, when set, namespaces this node's job IDs
+	// ("job-<name>-000042" instead of "job-000042") so IDs stay unique
+	// across a fleet and a handed-off job keeps its identity on the new
+	// owner. Standalone daemons leave it empty and keep the old format.
+	NodeName string
 	// Workers is the routing worker pool size (default 4).
 	Workers int
 	// CPUSlots bounds the total routing goroutines the daemon may run at
@@ -158,10 +167,27 @@ type Server struct {
 	retryAfterFull  string
 	retryAfterDrain string
 
+	// epoch is the journal epoch this node owns; fenced flips true the
+	// first time a journal write is refused because the epoch moved on
+	// (the fleet coordinator handed this node's jobs to a peer). A
+	// fenced node stops admitting and fails its in-flight work without
+	// journaling — the authoritative records live elsewhere now.
+	epoch  uint64
+	fenced atomic.Bool
+
+	// runningN counts attempts executing right now — the heartbeat
+	// load report's "running" (the obs gauge tracks the same value for
+	// scrapes; this one is readable).
+	runningN atomic.Int64
+
 	mu   sync.Mutex
 	jobs map[string]*Job
 	seq  int
 	rng  *rand.Rand
+	// adopting marks job IDs whose adopted record is mid-write, so a
+	// second concurrent handoff of the same ID is refused instead of
+	// racing the first one's journal write.
+	adopting map[string]bool
 
 	// queue carries runnable jobs to workers; slots is the admission
 	// semaphore. Every live (non-terminal) job holds one slot, acquired
@@ -186,6 +212,24 @@ func New(cfg Config) (*Server, error) {
 	if err := ensureDir(cfg.JournalDir); err != nil {
 		return nil, err
 	}
+	// Adopt the journal's epoch, or stamp a fresh directory with epoch 1.
+	// A fenced directory is refused outright: its jobs were handed to
+	// peers, and running them again here would duplicate work the fleet
+	// already owns elsewhere — a fenced node restarts with a fresh dir.
+	epoch, fenced, err := ReadEpoch(cfg.JournalDir)
+	if err != nil {
+		return nil, err
+	}
+	if fenced {
+		return nil, fmt.Errorf("%w: %s was fenced at epoch %d; start with a fresh journal directory",
+			ErrFenced, cfg.JournalDir, epoch)
+	}
+	if epoch == 0 {
+		epoch = 1
+		if err := WriteEpoch(cfg.JournalDir, epoch, false); err != nil {
+			return nil, err
+		}
+	}
 	o := newServerObs(cfg.Metrics)
 	recovered, err := loadJournal(cfg.JournalDir, func(path string, err error) {
 		o.journalCorrupt.Inc()
@@ -196,7 +240,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	live := 0
 	for _, j := range recovered {
-		if !j.State.Terminal() {
+		if j.State.Live() {
 			live++
 		}
 	}
@@ -206,9 +250,11 @@ func New(cfg Config) (*Server, error) {
 		cfg:             cfg,
 		obs:             o,
 		log:             cfg.Log,
+		epoch:           epoch,
 		retryAfterFull:  retryAfterSeconds(cfg.RetryBase),
 		retryAfterDrain: retryAfterSeconds(cfg.DrainBudget),
 		jobs:            make(map[string]*Job),
+		adopting:        make(map[string]bool),
 		rng:             rand.New(rand.NewSource(cfg.RetrySeed)),
 		queue:           make(chan *Job, depth),
 		slots:           make(chan struct{}, depth),
@@ -221,7 +267,9 @@ func New(cfg Config) (*Server, error) {
 		if n := jobSeq(j.ID); n >= s.seq {
 			s.seq = n + 1
 		}
-		if j.State.Terminal() {
+		if !j.State.Live() {
+			// Terminal records republish as history; handed_off records
+			// stay visible but are never requeued — a peer owns them.
 			continue
 		}
 		// The job was admitted before the crash; its slot is part of the
@@ -249,12 +297,32 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// jobSeq extracts the sequence number from a job ID — "job-000042" or
+// the fleet form "job-<node>-000042" (the node name may itself contain
+// dashes; the sequence is always the final segment).
 func jobSeq(id string) int {
-	var n int
-	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return -1
+	}
+	if i := strings.LastIndexByte(rest, '-'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
 		return -1
 	}
 	return n
+}
+
+// newID mints the next job ID. Callers hold the server mutex.
+func (s *Server) newID() string {
+	n := s.seq
+	s.seq++
+	if s.cfg.NodeName != "" {
+		return fmt.Sprintf("job-%s-%06d", s.cfg.NodeName, n)
+	}
+	return fmt.Sprintf("job-%06d", n)
 }
 
 // Submit admits a job: parse and validate the spec, journal it, queue
@@ -264,6 +332,9 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 	if s.draining.Load() {
 		s.obs.rejectDrain.Inc()
 		return Status{}, ErrDraining
+	}
+	if s.fenced.Load() {
+		return Status{}, ErrFenced
 	}
 	snap, err := buildSnapshot(spec, s.cfg)
 	if err != nil {
@@ -279,22 +350,25 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 	}
 
 	s.mu.Lock()
-	id := fmt.Sprintf("job-%06d", s.seq)
-	s.seq++
-	j := &Job{ID: id, State: StateQueued, snap: snap, created: time.Now()}
-	s.jobs[id] = j
-	rec := *j
+	id := s.newID()
 	s.mu.Unlock()
+	j := &Job{ID: id, State: StateQueued, snap: snap, created: time.Now()}
+	rec := *j
 
+	// Journal BEFORE publishing the job in s.jobs: the instant a queued
+	// job is visible there, Steal may flip it to handed_off and write its
+	// own record — publishing first would race two writers on the same
+	// journal file and let Steal release a slot the failed admission path
+	// would release again.
 	if err := s.saveJob(&rec); err != nil {
-		s.mu.Lock()
-		delete(s.jobs, id)
-		s.mu.Unlock()
 		<-s.slots
 		s.obs.rejectJournal.Inc()
 		s.channelGauges()
 		return Status{}, fmt.Errorf("%w: journaling job: %v", ErrInternal, err)
 	}
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.mu.Unlock()
 	s.obs.submitted.Inc()
 	s.queue <- j
 	s.channelGauges()
@@ -379,6 +453,193 @@ func (s *Server) Jobs() []Status {
 // Ready reports whether the daemon accepts jobs (false once draining).
 func (s *Server) Ready() bool { return !s.draining.Load() }
 
+// Saturated reports whether every admission slot is held by a live job:
+// the next Submit would shed load with ErrQueueFull. A saturated node is
+// healthy — it is the fleet's steal-from candidate, not a drain-only one.
+func (s *Server) Saturated() bool { return len(s.slots) == cap(s.slots) }
+
+// Fenced reports whether a journal write has been refused because the
+// epoch moved on — this node's jobs were handed to peers.
+func (s *Server) Fenced() bool { return s.fenced.Load() }
+
+// Epoch returns the journal epoch this node adopted at startup.
+func (s *Server) Epoch() uint64 { return s.epoch }
+
+// Health condenses the daemon's admission posture into the strings the
+// /readyz body and the fleet heartbeat carry. The fleet scheduler keys
+// off them: "saturated" nodes are steal-from candidates that will free
+// up, "draining" and "fenced" nodes only ever shrink.
+const (
+	HealthReady     = "ready"
+	HealthSaturated = "saturated"
+	HealthDraining  = "draining"
+	HealthFenced    = "fenced"
+)
+
+// Health reports the daemon's current admission posture.
+func (s *Server) Health() string {
+	switch {
+	case s.fenced.Load():
+		return HealthFenced
+	case s.draining.Load():
+		return HealthDraining
+	case s.Saturated():
+		return HealthSaturated
+	default:
+		return HealthReady
+	}
+}
+
+// Load is the occupancy report a fleet heartbeat carries: how much work
+// this node holds and whether it can take more.
+type Load struct {
+	Node    string `json:"node,omitempty"` // filled in by the fleet agent
+	Epoch   uint64 `json:"epoch,omitempty"`
+	Health  string `json:"health"`
+	Live    int    `json:"live"`     // jobs holding admission slots
+	Queued  int    `json:"queued"`   // jobs waiting for a worker
+	Running int    `json:"running"`  // attempts executing right now
+	Slots   int    `json:"slots"`    // total admission capacity
+	Workers int    `json:"workers"`  // routing worker pool size
+}
+
+// Load snapshots the node's occupancy for heartbeats and scheduling.
+func (s *Server) Load() Load {
+	return Load{
+		Epoch:   s.epoch,
+		Health:  s.Health(),
+		Live:    len(s.slots),
+		Queued:  len(s.queue),
+		Running: int(s.runningN.Load()),
+		Slots:   cap(s.slots),
+		Workers: s.cfg.Workers,
+	}
+}
+
+// Steal relinquishes one queued job to the fleet: the newest queued job
+// flips to handed_off (journaled), its admission slot is released, and a
+// detached copy of its record — checkpoint included — is returned for
+// delivery to a peer. Returns nil when nothing is stealable (only
+// running, retrying or terminal jobs here). The stale queue-channel
+// entry is skipped by the worker that eventually receives it.
+func (s *Server) Steal() (*Job, error) {
+	s.mu.Lock()
+	var victim *Job
+	for _, j := range s.jobs {
+		if j.State != StateQueued {
+			continue
+		}
+		if victim == nil || j.ID > victim.ID {
+			victim = j // LIFO: steal the freshest work, classic work-stealing order
+		}
+	}
+	if victim == nil {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	victim.State = StateHandedOff
+	rec := *victim
+	s.mu.Unlock()
+
+	if err := s.saveJob(&rec); err != nil {
+		// Could not journal the handoff — the job stays ours.
+		s.mu.Lock()
+		if victim.State == StateHandedOff {
+			victim.State = StateQueued
+		}
+		s.mu.Unlock()
+		return nil, fmt.Errorf("journaling steal of %s: %w", rec.ID, err)
+	}
+	<-s.slots
+	s.channelGauges()
+	s.obs.stolen.Inc()
+	s.log.Log("job_stolen", "job", rec.ID, "attempt", rec.Attempt,
+		"routed", rec.snap.Check.Metrics.Routed)
+	return &rec, nil
+}
+
+// Adopt admits a job handed over by the fleet — a steal from a loaded
+// peer, or the recovered record of a fenced node — preserving its ID,
+// attempt count and checkpoint, so routing resumes exactly where the
+// previous owner durably left off. An ID this node already knows is
+// re-adopted only from handed_off (a hand-back after a failed onward
+// delivery); any other state is ErrDuplicate.
+func (s *Server) Adopt(rec *Job) (Status, error) {
+	if s.draining.Load() {
+		s.obs.rejectDrain.Inc()
+		return Status{}, ErrDraining
+	}
+	if s.fenced.Load() {
+		return Status{}, ErrFenced
+	}
+	if rec.ID == "" || rec.snap == nil {
+		return Status{}, fmt.Errorf("server: adopt: record missing id or snapshot")
+	}
+
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.obs.rejectFull.Inc()
+		return Status{}, ErrQueueFull
+	}
+
+	s.mu.Lock()
+	j, exists := s.jobs[rec.ID]
+	if exists && j.State != StateHandedOff {
+		state := j.State
+		s.mu.Unlock()
+		<-s.slots
+		return Status{}, fmt.Errorf("%w: %s is %s here", ErrDuplicate, rec.ID, state)
+	}
+	if s.adopting[rec.ID] {
+		s.mu.Unlock()
+		<-s.slots
+		return Status{}, fmt.Errorf("%w: %s adoption already in flight", ErrDuplicate, rec.ID)
+	}
+	s.adopting[rec.ID] = true
+	if !exists {
+		j = &Job{ID: rec.ID}
+		s.jobs[rec.ID] = j
+	}
+	// The job stays in handed_off — in transfer, not stealable, skipped
+	// by workers — until its adopted record is durable; flipping to
+	// queued first would let Steal race this write on the same file.
+	j.State = StateHandedOff
+	j.Attempt = rec.Attempt
+	j.Err = rec.Err
+	j.Aborted = rec.Aborted
+	j.snap = rec.snap
+	j.created = time.Now()
+	if n := jobSeq(rec.ID); n >= s.seq {
+		s.seq = n + 1 // insurance against ID reuse if names ever collide
+	}
+	out := *j
+	out.State = StateQueued
+	s.mu.Unlock()
+
+	if err := s.saveJob(&out); err != nil {
+		s.mu.Lock()
+		delete(s.adopting, rec.ID)
+		if !exists {
+			delete(s.jobs, rec.ID)
+		}
+		s.mu.Unlock()
+		<-s.slots
+		s.channelGauges()
+		return Status{}, fmt.Errorf("%w: journaling adopted job: %v", ErrInternal, err)
+	}
+	s.mu.Lock()
+	delete(s.adopting, rec.ID)
+	j.State = StateQueued
+	s.mu.Unlock()
+	s.obs.adopted.Inc()
+	s.queue <- j
+	s.channelGauges()
+	s.log.Log("job_adopted", "job", out.ID, "attempt", out.Attempt,
+		"routed", out.snap.Check.Metrics.Routed)
+	return out.status(), nil
+}
+
 // Drain shuts the daemon down gracefully: admission stops (Ready flips
 // false), pending retries and in-flight jobs are checkpointed to the
 // journal as interrupted, and the worker pool exits. Running jobs stop
@@ -457,6 +718,13 @@ func (s *Server) worker() {
 // interrupted (drain), retry, or failed.
 func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
+	if j.State != StateQueued {
+		// The queue entry went stale: the job was stolen by a peer (or
+		// otherwise resolved) between enqueue and pickup. Its slot was
+		// released by whoever changed the state; nothing to do here.
+		s.mu.Unlock()
+		return
+	}
 	j.State = StateRunning
 	j.Attempt++
 	j.stopRetry = nil
@@ -465,7 +733,11 @@ func (s *Server) runJob(j *Job) {
 	s.mu.Unlock()
 	s.obs.attempts.Inc()
 	s.obs.running.Add(1)
-	defer s.obs.running.Add(-1)
+	s.runningN.Add(1)
+	defer func() {
+		s.obs.running.Add(-1)
+		s.runningN.Add(-1)
+	}()
 	s.log.Log("job_running", "job", j.ID, "attempt", attempt)
 	if err := s.saveJob(&rec); err != nil {
 		// Can't record that the job is running — journal trouble. Treat
@@ -525,7 +797,11 @@ func (s *Server) execute(j *Job) (out outcome) {
 		j.snap = &next
 		rec := *j
 		s.mu.Unlock()
-		return saveJobRecord(s.cfg.JournalDir, &rec)
+		// Through saveJob, not saveJobRecord directly: mid-run checkpoints
+		// are journal writes like any other — counted, and refused with
+		// ErrFenced once the epoch moves on, which is what stops a zombie
+		// from checkpointing over a job a peer now owns.
+		return s.saveJob(&rec)
 	}
 
 	b, r, err := run.Restore()
@@ -626,6 +902,13 @@ func (s *Server) settle(j *Job, attempt int, out outcome) {
 		// and the daemon is draining — nothing else will want it.
 
 	case out.transient != nil:
+		if errors.Is(out.transient, ErrFenced) {
+			// Fenced mid-run (the checkpoint sink was refused): the job now
+			// runs on a peer. Fail it locally without retry — every further
+			// journal write would be refused too.
+			s.fail(j, out.transient)
+			return
+		}
 		s.retryOrFail(j, attempt, out.transient, out.cause)
 
 	default:
@@ -662,6 +945,12 @@ func (s *Server) retryOrFail(j *Job, attempt int, cause error, causeTag string) 
 	rec := *j
 	s.mu.Unlock()
 	if err := s.saveJob(&rec); err != nil {
+		if errors.Is(err, ErrFenced) {
+			// No point scheduling a retry this node may never journal: the
+			// peer that adopted the job is the one retrying it now.
+			s.fail(j, fmt.Errorf("%w (while retrying: %v)", err, cause))
+			return
+		}
 		s.cfg.Logf("grrd: journaling retrying %s: %v", j.ID, err)
 	}
 
@@ -714,13 +1003,24 @@ func (s *Server) requeue(j *Job) {
 		s.mu.Unlock()
 		return
 	}
-	j.State = StateQueued
-	j.stopRetry = nil
 	rec := *j
+	rec.State = StateQueued
 	s.mu.Unlock()
+	// Journal the queued record while the job still reads as retrying:
+	// a job only becomes stealable once it IS queued, so the write can
+	// never race a Steal writing the same file.
 	if err := s.saveJob(&rec); err != nil {
 		s.cfg.Logf("grrd: journaling requeued %s: %v", j.ID, err)
 	}
+	s.mu.Lock()
+	if j.State != StateRetrying {
+		// A drain parked it while the record was being written.
+		s.mu.Unlock()
+		return
+	}
+	j.State = StateQueued
+	j.stopRetry = nil
+	s.mu.Unlock()
 	s.queue <- j
 	s.channelGauges()
 	s.log.Log("job_requeued", "job", j.ID, "attempt", rec.Attempt)

@@ -25,13 +25,24 @@ var namePat = regexp.MustCompile(`grr_[a-z0-9_]*[a-z0-9]`)
 // snake_case, no leading/trailing/doubled underscores.
 var wellFormed = regexp.MustCompile(`^grr_[a-z0-9]+(_[a-z0-9]+)*$`)
 
+// labelled matches a base name together with its label block, so the
+// block's syntax can be checked as a unit.
+var labelled = regexp.MustCompile(`grr_[a-z0-9_]*[a-z0-9]\{[^}` + "`" + `]*\}?`)
+
+// wellFormedLabels is the label-block convention (the same one
+// obs.Registry enforces at runtime): snake_case keys, double-quoted
+// values, comma-separated. The fleet's per-state node gauges are the
+// first labelled series registered outside internal/server, so the
+// lint covers them statically too.
+var wellFormedLabels = regexp.MustCompile(`^\{[a-z][a-z0-9_]*="[^"{}]*"(, ?[a-z][a-z0-9_]*="[^"{}]*")*\}$`)
+
 func main() {
 	root := "."
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
 
-	inCode, err := collectFromSource(root)
+	inCode, badLabels, err := collectFromSource(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lintmetrics:", err)
 		os.Exit(1)
@@ -43,6 +54,7 @@ func main() {
 	}
 
 	var bad []string
+	bad = append(bad, badLabels...)
 	for name := range inCode {
 		if !wellFormed.MatchString(name) {
 			bad = append(bad, fmt.Sprintf("%s: malformed (want grr_ prefix, lowercase snake_case)", name))
@@ -67,11 +79,14 @@ func main() {
 }
 
 // collectFromSource gathers metric base names from every non-test .go
-// file under cmd/ and internal/. Scanning text rather than the AST
+// file under cmd/ and internal/, and checks the label syntax of any
+// complete label block it can see. Scanning text rather than the AST
 // keeps concatenated registrations (labelled series built in loops)
-// visible: only the base name before '{' matters.
-func collectFromSource(root string) (map[string]bool, error) {
-	names := make(map[string]bool)
+// visible: only the base name before '{' matters for the catalog, and
+// a block interrupted by concatenation or prose ellipsis is skipped
+// rather than misjudged.
+func collectFromSource(root string) (names map[string]bool, badLabels []string, err error) {
+	names = make(map[string]bool)
 	for _, dir := range []string{"cmd", "internal"} {
 		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d fs.DirEntry, err error) error {
 			if err != nil {
@@ -87,13 +102,24 @@ func collectFromSource(root string) (map[string]bool, error) {
 			for _, m := range namePat.FindAllString(string(data), -1) {
 				names[m] = true
 			}
+			for _, m := range labelled.FindAllString(string(data), -1) {
+				block := m[strings.IndexByte(m, '{'):]
+				if !strings.HasSuffix(block, "}") || strings.Contains(block, "...") {
+					continue // built by concatenation, or prose shorthand
+				}
+				if !wellFormedLabels.MatchString(block) {
+					rel, _ := filepath.Rel(root, path)
+					badLabels = append(badLabels,
+						fmt.Sprintf(`%s: malformed label block in %s (want {key="value", ...}, snake_case keys)`, m, rel))
+				}
+			}
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return names, nil
+	return names, badLabels, nil
 }
 
 func collectFromFile(path string) (map[string]bool, error) {
