@@ -12,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-concurrency soak-fleet bench microbench lint-metrics staticcheck vulncheck
+.PHONY: check vet build test race race-concurrency soak-fleet soak-disk bench microbench lint-metrics staticcheck vulncheck
 
 check: vet build test lint-metrics staticcheck vulncheck
 
@@ -46,6 +46,19 @@ race-concurrency:
 soak-fleet:
 	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestFleetChaosSoak'
 	$(GO) test -race -count=1 ./cmd/grrd/ -run 'TestFleet'
+
+# The crash-consistency and disk-fault soak under the race detector:
+# the simfs replay model's own tests, the ALICE-style op-boundary
+# enumeration over snapshot saves, the job journal and EPOCH fencing
+# (every crash point materialized and recovered with the real code,
+# results required bit-identical), plus the injected-ENOSPC degraded
+# posture — park, 507 shedding, fleet routing-around, self-heal. CI
+# runs this as its own job.
+soak-disk:
+	$(GO) test -race -count=1 ./internal/simfs/
+	$(GO) test -race -count=1 ./internal/boardio/ -run 'CrashEnum|AtomicWrite|SyncDir|RemoveStaleTmp'
+	$(GO) test -race -count=1 ./internal/server/ -run 'CrashEnum|Disk'
+	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestFleetRoutesAroundDiskDegradedNode'
 
 # The Table 1 sweep at jc=1 and jc=4, written to BENCH_<gitsha>.json —
 # one comparable artifact per commit. BENCH_SCALE > 1 shrinks the boards

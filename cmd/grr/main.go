@@ -248,6 +248,10 @@ type singleConfig struct {
 // algorithmic inputs a -resume run needs to replay the remainder of the
 // route deterministically.
 func attachCheckpointSink(opts *core.Options, path string, every int, d *netlist.Design, conns []core.Connection) {
+	// A previous run that crashed mid-checkpoint (between create and
+	// rename) leaves path.tmp behind; the snapshot itself is intact, the
+	// droppings are just noise — sweep them before writing fresh ones.
+	os.Remove(path + ".tmp")
 	opts.CheckpointEvery = every
 	serial := *opts
 	serial.CheckpointSink = nil

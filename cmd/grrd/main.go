@@ -90,6 +90,7 @@ func run() int {
 		maxBudget  = flag.Duration("max-time-budget", 0, "cap every job's routing time budget (0 = leave job budgets alone)")
 		ckEvery    = flag.Int("checkpoint-every", 8, "default checkpoint cadence for jobs that set none")
 		drainMax   = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful drain may take")
+		diskProbe  = flag.Duration("disk-probe-every", 5*time.Second, "how often a disk-degraded daemon re-probes the journal disk (negative disables)")
 		retrySeed  = flag.Int64("retry-seed", 0, "retry jitter RNG seed (0 = derive from entropy each start)")
 		headerMax  = flag.Duration("read-header-timeout", 5*time.Second, "how long a client may take to send request headers")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -138,6 +139,7 @@ func run() int {
 		MaxTimeBudget:   *maxBudget,
 		CheckpointEvery: *ckEvery,
 		DrainBudget:     *drainMax,
+		DiskProbeEvery:  *diskProbe,
 		Metrics:         reg,
 		Log:             obs.NewLogger(os.Stderr),
 		Logf: func(format string, args ...any) {

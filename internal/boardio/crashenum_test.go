@@ -1,0 +1,221 @@
+package boardio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/simfs"
+)
+
+// TestSnapshotCrashEnumeration is the ALICE-style harness over the
+// snapshot path: three successive SaveSnapshots are traced through
+// LogFS, then every op-boundary crash point is replayed in every
+// durability mode. The invariant — AtomicWrite's whole reason to
+// exist — is that the snapshot file, when present, is bit-identical
+// to one of the three complete versions and always loads cleanly.
+func TestSnapshotCrashEnumeration(t *testing.T) {
+	snaps := []*Snapshot{testSnapshot(t), testSnapshot(t), testSnapshot(t)}
+	// Give each version distinct bytes via the checkpoint cursor.
+	for i, s := range snaps {
+		s.Check.Pass = i + 1
+	}
+	versions := make([][]byte, len(snaps))
+	for i, s := range snaps {
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		versions[i] = buf.Bytes()
+	}
+
+	root := t.TempDir()
+	l := simfs.NewLogFS(root)
+	prev := simfs.Swap(l)
+	path := filepath.Join(root, "run.snap")
+	for _, s := range snaps {
+		if err := SaveSnapshot(path, s); err != nil {
+			simfs.Swap(prev)
+			t.Fatal(err)
+		}
+	}
+	simfs.Swap(prev)
+	ops := l.Ops()
+	if len(ops) == 0 {
+		t.Fatal("LogFS recorded no ops — AtomicWrite is not going through simfs")
+	}
+
+	for _, mode := range []simfs.Mode{simfs.ModeFlushed, simfs.ModeStrict, simfs.ModeTorn} {
+		lastSeen := -1 // version index, for monotonicity
+		for n := 0; n <= len(ops); n++ {
+			st := simfs.Replay(ops[:n], mode)
+			data, ok := st.Files["run.snap"]
+			if !ok {
+				continue // absent is legal only before the first commit; checked below
+			}
+			ver := -1
+			for i, v := range versions {
+				if bytes.Equal(data, v) {
+					ver = i
+					break
+				}
+			}
+			if ver < 0 {
+				t.Fatalf("mode %v crash@%d/%d: run.snap (%d bytes) matches no complete version — torn or empty snapshot escaped AtomicWrite",
+					mode, n, len(ops), len(data))
+			}
+			if ver < lastSeen {
+				t.Errorf("mode %v crash@%d: snapshot went backwards, v%d after v%d", mode, n, ver+1, lastSeen+1)
+			}
+			lastSeen = ver
+
+			// The materialized state must load with the real reader.
+			out := t.TempDir()
+			if err := simfs.Materialize(st, out); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadSnapshot(filepath.Join(out, "run.snap"))
+			if err != nil {
+				t.Fatalf("mode %v crash@%d: LoadSnapshot: %v", mode, n, err)
+			}
+			if loaded.Check.Pass != ver+1 {
+				t.Fatalf("mode %v crash@%d: loaded pass %d, want %d", mode, n, loaded.Check.Pass, ver+1)
+			}
+		}
+		if lastSeen != len(versions)-1 {
+			t.Errorf("mode %v: full replay ends at version %d, want %d", mode, lastSeen+1, len(versions))
+		}
+	}
+}
+
+// swapInject installs an InjectFS for the test and restores the OS
+// filesystem on cleanup.
+func swapInject(t *testing.T) *simfs.InjectFS {
+	t.Helper()
+	inj := simfs.NewInjectFS(nil)
+	prev := simfs.Swap(inj)
+	t.Cleanup(func() { simfs.Swap(prev) })
+	return inj
+}
+
+// TestAtomicWriteFsyncFailure: a failed file fsync means the kernel may
+// already have dropped the dirty pages, so the write must be abandoned —
+// error surfaced, temp file removed, target untouched (fsyncgate rule:
+// never rename a file whose durability is unknown).
+func TestAtomicWriteFsyncFailure(t *testing.T) {
+	snap := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "run.snap")
+	if err := SaveSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := swapInject(t)
+	inj.Arm(&simfs.Rule{Op: simfs.OpSync, Path: "run.snap.tmp", Err: syscall.EIO})
+	if err := SaveSnapshot(path, snap); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("save with failing fsync: err = %v, want EIO", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("failed fsync left the temporary file behind")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(after, good) {
+		t.Errorf("failed fsync disturbed the previous snapshot (err=%v)", err)
+	}
+}
+
+// TestAtomicWriteSyncDirFailure: a genuine error fsyncing the parent
+// directory must surface — the rename is not durable without it.
+func TestAtomicWriteSyncDirFailure(t *testing.T) {
+	snap := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "run.snap")
+
+	inj := swapInject(t)
+	inj.Arm(&simfs.Rule{Op: simfs.OpSyncDir, Err: syscall.EIO})
+	if err := SaveSnapshot(path, snap); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("save with failing dir fsync: err = %v, want EIO", err)
+	}
+}
+
+// TestSyncDirToleratesEINVAL: filesystems that refuse to fsync
+// directories (EINVAL/ENOTSUP) must not fail the write — there is
+// nothing better the code can do.
+func TestSyncDirToleratesEINVAL(t *testing.T) {
+	dir := t.TempDir()
+	inj := swapInject(t)
+	inj.Arm(&simfs.Rule{Op: simfs.OpSyncDir, Sticky: true, Err: syscall.EINVAL})
+	if err := SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir with EINVAL: %v, want nil", err)
+	}
+}
+
+// TestAtomicWriteENOSPCOnCreate: disk-full at create surfaces the real
+// errno (the server's degraded-posture classifier keys on it) and the
+// target is untouched.
+func TestAtomicWriteENOSPCOnCreate(t *testing.T) {
+	snap := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "run.snap")
+
+	inj := swapInject(t)
+	inj.Arm(&simfs.Rule{Op: simfs.OpCreate, Path: "run.snap.tmp", Err: syscall.ENOSPC})
+	if err := SaveSnapshot(path, snap); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("save with full disk: err = %v, want ENOSPC", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("failed create somehow produced the target file")
+	}
+}
+
+// TestAtomicWriteShortWrite: a short write (torn by the kernel) must
+// fail the save and never reach the target name.
+func TestAtomicWriteShortWrite(t *testing.T) {
+	snap := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "run.snap")
+
+	inj := swapInject(t)
+	inj.Arm(&simfs.Rule{Op: simfs.OpWrite, Path: "run.snap.tmp", Err: syscall.ENOSPC, Short: 10})
+	if err := SaveSnapshot(path, snap); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("save with short write: err = %v, want ENOSPC", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("short write reached the target name")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("short write left its temporary file behind")
+	}
+}
+
+// TestRemoveStaleTmp: the startup sweep removes atomic-write droppings
+// and nothing else.
+func TestRemoveStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.tmp", "b.snap.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "keep.snap"), []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.tmp"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if n := RemoveStaleTmp(dir); n != 2 {
+		t.Fatalf("RemoveStaleTmp = %d, want 2", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "keep.snap")); err != nil {
+		t.Error("sweep removed a non-tmp file")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sub.tmp")); err != nil {
+		t.Error("sweep removed a directory")
+	}
+	if n := RemoveStaleTmp(dir); n != 0 {
+		t.Fatalf("second sweep = %d, want 0", n)
+	}
+}

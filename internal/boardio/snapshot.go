@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -17,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/simfs"
 )
 
 // This file is the checkpoint snapshot codec: everything grr needs to
@@ -494,8 +494,9 @@ func SetIOSeam(s *IOSeam) *IOSeam {
 // leaves path untouched. The snapshot codec and the grrd job journal
 // both persist through it.
 func AtomicWrite(path string, write func(io.Writer) error) error {
+	fsys := simfs.Current()
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -507,28 +508,32 @@ func AtomicWrite(path string, write func(io.Writer) error) error {
 	if err == nil {
 		// The rename only makes durable content visible: sync before it,
 		// or a crash between rename and writeback leaves a good name on
-		// an empty file.
+		// an empty file. A *failed* fsync is terminal for this write: the
+		// kernel may have dropped the dirty pages already, so the temp
+		// file's state is unknown and must never be renamed into place.
 		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("%s: %w", tmp, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return SyncDir(filepath.Dir(path))
 }
 
-// syncDir fsyncs a directory, making any rename inside it durable.
+// SyncDir fsyncs a directory, making any rename inside it durable.
 // Platforms whose filesystems refuse to fsync directories report
 // EINVAL/ENOTSUP; those are ignored — there is nothing more the code
 // can do, and failing the write would be worse than the status quo.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// Exported because the journal layer also moves files (quarantine)
+// and owes them the same durability.
+func SyncDir(dir string) error {
+	d, err := simfs.Current().OpenDir(dir)
 	if err != nil {
 		return err
 	}
@@ -537,6 +542,30 @@ func syncDir(dir string) error {
 		return fmt.Errorf("fsync %s: %w", dir, err)
 	}
 	return nil
+}
+
+// RemoveStaleTmp deletes leftover "*.tmp" files in dir — the droppings
+// of atomic writes that crashed between create and rename. They are
+// dead weight (recovery never reads them) but they accumulate across
+// crashes and alarm operators, so every startup path sweeps its
+// durable directories through here. Returns how many were removed;
+// errors on individual removes are ignored (the next sweep retries).
+func RemoveStaleTmp(dir string) int {
+	fsys := simfs.Current()
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		if fsys.Remove(filepath.Join(dir, e.Name())) == nil {
+			n++
+		}
+	}
+	return n
 }
 
 // SaveSnapshot writes s to path via AtomicWrite: a crash mid-write can
@@ -549,7 +578,7 @@ func SaveSnapshot(path string, s *Snapshot) error {
 
 // LoadSnapshot reads a snapshot from path.
 func LoadSnapshot(path string) (*Snapshot, error) {
-	f, err := os.Open(path)
+	f, err := simfs.Current().Open(path)
 	if err != nil {
 		return nil, err
 	}

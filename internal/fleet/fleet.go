@@ -371,6 +371,7 @@ func (c *Coordinator) deliverPending() {
 // rebalancing gentle — a persistent imbalance drains over a few
 // sweeps; a transient one often resolves itself first.
 func (c *Coordinator) stealOnce() {
+	diskDegraded := func(n *node) bool { return n.Load.Disk == "degraded" }
 	c.mu.Lock()
 	var donor, thief *node
 	for _, n := range c.nodes {
@@ -380,9 +381,13 @@ func (c *Coordinator) stealOnce() {
 		// Donors: anything with queued work that is not leaving. Saturated
 		// nodes are prime donors (that is what the /readyz split is for);
 		// draining and fenced nodes are drain-only — their queue is the
-		// failover path's business, not the stealer's.
+		// failover path's business, not the stealer's. A disk-degraded
+		// donor outranks every healthy one: its queue cannot run locally
+		// until the disk heals, so moving it is never premature.
 		if n.Load.Queued > 0 && n.Load.Health != server.HealthDraining &&
-			(donor == nil || n.Load.Queued > donor.Load.Queued) {
+			(donor == nil ||
+				(diskDegraded(n) && !diskDegraded(donor)) ||
+				(diskDegraded(n) == diskDegraded(donor) && n.Load.Queued > donor.Load.Queued)) {
 			donor = n
 		}
 		// Thieves: ready nodes with free capacity, idlest first.
@@ -391,9 +396,15 @@ func (c *Coordinator) stealOnce() {
 			thief = n
 		}
 	}
-	if donor == nil || thief == nil || donor == thief ||
+	if donor == nil || thief == nil || donor == thief {
+		c.mu.Unlock()
+		return
+	}
+	if !diskDegraded(donor) &&
 		thief.Load.Live >= donor.Load.Queued+donor.Load.Live-1 {
 		// No imbalance worth moving a checkpoint over the network for.
+		// (Unless the donor's disk is down — then its queued jobs run
+		// nowhere at all, and any thief with a free slot beats that.)
 		c.mu.Unlock()
 		return
 	}
@@ -432,8 +443,10 @@ func (c *Coordinator) stealOnce() {
 // candidates returns scheduling-eligible nodes for a job key, best
 // first: ready nodes by descending rendezvous score, then saturated
 // nodes (they shed load themselves, but they are alive and their
-// refusal carries a Retry-After worth propagating). Draining and
-// fenced nodes never appear.
+// refusal carries a Retry-After worth propagating). Draining, fenced
+// and disk-degraded nodes never appear — the last would only answer
+// 507, so admissions route around it until its self-probe reports the
+// disk healed and its heartbeat turns ready again.
 func (c *Coordinator) candidates(key uint64) []*node {
 	c.mu.Lock()
 	defer c.mu.Unlock()

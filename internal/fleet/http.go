@@ -188,7 +188,11 @@ func (c *Coordinator) forward(n *node, body []byte) (st server.Status, done bool
 			switch resp.StatusCode {
 			case http.StatusAccepted:
 				done = json.NewDecoder(resp.Body).Decode(&st) == nil
-			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+				http.StatusInsufficientStorage:
+				// 507 is a disk-degraded node shedding load; like 429/503 it
+				// comes with a Retry-After and means "try the next candidate",
+				// not "the spec is bad".
 				if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
 					retryAfter = s
 				}

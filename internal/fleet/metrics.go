@@ -5,7 +5,7 @@ import "repro/internal/obs"
 // nodeStates are the health postures the per-state node gauge is
 // pre-registered for (the server's health strings plus "fenced", which
 // the coordinator assigns itself).
-var nodeStates = [...]string{"ready", "saturated", "draining", "fenced"}
+var nodeStates = [...]string{"ready", "saturated", "draining", "fenced", "disk_degraded"}
 
 // fleetObs bundles the coordinator's registry handles; like serverObs
 // it always exists — a nil Config.Metrics gets a private registry — so

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/boardio"
+	"repro/internal/simfs"
+)
+
+// Disk-fault degradation. A journal write that fails with a disk errno
+// (ENOSPC, EIO, quota, read-only remount) latches the daemon into a
+// degraded posture instead of letting every job burn its retry budget
+// against a disk that cannot take writes:
+//
+//   - admission stops: Submit/Adopt refuse with ErrDiskDegraded, which
+//     the HTTP layer maps to 507 Insufficient Storage + Retry-After;
+//   - /readyz reports 503 "disk_degraded" and the fleet heartbeat
+//     carries Load.Disk="degraded", so the coordinator routes new work
+//     and steals queued work away from the node;
+//   - in-flight jobs whose attempt died on a disk error park as
+//     interrupted (keeping their admission slot) rather than retrying
+//     into the same wall — their last durable checkpoint is intact;
+//   - a self-probe (a small AtomicWrite into the journal directory,
+//     every Config.DiskProbeEvery) clears the posture when the disk
+//     takes writes again, requeuing the parked jobs.
+//
+// The posture is deliberately pessimistic-in, optimistic-out: one disk
+// errno is enough to latch it, and one full atomic write (create,
+// write, fsync, rename, directory fsync) is enough to clear it.
+
+// ErrDiskDegraded refuses admission while the journal disk cannot take
+// writes. HTTP maps it to 507 Insufficient Storage.
+var ErrDiskDegraded = errors.New("server: disk degraded, not accepting jobs")
+
+// diskProbeFile is the self-probe's scratch name inside the journal
+// directory. Never parsed by recovery (no .job suffix); a stale one
+// left by a crash is removed at startup.
+const diskProbeFile = "DISKPROBE"
+
+// diskErrnos are the write errors that mean "the disk, not the data":
+// full, quota-exhausted, failing media, remounted read-only. Anything
+// else (bad path, permission, checksum) keeps the normal retry path —
+// degrading on those would turn a software bug into an outage.
+var diskErrnos = [...]syscall.Errno{syscall.ENOSPC, syscall.EIO, syscall.EDQUOT, syscall.EROFS}
+
+// isDiskError classifies err by errno, through any number of wrapping
+// layers — injected faults carry real errnos for exactly this reason.
+func isDiskError(err error) bool {
+	for _, errno := range diskErrnos {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// noteDiskError inspects a failed journal write and latches the
+// degraded posture when the failure is the disk's fault.
+func (s *Server) noteDiskError(err error) {
+	if !isDiskError(err) {
+		return
+	}
+	s.obs.diskErrors.Inc()
+	if !s.diskDegraded.CompareAndSwap(false, true) {
+		return
+	}
+	s.obs.diskDegradedG.Set(1)
+	s.cfg.Logf("grrd: disk degraded, refusing new work: %v", err)
+	s.log.Log("disk_degraded", "err", err.Error())
+}
+
+// DiskDegraded reports whether the degraded-disk posture is latched.
+func (s *Server) DiskDegraded() bool { return s.diskDegraded.Load() }
+
+// diskProbeLoop periodically re-tests the disk while degraded. It does
+// no I/O at all while the posture is clear, so a healthy daemon's
+// operation log stays exactly the jobs' own writes.
+func (s *Server) diskProbeLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.DiskProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.drainCtx.Done():
+			return
+		case <-t.C:
+			if !s.diskDegraded.Load() {
+				continue
+			}
+			s.obs.diskProbes.Inc()
+			if err := s.probeDisk(); err != nil {
+				s.obs.diskProbeFailures.Inc()
+				s.log.Log("disk_probe_failed", "err", err.Error())
+				continue
+			}
+			s.exitDiskDegraded()
+		}
+	}
+}
+
+// probeDisk exercises the full durable-write path — create, write,
+// fsync, rename, directory fsync, unlink — in the journal directory.
+// Only a disk that can do all of that is healed enough to journal jobs.
+func (s *Server) probeDisk() error {
+	path := filepath.Join(s.cfg.JournalDir, diskProbeFile)
+	err := boardio.AtomicWrite(path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "probe\n")
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	return simfs.Current().Remove(path)
+}
+
+// exitDiskDegraded clears the posture and requeues the jobs that
+// parked on disk errors.
+func (s *Server) exitDiskDegraded() {
+	if !s.diskDegraded.CompareAndSwap(true, false) {
+		return
+	}
+	s.obs.diskDegradedG.Set(0)
+	s.obs.diskRecoveries.Inc()
+	s.cfg.Logf("grrd: disk recovered, resuming admissions")
+	s.log.Log("disk_recovered")
+	s.rejournalHandoffs()
+	s.unparkAll()
+}
+
+// rejournalHandoffs writes the handed_off records that Steal could not
+// journal while the disk was down, closing the window in which a
+// crash+restart would re-run a job that now lives on a peer.
+func (s *Server) rejournalHandoffs() {
+	s.mu.Lock()
+	var pending []*Job
+	for _, j := range s.jobs {
+		if j.unjournaled && j.State == StateHandedOff {
+			pending = append(pending, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		s.mu.Lock()
+		rec := *j
+		s.mu.Unlock()
+		if err := s.saveJob(&rec); err != nil {
+			s.cfg.Logf("grrd: re-journaling handoff of %s: %v", j.ID, err)
+			continue
+		}
+		s.mu.Lock()
+		j.unjournaled = false
+		s.mu.Unlock()
+		s.log.Log("handoff_rejournaled", "job", j.ID)
+	}
+}
+
+// parkOnDisk shelves a job whose attempt died on a disk error: it goes
+// to interrupted (the same state a graceful drain uses) with the
+// parked mark, keeps its admission slot, and waits for the disk to
+// heal instead of spending attempts. Parking does not count against
+// MaxAttempts for the same reason drain doesn't — the job did nothing
+// wrong.
+func (s *Server) parkOnDisk(j *Job, cause error) {
+	s.mu.Lock()
+	j.State = StateInterrupted
+	j.parked = true
+	j.Err = cause.Error()
+	rec := *j
+	s.mu.Unlock()
+	s.parkedN.Add(1)
+	// Best-effort: with the disk down this journal write usually fails
+	// too, leaving the on-disk record at running/retrying — which is
+	// exactly what a crashed daemon would leave, and recovery requeues
+	// those. Durability is not lost, only freshness.
+	if err := s.saveJob(&rec); err != nil {
+		s.cfg.Logf("grrd: journaling parked %s: %v", j.ID, err)
+	}
+	s.obs.diskParked.Inc()
+	s.obs.interrupted.Inc()
+	s.cfg.Logf("grrd: %s parked on disk error: %v", j.ID, cause)
+	s.log.Log("job_parked_disk", "job", j.ID, "attempt", j.Attempt, "err", cause.Error())
+}
+
+// unparkAll requeues every disk-parked job after the disk heals. Same
+// anti-race shape as requeue: journal the queued record while the job
+// still reads interrupted, so it cannot be stolen (and concurrently
+// journaled) before its record is durable.
+func (s *Server) unparkAll() {
+	s.mu.Lock()
+	var parked []*Job
+	for _, j := range s.jobs {
+		if j.parked && j.State == StateInterrupted {
+			parked = append(parked, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range parked {
+		s.mu.Lock()
+		if !j.parked || j.State != StateInterrupted {
+			s.mu.Unlock()
+			continue
+		}
+		rec := *j
+		rec.State = StateQueued
+		s.mu.Unlock()
+		if err := s.saveJob(&rec); err != nil {
+			// The disk flapped again mid-recovery; the job stays parked
+			// for the next successful probe.
+			s.cfg.Logf("grrd: journaling unparked %s: %v", j.ID, err)
+			continue
+		}
+		s.mu.Lock()
+		if !j.parked || j.State != StateInterrupted {
+			s.mu.Unlock()
+			continue
+		}
+		j.parked = false
+		j.State = StateQueued
+		s.mu.Unlock()
+		s.parkedN.Add(-1)
+		s.queue <- j
+		s.channelGauges()
+		s.log.Log("job_unparked", "job", j.ID, "attempt", rec.Attempt)
+	}
+}

@@ -70,6 +70,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", s.retryAfterFull)
 	case HealthDraining:
 		w.Header().Set("Retry-After", s.retryAfterDrain)
+	case HealthDiskDegraded:
+		// The disk is re-probed every DiskProbeEvery; that is the soonest
+		// the posture can clear.
+		w.Header().Set("Retry-After", s.retryAfterDisk)
 	}
 	s.writeJSON(w, code, map[string]string{"status": h})
 }
@@ -121,6 +125,9 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrFenced):
 		w.Header().Set("Retry-After", s.retryAfterDrain)
 		s.writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+	case errors.Is(err, ErrDiskDegraded):
+		w.Header().Set("Retry-After", s.retryAfterDisk)
+		s.writeJSON(w, http.StatusInsufficientStorage, httpError{Error: err.Error()})
 	case errors.Is(err, ErrDuplicate):
 		s.writeJSON(w, http.StatusConflict, httpError{Error: err.Error()})
 	case errors.Is(err, ErrInternal):
@@ -158,6 +165,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// steer the client to its replacement on that horizon.
 		w.Header().Set("Retry-After", s.retryAfterDrain)
 		s.writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+	case errors.Is(err, ErrDiskDegraded):
+		// 507 Insufficient Storage: the truthful code for "this node's
+		// disk cannot take your job". Retry-After points at the next
+		// self-probe; fleet clients treat it like any other shed.
+		w.Header().Set("Retry-After", s.retryAfterDisk)
+		s.writeJSON(w, http.StatusInsufficientStorage, httpError{Error: err.Error()})
 	case errors.Is(err, ErrInternal):
 		s.writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
 	default:

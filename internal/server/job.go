@@ -113,6 +113,16 @@ type Job struct {
 	// stopRetry cancels a pending backoff timer; nil when none is armed.
 	stopRetry func() bool
 
+	// parked marks an interrupted job shelved by the disk-degraded
+	// posture (slot retained, requeued when the disk heals). Runtime-
+	// only: a restarted daemon requeues interrupted jobs anyway.
+	parked bool
+
+	// unjournaled marks a handed_off job whose handoff record could not
+	// be written because the disk was degraded; the record is re-written
+	// when the disk heals. Runtime-only.
+	unjournaled bool
+
 	// created is when this process admitted (or recovered) the job —
 	// runtime-only, for the grr_job_seconds latency histogram. Not
 	// journaled: a restarted daemon measures from recovery.

@@ -4,13 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/boardio"
+	"repro/internal/simfs"
 )
 
 // The job journal is one file per job, <dir>/<id>.job, rewritten in full
@@ -206,24 +207,41 @@ func saveJobRecord(dir string, j *Job) error {
 	})
 }
 
+// corruptDir is where recovery quarantines unreadable records.
+const corruptDir = "corrupt"
+
+// journalScan reports the housekeeping a journal recovery scan did
+// alongside the replayed records.
+type journalScan struct {
+	tmpCleaned  int // stale *.tmp files from interrupted atomic writes
+	quarantined int // corrupt records moved into corrupt/
+}
+
 // loadJournal reads every job record in dir, sorted by ID. A record
-// that fails to parse is reported through warn and skipped — one
-// corrupt file (necessarily external damage, given the atomic writes)
-// must not take down recovery of the healthy jobs. Leftover .tmp files
-// from an interrupted atomic write are deleted.
-func loadJournal(dir string, warn func(path string, err error)) ([]*Job, error) {
-	ents, err := os.ReadDir(dir)
+// that fails to parse is reported through warn and quarantined into
+// dir/corrupt — one corrupt file (necessarily external damage, given
+// the atomic writes) must not take down recovery of the healthy jobs,
+// but leaving it in place would re-parse (and re-warn about) it on
+// every restart, and operators deserve to find the evidence in one
+// spot. Leftover .tmp files from an interrupted atomic write are
+// deleted.
+func loadJournal(dir string, warn func(path string, err error)) ([]*Job, journalScan, error) {
+	fsys := simfs.Current()
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, journalScan{}, err
 	}
 	var jobs []*Job
+	var scan journalScan
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() {
 			continue
 		}
 		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name))
+			if fsys.Remove(filepath.Join(dir, name)) == nil {
+				scan.tmpCleaned++
+			}
 			continue
 		}
 		if !strings.HasSuffix(name, journalExt) {
@@ -233,20 +251,43 @@ func loadJournal(dir string, warn func(path string, err error)) ([]*Job, error) 
 		j, err := readJobPath(path)
 		if err != nil {
 			warn(path, err)
+			if quarantine(fsys, dir, name) {
+				scan.quarantined++
+			}
 			continue
 		}
 		if want := strings.TrimSuffix(name, journalExt); j.ID != want {
 			warn(path, fmt.Errorf("server: job record claims id %q", j.ID))
+			if quarantine(fsys, dir, name) {
+				scan.quarantined++
+			}
 			continue
 		}
 		jobs = append(jobs, j)
 	}
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
-	return jobs, nil
+	return jobs, scan, nil
+}
+
+// quarantine moves one corrupt record into dir/corrupt, fsyncing both
+// directories so the move survives a crash. Best-effort: a false
+// return leaves the record where it was, to be warned about again next
+// time — never worth failing recovery over.
+func quarantine(fsys simfs.FS, dir, name string) bool {
+	qdir := filepath.Join(dir, corruptDir)
+	if err := fsys.MkdirAll(qdir, 0o777); err != nil {
+		return false
+	}
+	if err := fsys.Rename(filepath.Join(dir, name), filepath.Join(qdir, name)); err != nil {
+		return false
+	}
+	boardio.SyncDir(qdir)
+	boardio.SyncDir(dir)
+	return true
 }
 
 func readJobPath(path string) (*Job, error) {
-	f, err := os.Open(path)
+	f, err := simfs.Current().Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -275,10 +316,11 @@ func DecodeRecord(r io.Reader) (*Job, error) { return readJobRecord(r) }
 func SaveRecord(dir string, j *Job) error { return saveJobRecord(dir, j) }
 
 // LoadRecords reads every job record in dir, sorted by ID, reporting
-// (and skipping) corrupt files through warn. It is loadJournal exported
-// for the fleet coordinator's post-fence recovery scan.
+// (and quarantining) corrupt files through warn. It is loadJournal
+// exported for the fleet coordinator's post-fence recovery scan.
 func LoadRecords(dir string, warn func(path string, err error)) ([]*Job, error) {
-	return loadJournal(dir, warn)
+	jobs, _, err := loadJournal(dir, warn)
+	return jobs, err
 }
 
 // Journal fencing. The journal directory carries an epoch file,
@@ -309,8 +351,8 @@ func epochPath(dir string) string { return filepath.Join(dir, epochFile) }
 // ReadEpoch reports the journal directory's epoch token. A missing file
 // is epoch 0 (fresh directory), not an error.
 func ReadEpoch(dir string) (epoch uint64, fenced bool, err error) {
-	data, err := os.ReadFile(epochPath(dir))
-	if os.IsNotExist(err) {
+	data, err := simfs.Current().ReadFile(epochPath(dir))
+	if errors.Is(err, fs.ErrNotExist) {
 		return 0, false, nil
 	}
 	if err != nil {

@@ -42,6 +42,7 @@ type serverObs struct {
 	rejectDrain   *obs.Counter
 	rejectSpec    *obs.Counter
 	rejectJournal *obs.Counter
+	rejectDisk    *obs.Counter
 
 	queueDepth *obs.Gauge
 	slotsInUse *obs.Gauge
@@ -58,6 +59,15 @@ type serverObs struct {
 	stolen        *obs.Counter
 	adopted       *obs.Counter
 	journalFenced *obs.Counter
+
+	diskDegradedG      *obs.Gauge
+	diskErrors         *obs.Counter
+	diskProbes         *obs.Counter
+	diskProbeFailures  *obs.Counter
+	diskRecoveries     *obs.Counter
+	diskParked         *obs.Counter
+	diskTmpCleaned     *obs.Counter
+	journalQuarantined *obs.Counter
 }
 
 func newServerObs(reg *obs.Registry) *serverObs {
@@ -78,6 +88,7 @@ func newServerObs(reg *obs.Registry) *serverObs {
 		rejectDrain:   reg.Counter(`grr_admission_rejects_total{reason="draining"}`),
 		rejectSpec:    reg.Counter(`grr_admission_rejects_total{reason="bad_spec"}`),
 		rejectJournal: reg.Counter(`grr_admission_rejects_total{reason="journal"}`),
+		rejectDisk:    reg.Counter(`grr_admission_rejects_total{reason="disk_degraded"}`),
 
 		queueDepth: reg.Gauge("grr_queue_depth"),
 		slotsInUse: reg.Gauge("grr_slots_in_use"),
@@ -94,6 +105,15 @@ func newServerObs(reg *obs.Registry) *serverObs {
 		stolen:        reg.Counter("grr_jobs_stolen_total"),
 		adopted:       reg.Counter("grr_jobs_adopted_total"),
 		journalFenced: reg.Counter("grr_journal_writes_fenced_total"),
+
+		diskDegradedG:      reg.Gauge("grr_disk_degraded"),
+		diskErrors:         reg.Counter("grr_disk_errors_total"),
+		diskProbes:         reg.Counter("grr_disk_probes_total"),
+		diskProbeFailures:  reg.Counter("grr_disk_probe_failures_total"),
+		diskRecoveries:     reg.Counter("grr_disk_recoveries_total"),
+		diskParked:         reg.Counter("grr_disk_jobs_parked_total"),
+		diskTmpCleaned:     reg.Counter("grr_disk_tmp_cleaned_total"),
+		journalQuarantined: reg.Counter("grr_journal_records_quarantined_total"),
 	}
 	for _, cause := range retryCauses {
 		o.retried[cause] = reg.Counter(`grr_jobs_retried_total{cause="` + cause + `"}`)
@@ -134,12 +154,16 @@ func (s *Server) saveJob(rec *Job) error {
 			s.log.Log("journal_fenced", "job", rec.ID, "epoch", s.epoch)
 		}
 		s.obs.journalFenced.Inc()
+		// A checkEpoch failure that is not a fence is a failed read of the
+		// EPOCH file — possibly the disk, so classify it too.
+		s.noteDiskError(err)
 		return err
 	}
 	err := saveJobRecord(s.cfg.JournalDir, rec)
 	s.obs.journalWrites.Inc()
 	if err != nil {
 		s.obs.journalWriteErrs.Inc()
+		s.noteDiskError(err)
 	}
 	return err
 }

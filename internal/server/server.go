@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/simfs"
 	"repro/internal/stringer"
 )
 
@@ -112,6 +113,12 @@ type Config struct {
 	// derives the Retry-After header on 503 draining responses
 	// (default 30s). grrd wires its -drain-grace flag here.
 	DrainBudget time.Duration
+	// DiskProbeEvery is how often a disk-degraded daemon re-probes its
+	// journal directory with a full atomic write to see whether the
+	// disk healed (default 5s; negative disables the probe, leaving the
+	// posture latched until restart). It also derives the Retry-After
+	// header on 507 disk-degraded responses.
+	DiskProbeEvery time.Duration
 }
 
 func (c *Config) setDefaults() error {
@@ -142,6 +149,9 @@ func (c *Config) setDefaults() error {
 	if c.DrainBudget <= 0 {
 		c.DrainBudget = 30 * time.Second
 	}
+	if c.DiskProbeEvery == 0 {
+		c.DiskProbeEvery = 5 * time.Second
+	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 8
 	}
@@ -161,11 +171,16 @@ type Server struct {
 	obs *serverObs
 	log *obs.Logger
 
-	// Retry-After values for the two load-shedding responses, derived
-	// from Config at startup (backoff base and drain budget) instead of
-	// hardcoded.
+	// Retry-After values for the load-shedding responses, derived from
+	// Config at startup (backoff base, drain budget, disk probe
+	// cadence) instead of hardcoded.
 	retryAfterFull  string
 	retryAfterDrain string
+	retryAfterDisk  string
+
+	// diskDegraded latches true when a journal write fails with a disk
+	// errno (see disk.go) and clears when the self-probe succeeds.
+	diskDegraded atomic.Bool
 
 	// epoch is the journal epoch this node owns; fenced flips true the
 	// first time a journal write is refused because the epoch moved on
@@ -179,6 +194,11 @@ type Server struct {
 	// load report's "running" (the obs gauge tracks the same value for
 	// scrapes; this one is readable).
 	runningN atomic.Int64
+
+	// parkedN counts disk-parked jobs. They report as queued in Load —
+	// they are waiting work a peer could steal — but live outside the
+	// queue channel, so the channel length alone undercounts them.
+	parkedN atomic.Int64
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -231,12 +251,21 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	o := newServerObs(cfg.Metrics)
-	recovered, err := loadJournal(cfg.JournalDir, func(path string, err error) {
+	// A crashed probe can leave its scratch file behind; it is never a
+	// job record, so sweep it with the stale temp files.
+	simfs.Current().Remove(filepath.Join(cfg.JournalDir, diskProbeFile))
+	recovered, scan, err := loadJournal(cfg.JournalDir, func(path string, err error) {
 		o.journalCorrupt.Inc()
-		cfg.Logf("grrd: skipping corrupt job record %s: %v", path, err)
+		cfg.Logf("grrd: quarantining corrupt job record %s: %v", path, err)
 	})
 	if err != nil {
 		return nil, err
+	}
+	o.diskTmpCleaned.Add(int64(scan.tmpCleaned))
+	o.journalQuarantined.Add(int64(scan.quarantined))
+	if scan.tmpCleaned > 0 || scan.quarantined > 0 {
+		cfg.Logf("grrd: journal scan: %d stale tmp removed, %d corrupt records quarantined",
+			scan.tmpCleaned, scan.quarantined)
 	}
 	live := 0
 	for _, j := range recovered {
@@ -253,6 +282,7 @@ func New(cfg Config) (*Server, error) {
 		epoch:           epoch,
 		retryAfterFull:  retryAfterSeconds(cfg.RetryBase),
 		retryAfterDrain: retryAfterSeconds(cfg.DrainBudget),
+		retryAfterDisk:  retryAfterSeconds(cfg.DiskProbeEvery),
 		jobs:            make(map[string]*Job),
 		adopting:        make(map[string]bool),
 		rng:             rand.New(rand.NewSource(cfg.RetrySeed)),
@@ -293,6 +323,10 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.DiskProbeEvery > 0 {
+		s.wg.Add(1)
+		go s.diskProbeLoop()
 	}
 	return s, nil
 }
@@ -335,6 +369,12 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 	}
 	if s.fenced.Load() {
 		return Status{}, ErrFenced
+	}
+	if s.diskDegraded.Load() {
+		// Admitting a job means promising it a durable record; a degraded
+		// disk cannot make that promise.
+		s.obs.rejectDisk.Inc()
+		return Status{}, ErrDiskDegraded
 	}
 	snap, err := buildSnapshot(spec, s.cfg)
 	if err != nil {
@@ -474,15 +514,25 @@ const (
 	HealthSaturated = "saturated"
 	HealthDraining  = "draining"
 	HealthFenced    = "fenced"
+	// HealthDiskDegraded: the journal disk refuses writes; the node
+	// holds its jobs (parked at their last durable checkpoint) and
+	// self-probes, but admits nothing. Unlike draining/fenced it is
+	// expected to return — and unlike saturated it is a steal-from
+	// candidate whose queue should be moved, not waited on.
+	HealthDiskDegraded = "disk_degraded"
 )
 
-// Health reports the daemon's current admission posture.
+// Health reports the daemon's current admission posture. Fenced and
+// draining outrank disk_degraded: a node that is leaving is leaving,
+// whatever its disk thinks.
 func (s *Server) Health() string {
 	switch {
 	case s.fenced.Load():
 		return HealthFenced
 	case s.draining.Load():
 		return HealthDraining
+	case s.diskDegraded.Load():
+		return HealthDiskDegraded
 	case s.Saturated():
 		return HealthSaturated
 	default:
@@ -501,32 +551,46 @@ type Load struct {
 	Running int    `json:"running"`  // attempts executing right now
 	Slots   int    `json:"slots"`    // total admission capacity
 	Workers int    `json:"workers"`  // routing worker pool size
+	// Disk is "" while the journal disk is healthy and "degraded" once
+	// the disk posture latches — a dedicated field (not just Health)
+	// because Health is a priority collapse: a draining node's disk
+	// state would otherwise be invisible to the coordinator.
+	Disk string `json:"disk,omitempty"`
 }
 
 // Load snapshots the node's occupancy for heartbeats and scheduling.
 func (s *Server) Load() Load {
-	return Load{
+	l := Load{
 		Epoch:   s.epoch,
 		Health:  s.Health(),
 		Live:    len(s.slots),
-		Queued:  len(s.queue),
+		Queued:  len(s.queue) + int(s.parkedN.Load()),
 		Running: int(s.runningN.Load()),
 		Slots:   cap(s.slots),
 		Workers: s.cfg.Workers,
 	}
+	if s.diskDegraded.Load() {
+		l.Disk = "degraded"
+	}
+	return l
 }
 
-// Steal relinquishes one queued job to the fleet: the newest queued job
-// flips to handed_off (journaled), its admission slot is released, and a
-// detached copy of its record — checkpoint included — is returned for
-// delivery to a peer. Returns nil when nothing is stealable (only
-// running, retrying or terminal jobs here). The stale queue-channel
-// entry is skipped by the worker that eventually receives it.
+// Steal relinquishes one waiting job to the fleet: the newest queued
+// (or disk-parked — work this node cannot run until its disk heals)
+// job flips to handed_off (journaled), its admission slot is released,
+// and a detached copy of its record — checkpoint included — is
+// returned for delivery to a peer. Returns nil when nothing is
+// stealable (only running, retrying or terminal jobs here). The stale
+// queue-channel entry is skipped by the worker that eventually
+// receives it.
 func (s *Server) Steal() (*Job, error) {
 	s.mu.Lock()
 	var victim *Job
+	stealable := func(j *Job) bool {
+		return j.State == StateQueued || (j.parked && j.State == StateInterrupted)
+	}
 	for _, j := range s.jobs {
-		if j.State != StateQueued {
+		if !stealable(j) {
 			continue
 		}
 		if victim == nil || j.ID > victim.ID {
@@ -537,18 +601,41 @@ func (s *Server) Steal() (*Job, error) {
 		s.mu.Unlock()
 		return nil, nil
 	}
+	prevState, prevParked := victim.State, victim.parked
 	victim.State = StateHandedOff
+	victim.parked = false
 	rec := *victim
 	s.mu.Unlock()
 
 	if err := s.saveJob(&rec); err != nil {
-		// Could not journal the handoff — the job stays ours.
-		s.mu.Lock()
-		if victim.State == StateHandedOff {
-			victim.State = StateQueued
+		if errors.Is(err, ErrFenced) || !s.diskDegraded.Load() {
+			// Could not journal the handoff — the job stays ours, in the
+			// state it was waiting in (a parked victim must go back to
+			// parked: there is no queue-channel entry to run it from).
+			s.mu.Lock()
+			if victim.State == StateHandedOff {
+				victim.State = prevState
+				victim.parked = prevParked
+			}
+			s.mu.Unlock()
+			return nil, fmt.Errorf("journaling steal of %s: %w", rec.ID, err)
 		}
+		// Disk-degraded donor: the handoff record cannot be written, but
+		// reverting would trap the job on a node that cannot run it —
+		// moving queued work OFF a degraded disk is the whole point of
+		// the coordinator stealing here. Hand it off anyway and re-write
+		// the record when the disk heals. The residual hazard is narrow:
+		// a crash+restart before healing re-runs the job from its last
+		// durable record, duplicating deterministic work on this node —
+		// never producing a different result.
+		s.mu.Lock()
+		victim.unjournaled = true
 		s.mu.Unlock()
-		return nil, fmt.Errorf("journaling steal of %s: %w", rec.ID, err)
+		s.cfg.Logf("grrd: handing off %s without a journal record (disk degraded): %v", rec.ID, err)
+		s.log.Log("job_stolen_unjournaled", "job", rec.ID, "err", err.Error())
+	}
+	if prevParked {
+		s.parkedN.Add(-1)
 	}
 	<-s.slots
 	s.channelGauges()
@@ -571,6 +658,10 @@ func (s *Server) Adopt(rec *Job) (Status, error) {
 	}
 	if s.fenced.Load() {
 		return Status{}, ErrFenced
+	}
+	if s.diskDegraded.Load() {
+		s.obs.rejectDisk.Inc()
+		return Status{}, ErrDiskDegraded
 	}
 	if rec.ID == "" || rec.snap == nil {
 		return Status{}, fmt.Errorf("server: adopt: record missing id or snapshot")
@@ -909,6 +1000,15 @@ func (s *Server) settle(j *Job, attempt int, out outcome) {
 			s.fail(j, out.transient)
 			return
 		}
+		if isDiskError(out.transient) {
+			// The attempt died because the disk refused a journal or
+			// checkpoint write (the failing saveJob already latched the
+			// degraded posture). Retrying into the same wall would burn the
+			// job's attempts on the machine's fault: park it until the
+			// self-probe sees the disk heal.
+			s.parkOnDisk(j, out.transient)
+			return
+		}
 		s.retryOrFail(j, attempt, out.transient, out.cause)
 
 	default:
@@ -1059,7 +1159,7 @@ func checkpointWithMetrics(cp *core.Checkpoint, m core.Metrics) *core.Checkpoint
 }
 
 func ensureDir(dir string) error {
-	return os.MkdirAll(dir, 0o777)
+	return simfs.Current().MkdirAll(dir, 0o777)
 }
 
 func sortStatuses(sts []Status) {

@@ -1,0 +1,183 @@
+package simfs
+
+import (
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+)
+
+// Replay simulates what a crash would leave on disk after a prefix of
+// a LogFS operation log, under a chosen durability model. The harness
+// enumerates every prefix (every op boundary is a crash point),
+// Materializes each simulated state into a real directory, and runs
+// the real recovery code against it.
+
+// Mode selects the durability model for Replay.
+type Mode int
+
+const (
+	// ModeFlushed assumes every completed operation reached disk: the
+	// kindest possible filesystem. Crash states differ only by how far
+	// the op sequence got.
+	ModeFlushed Mode = iota
+	// ModeStrict assumes nothing survives except what was explicitly
+	// fsynced: file data is durable only up to the last OpSync on that
+	// file, and directory entries (creates, renames, removes) are
+	// durable only as of the last OpSyncDir on their directory. This is
+	// the POSIX-pessimal model ALICE checks against.
+	ModeStrict
+	// ModeTorn is ModeFlushed except the final operation, if it is a
+	// write, lands only half its bytes — the classic torn sector on the
+	// very write the crash interrupted.
+	ModeTorn
+)
+
+var modeNames = [...]string{"flushed", "strict", "torn"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return "mode?"
+}
+
+// State is a simulated post-crash filesystem image.
+type State struct {
+	// Files maps slash-separated paths (relative to the LogFS root) to
+	// file contents.
+	Files map[string][]byte
+	// Dirs lists every directory observed in the log, so Materialize
+	// can recreate empty ones. Directory creation is treated as always
+	// durable; the interesting hazards in this codebase are all at the
+	// file layer.
+	Dirs []string
+}
+
+// inode is one file's data, tracked as the bytes written (volatile)
+// and the bytes covered by the last fsync (durable).
+type inode struct {
+	volatile []byte
+	durable  []byte
+}
+
+// dirState is one directory's name table: the entries as the
+// application sees them (volatile) and the entries committed by the
+// last directory fsync (durable). A rename inside a directory commits
+// atomically because the whole table is committed at once.
+type dirState struct {
+	volatile map[string]*inode
+	durable  map[string]*inode
+}
+
+func newDirState() *dirState {
+	return &dirState{volatile: map[string]*inode{}, durable: map[string]*inode{}}
+}
+
+// Replay returns the simulated crash state after applying ops under
+// mode. Apply it to a prefix of a LogFS log to model a crash at that
+// op boundary: Replay(ops[:n], mode).
+func Replay(ops []Op, mode Mode) *State {
+	if mode == ModeTorn && len(ops) > 0 && ops[len(ops)-1].Kind == OpWrite {
+		last := ops[len(ops)-1]
+		torn := make([]Op, len(ops))
+		copy(torn, ops)
+		torn[len(ops)-1] = Op{Kind: OpWrite, Path: last.Path, Data: last.Data[:len(last.Data)/2]}
+		ops = torn
+	}
+
+	dirs := map[string]*dirState{}
+	dir := func(p string) *dirState {
+		d := path.Dir(p)
+		ds := dirs[d]
+		if ds == nil {
+			ds = newDirState()
+			dirs[d] = ds
+		}
+		return ds
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case OpCreate:
+			dir(op.Path).volatile[path.Base(op.Path)] = &inode{}
+		case OpWrite:
+			ds := dir(op.Path)
+			ino := ds.volatile[path.Base(op.Path)]
+			if ino == nil {
+				ino = &inode{}
+				ds.volatile[path.Base(op.Path)] = ino
+			}
+			ino.volatile = append(ino.volatile, op.Data...)
+		case OpSync:
+			if ino := dir(op.Path).volatile[path.Base(op.Path)]; ino != nil {
+				ino.durable = append(ino.durable[:0:0], ino.volatile...)
+			}
+		case OpRename:
+			src := dir(op.Path)
+			ino := src.volatile[path.Base(op.Path)]
+			delete(src.volatile, path.Base(op.Path))
+			if ino == nil {
+				ino = &inode{}
+			}
+			dir(op.To).volatile[path.Base(op.To)] = ino
+		case OpRemove:
+			delete(dir(op.Path).volatile, path.Base(op.Path))
+		case OpSyncDir:
+			ds := dirs[op.Path]
+			if ds == nil {
+				ds = newDirState()
+				dirs[op.Path] = ds
+			}
+			ds.durable = make(map[string]*inode, len(ds.volatile))
+			for name, ino := range ds.volatile {
+				ds.durable[name] = ino
+			}
+		case OpMkdir:
+			if dirs[op.Path] == nil {
+				dirs[op.Path] = newDirState()
+			}
+		}
+	}
+
+	st := &State{Files: map[string][]byte{}}
+	for d, ds := range dirs {
+		st.Dirs = append(st.Dirs, d)
+		table := ds.volatile
+		if mode == ModeStrict {
+			table = ds.durable
+		}
+		for name, ino := range table {
+			data := ino.volatile
+			if mode == ModeStrict {
+				data = ino.durable
+			}
+			st.Files[path.Join(d, name)] = append([]byte(nil), data...)
+		}
+	}
+	sort.Strings(st.Dirs)
+	return st
+}
+
+// Materialize writes st into root (which must exist and should be
+// empty) on the real filesystem, so recovery code can be run against
+// the simulated crash image with plain OS I/O.
+func Materialize(st *State, root string) error {
+	for _, d := range st.Dirs {
+		if d == "." {
+			continue
+		}
+		if err := os.MkdirAll(filepath.Join(root, filepath.FromSlash(d)), 0o777); err != nil {
+			return err
+		}
+	}
+	for p, data := range st.Files {
+		full := filepath.Join(root, filepath.FromSlash(p))
+		if err := os.MkdirAll(filepath.Dir(full), 0o777); err != nil {
+			return err
+		}
+		if err := os.WriteFile(full, data, 0o666); err != nil {
+			return err
+		}
+	}
+	return nil
+}
