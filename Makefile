@@ -12,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-concurrency soak-fleet soak-disk bench microbench lint-metrics staticcheck vulncheck
+.PHONY: check vet build test race race-concurrency soak-fleet soak-disk soak-slow bench microbench lint-metrics staticcheck vulncheck
 
 check: vet build test lint-metrics staticcheck vulncheck
 
@@ -46,6 +46,17 @@ race-concurrency:
 soak-fleet:
 	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestFleetChaosSoak'
 	$(GO) test -race -count=1 ./cmd/grrd/ -run 'TestFleet'
+
+# The fail-slow soak under the race detector: four workers, one of
+# them slow on CPU and disk (delayed, never failing), 160 deadline-
+# carrying jobs in two phases. The hedged phase's p99 must land
+# strictly below the no-hedge baseline's in the same run, with zero
+# jobs lost or duplicated (done in exactly one journal fleet-wide) and
+# every result bit-identical to its oracle. The deadline and hedge
+# plumbing tests ride along because they gate the same contract.
+soak-slow:
+	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestFleetSlowSoak|TestCandidateOrderDeterministic'
+	$(GO) test -race -count=1 ./internal/server/ -run 'TestDeadline|TestMaxBody|TestJournalDeadline|TestBatchSubmit'
 
 # The crash-consistency and disk-fault soak under the race detector:
 # the simfs replay model's own tests, the ALICE-style op-boundary

@@ -12,6 +12,7 @@
 //	grr -resume run.snap   # continue a crashed or aborted run
 //	grr -table1            # regenerate the paper's Table 1 end to end
 //	grr -table1 -scale 2   # quick, reduced-size variant
+//	grr -submit-batch http://127.0.0.1:8370 -deadline 30s a.brd b.brd
 //
 // Exit codes:
 //
@@ -118,8 +119,14 @@ func run() int {
 		dumpStats  = flag.Bool("stats", false, "dump the metrics registry (search effort, phase timings) to stderr after the run")
 
 		hangAt = flag.Int("fault-hang-at", 0, "fault injection: wedge the run inside the Nth segment placement (testing only)")
+
+		submitBatch = flag.String("submit-batch", "", "submit the positional .brd files as one batch to this grrd/coordinator base URL instead of routing locally")
+		deadline    = flag.Duration("deadline", 0, "with -submit-batch: end-to-end deadline granted to every job in the batch (0 = none)")
 	)
 	flag.Parse()
+	if *submitBatch != "" {
+		return runSubmitBatch(*submitBatch, *deadline, flag.Args())
+	}
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 

@@ -101,6 +101,9 @@ func run() int {
 		hbEvery   = flag.Duration("heartbeat-every", time.Second, "heartbeat cadence (worker: send; coordinator: expect and sweep)")
 		hbMiss    = flag.Int("heartbeat-miss", 3, "coordinator mode: missed beats before a node is fenced and failed over")
 		cacheSize = flag.Int("route-cache", 64, "coordinator mode: design-fingerprint route cache entries (negative disables)")
+		hedge     = flag.Duration("hedge", 0, "coordinator mode: hedge a job on a healthy peer once it has outrun this delay or the fleet's p95, whichever is larger (0 = hedging off)")
+		slowFact  = flag.Float64("slow-factor", 3, "coordinator mode: latch a node slow when a latency signal exceeds this multiple of the fleet median")
+		maxBody   = flag.Int64("max-body", 16<<20, "maximum request body bytes accepted on POST /jobs")
 
 		crashAt = flag.Uint64("crash-at", 0, "fault injection: kill the process (exit 137) at the Nth board mutation across all jobs")
 	)
@@ -114,7 +117,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "grrd: -coordinator and -join are mutually exclusive")
 			return exitUsage
 		}
-		return runCoordinator(*listen, *hbEvery, *hbMiss, *cacheSize, *retryBase, *retryMax, *headerMax)
+		return runCoordinator(*listen, *hbEvery, *hbMiss, *cacheSize, *retryBase, *retryMax, *headerMax, *hedge, *slowFact)
 	}
 	if *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "grrd: -journal-dir is required")
@@ -140,11 +143,19 @@ func run() int {
 		CheckpointEvery: *ckEvery,
 		DrainBudget:     *drainMax,
 		DiskProbeEvery:  *diskProbe,
+		MaxBodyBytes:    *maxBody,
 		Metrics:         reg,
 		Log:             obs.NewLogger(os.Stderr),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
+	}
+	if *joinURL != "" {
+		// Hedge commits arbitrate through the coordinator: before a
+		// token-carrying job may journal a terminal state, the daemon
+		// asks the coordinator's first-claimant-wins ledger. Standalone
+		// daemons never carry tokens, so they never claim.
+		cfg.ClaimCommit = fleet.ClaimClient(*joinURL, *nodeName, nil)
 	}
 	if *crashAt > 0 {
 		// One crasher shared by every job board: its mutation counter
@@ -267,7 +278,7 @@ func run() int {
 // same contractual banner as a worker, so the harnesses that parse it
 // need not care which mode they launched.
 func runCoordinator(listen string, hbEvery time.Duration, hbMiss, cacheSize int,
-	retryBase, retryMax, headerMax time.Duration) int {
+	retryBase, retryMax, headerMax, hedge time.Duration, slowFactor float64) int {
 	reg := obs.NewRegistry()
 	c := fleet.New(fleet.Config{
 		HeartbeatEvery: hbEvery,
@@ -275,6 +286,8 @@ func runCoordinator(listen string, hbEvery time.Duration, hbMiss, cacheSize int,
 		CacheSize:      cacheSize,
 		RetryBase:      retryBase,
 		RetryMax:       retryMax,
+		Hedge:          hedge,
+		SlowFactor:     slowFactor,
 		Metrics:        reg,
 		Log:            obs.NewLogger(os.Stderr),
 		Logf: func(format string, args ...any) {

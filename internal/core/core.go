@@ -219,6 +219,23 @@ func DefaultOptions() Options {
 	}
 }
 
+// ClampTimeBudget lowers TimeBudget to remaining when that is tighter
+// (or when no budget was set at all). It is the last hop of the
+// service layer's deadline propagation: a job admitted with an
+// end-to-end deadline has, by the time a worker picks it up, only the
+// remaining slice of it to spend, and the router's own budget/abort
+// machinery (AbortTime) is what enforces the cut. remaining <= 0 is
+// ignored — refusing an already-expired job is the caller's admission
+// decision, not a routing option.
+func (o *Options) ClampTimeBudget(remaining time.Duration) {
+	if remaining <= 0 {
+		return
+	}
+	if o.TimeBudget <= 0 || remaining < o.TimeBudget {
+		o.TimeBudget = remaining
+	}
+}
+
 // Metrics aggregates the counters behind Table 1 and the in-text claims.
 type Metrics struct {
 	Connections int

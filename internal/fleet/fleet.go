@@ -83,6 +83,18 @@ type Config struct {
 	// Metrics, when set, is the registry the coordinator publishes
 	// fleet series into (and serves at /metrics).
 	Metrics *obs.Registry
+	// Hedge enables hedged execution (DESIGN §14): a job still running
+	// after max(Hedge, p95 of recent completions) gets a second copy on
+	// a healthy peer, first durable result wins. Zero or negative
+	// disables hedging entirely — the fleet behaves byte-identically to
+	// one without the hedging code.
+	Hedge time.Duration
+	// SlowFactor tunes fail-slow detection: a node latches the slow
+	// posture when any of its latency signals (coordinator-observed
+	// forward latency, reported queue-wait, reported journal-write
+	// latency) exceeds SlowFactor × the fleet median for that signal,
+	// and unlatches below half that threshold (default 3).
+	SlowFactor float64
 }
 
 func (c *Config) setDefaults() {
@@ -107,6 +119,9 @@ func (c *Config) setDefaults() {
 	if c.CacheSize == 0 {
 		c.CacheSize = 64
 	}
+	if c.SlowFactor <= 0 {
+		c.SlowFactor = 3
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -124,8 +139,16 @@ type node struct {
 	Epoch   uint64      `json:"epoch"`
 	Load    server.Load `json:"load"`
 	Fenced  bool        `json:"fenced"`
+	// Slow is the latched fail-slow posture (DESIGN §14): the node is
+	// alive and correct but dragging the fleet's tail, so placement
+	// demotes it below every healthy ready node — demoted, not fenced,
+	// because a slow answer is still an answer.
+	Slow bool `json:"slow,omitempty"`
 
 	lastBeat time.Time
+	// fwd tracks coordinator-observed forward latency to this node
+	// (seconds) — the one fail-slow signal the node cannot misreport.
+	fwd *obs.EWMA
 }
 
 // alive reports whether the node is scheduling-eligible at all.
@@ -136,6 +159,13 @@ func (n *node) alive() bool { return !n.Fenced }
 type assignment struct {
 	node string
 	key  uint64 // 0 = unknown (recovered jobs lose theirs; harmless)
+	// created is when the coordinator placed the job (zero for jobs it
+	// learned about through recovery); the hedge trigger and the
+	// completion-latency window measure from it.
+	created time.Time
+	// deadline is the job's absolute deadline as of admission here;
+	// zero = none. Hedging a job whose deadline passed is pointless.
+	deadline time.Time
 }
 
 // Coordinator is the fleet's front door and failure detector.
@@ -151,7 +181,12 @@ type Coordinator struct {
 	assign  map[string]assignment    // jobID → owner
 	results map[string]server.Status // terminal statuses (survive node death)
 	pending []*server.Job            // recovered/stolen records awaiting a home
-	rng     *rand.Rand
+	hedges  map[string]hedgeState    // jobID → outstanding hedge copy
+	claims  map[string]claimant      // jobID → commit-claim winner (first claimant)
+	// window holds recent job completion latencies (seconds); its p95
+	// sets the hedge delay once enough samples exist.
+	window *obs.Window
+	rng    *rand.Rand
 
 	stop   chan struct{}
 	stopWg sync.WaitGroup
@@ -171,6 +206,9 @@ func New(cfg Config) *Coordinator {
 		nodes:   make(map[string]*node),
 		assign:  make(map[string]assignment),
 		results: make(map[string]server.Status),
+		hedges:  make(map[string]hedgeState),
+		claims:  make(map[string]claimant),
+		window:  obs.NewWindow(256),
 		rng:     rand.New(rand.NewSource(cfg.RetrySeed)),
 		stop:    make(chan struct{}),
 	}
@@ -204,7 +242,7 @@ func (c *Coordinator) Join(name, addr, journal string, epoch uint64, load server
 	}
 	c.nodes[name] = &node{
 		Name: name, Addr: addr, Journal: journal, Epoch: epoch,
-		Load: load, lastBeat: time.Now(),
+		Load: load, lastBeat: time.Now(), fwd: obs.NewEWMA(0.3),
 	}
 	c.obs.joined.Inc()
 	c.publishNodeGauges()
@@ -285,8 +323,10 @@ func (c *Coordinator) sweep() {
 	for _, n := range dead {
 		c.fence(n)
 	}
+	c.updateSlow()
 	c.deliverPending()
 	c.stealOnce()
+	c.hedgeSweep()
 }
 
 // fence finalizes a dead node: bump its journal epoch with the fenced
@@ -315,6 +355,7 @@ func (c *Coordinator) fence(n *node) {
 		return
 	}
 	c.mu.Lock()
+	terminal := make(map[string]bool)
 	for _, rec := range recs {
 		if rec.State.Live() {
 			c.pending = append(c.pending, rec)
@@ -325,11 +366,24 @@ func (c *Coordinator) fence(n *node) {
 		}
 		if rec.State.Terminal() {
 			// The node is gone but its answers are not: serve them from here.
-			st := rec.Status()
-			c.results[rec.ID] = st
-			if a, ok := c.assign[rec.ID]; ok && a.key != 0 && st.State == server.StateDone {
-				c.cache.put(a.key, st)
-			}
+			terminal[rec.ID] = true
+			c.noteTerminalLocked(rec.ID, rec.Status())
+		}
+	}
+	// A commit claim won by the fenced node is void unless its journal
+	// actually holds the terminal record: the epoch fence guarantees it
+	// can never write one now, so releasing the claim lets the surviving
+	// copy (or a re-homed one) win and finish the job. Outstanding
+	// hedges on the fenced node are forgotten the same way — their live
+	// records are already on the pending list above.
+	for id, w := range c.claims {
+		if w.node == n.Name && !terminal[id] {
+			delete(c.claims, id)
+		}
+	}
+	for id, h := range c.hedges {
+		if h.node == n.Name {
+			delete(c.hedges, id)
 		}
 	}
 	c.obs.pendingGauge.Set(int64(len(c.pending)))
@@ -354,8 +408,10 @@ func (c *Coordinator) deliverPending() {
 			continue
 		}
 		c.mu.Lock()
-		key := c.assign[rec.ID].key
-		c.assign[rec.ID] = assignment{node: target, key: key}
+		a := c.assign[rec.ID]
+		a.node = target
+		a.deadline = rec.Deadline // the record carries the end-to-end budget
+		c.assign[rec.ID] = a
 		c.mu.Unlock()
 		c.obs.handoffs.Inc()
 		c.log.Log("fleet_handoff", "job", rec.ID, "to", target, "attempt", rec.Attempt)
@@ -433,8 +489,10 @@ func (c *Coordinator) stealOnce() {
 		return
 	}
 	c.mu.Lock()
-	key := c.assign[rec.ID].key
-	c.assign[rec.ID] = assignment{node: target, key: key}
+	a := c.assign[rec.ID]
+	a.node = target
+	a.deadline = rec.Deadline
+	c.assign[rec.ID] = a
 	c.mu.Unlock()
 	c.obs.steals.Inc()
 	c.log.Log("fleet_steal", "job", rec.ID, "from", donorName, "to", thiefName)
@@ -447,25 +505,52 @@ func (c *Coordinator) stealOnce() {
 // and disk-degraded nodes never appear — the last would only answer
 // 507, so admissions route around it until its self-probe reports the
 // disk healed and its heartbeat turns ready again.
+// A slow node is demoted, not excluded: every healthy ready node
+// outranks every slow ready node, and slow ready nodes still outrank
+// saturated ones — slow capacity beats no capacity. Within each tier
+// the order is deterministic: descending rendezvous score, node name
+// breaking exact score ties (a regression test pins this — equal-load,
+// equal-slot fleets must place identically on every coordinator).
 func (c *Coordinator) candidates(key uint64) []*node {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var ready, saturated []*node
+	var ready, slow, saturated []*node
 	for _, n := range c.nodes {
 		if !n.alive() {
 			continue
 		}
 		switch n.Load.Health {
 		case server.HealthReady:
-			ready = append(ready, n)
+			if n.Slow {
+				slow = append(slow, n)
+			} else {
+				ready = append(ready, n)
+			}
 		case server.HealthSaturated:
 			saturated = append(saturated, n)
 		}
 	}
-	score := func(n *node) uint64 { return rendezvous(n.Name, key) }
-	sort.Slice(ready, func(a, b int) bool { return score(ready[a]) > score(ready[b]) })
-	sort.Slice(saturated, func(a, b int) bool { return score(saturated[a]) > score(saturated[b]) })
-	return append(ready, saturated...)
+	byScore := func(list []*node) {
+		sort.Slice(list, func(a, b int) bool {
+			return candidateLess(list[a].Name, list[b].Name,
+				rendezvous(list[a].Name, key), rendezvous(list[b].Name, key))
+		})
+	}
+	byScore(ready)
+	byScore(slow)
+	byScore(saturated)
+	return append(append(ready, slow...), saturated...)
+}
+
+// candidateLess is the within-tier candidate order: descending
+// rendezvous score, node name breaking exact score ties. The tiebreak
+// is part of the placement contract — two coordinators looking at the
+// same fleet must walk candidates identically.
+func candidateLess(nameA, nameB string, scoreA, scoreB uint64) bool {
+	if scoreA != scoreB {
+		return scoreA > scoreB
+	}
+	return nameA < nameB
 }
 
 // backoff computes the jittered delay before transport retry

@@ -1,0 +1,472 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Fail-slow detection and hedged execution — the coordinator's half of
+// the fleet's tail-latency contract (DESIGN §14).
+//
+// Fail-STOP nodes miss heartbeats and get fenced; fail-SLOW nodes beat
+// on time and answer every probe, they just take ten times longer than
+// their peers — the classic sick-machine failure mode heartbeats cannot
+// see. The coordinator watches three latency signals per node (its own
+// forward latency, the node's reported queue-wait, the node's reported
+// journal-write latency), latches a `slow` posture on the outlier, and
+// demotes — never fences — it in placement. For jobs already stuck on a
+// slow node, a hedge launches a second copy on a healthy peer; the
+// commit claim (first claimant wins) guarantees exactly one copy
+// journals "done", and the loser is cancelled and steps aside as
+// handed_off.
+
+// hedgeState tracks one outstanding hedge copy.
+type hedgeState struct {
+	node  string
+	token uint64
+}
+
+// claimant records who won a job's commit claim.
+type claimant struct {
+	node  string
+	token uint64
+}
+
+// Per-job hedge tokens: the original copy is armed with token 1, the
+// hedge copy travels with token 2. The claim is keyed on (node, token),
+// so even a copy that migrated nodes cannot be confused with its rival.
+const (
+	tokenPrimary = 1
+	tokenHedge   = 2
+)
+
+// maxHedgesPerSweep bounds hedge launches per sweep — hedging is a
+// tail-latency repair, not a second scheduler; a fleet-wide slowdown
+// should surface as saturation, not double load.
+const maxHedgesPerSweep = 8
+
+// slowFloorMs is the absolute floor (milliseconds) below which a
+// latency signal is never "slow": with every node fast, ratios between
+// microsecond noise must not latch postures.
+const slowFloorMs = 1.0
+
+// noteForward feeds one coordinator→node round-trip into the node's
+// forward-latency EWMA. Failures count double time naturally: a
+// timed-out Post took as long as its timeout.
+func (c *Coordinator) noteForward(name string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.nodes[name]; ok && n.fwd != nil {
+		n.fwd.Observe(d.Seconds() * 1000)
+	}
+}
+
+// noteTerminalLocked records a job's terminal status: servable result,
+// route-cache entry, and a completion-latency sample for the hedge
+// trigger. Callers hold mu.
+func (c *Coordinator) noteTerminalLocked(id string, st server.Status) {
+	_, seen := c.results[id]
+	c.results[id] = st
+	a, ok := c.assign[id]
+	if !ok {
+		return
+	}
+	if a.key != 0 && st.State == server.StateDone {
+		c.cache.put(a.key, st)
+	}
+	if !seen && !a.created.IsZero() {
+		c.window.Observe(time.Since(a.created).Seconds())
+	}
+}
+
+// noteTerminal is noteTerminalLocked for callers not holding mu.
+func (c *Coordinator) noteTerminal(id string, st server.Status) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.noteTerminalLocked(id, st)
+}
+
+// lowerMedian returns the lower median of vs (biased toward the
+// majority for even counts: in a fleet of 2 with one sick node, the
+// healthy node's value IS the baseline).
+func lowerMedian(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+// updateSlow re-evaluates every alive node's fail-slow posture against
+// the fleet medians. Latch when any signal exceeds SlowFactor × median
+// (and the absolute floor); unlatch when every signal is back under
+// half the latch threshold — the hysteresis keeps a borderline node
+// from flapping between postures every sweep.
+func (c *Coordinator) updateSlow() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	type signals struct {
+		n   *node
+		fwd float64 // coordinator-observed forward latency, ms (0 = no data)
+		qw  float64 // node-reported queue wait, ms
+		dw  float64 // node-reported journal-write latency, ms
+	}
+	var all []signals
+	for _, n := range c.nodes {
+		if !n.alive() {
+			continue
+		}
+		sig := signals{n: n, qw: n.Load.QueueWaitMs, dw: n.Load.DiskWriteMs}
+		if n.fwd != nil && n.fwd.Samples() >= 3 {
+			sig.fwd = n.fwd.Value()
+		}
+		all = append(all, sig)
+	}
+	if len(all) < 2 {
+		return // "slower than the fleet" needs a fleet to compare against
+	}
+
+	collect := func(get func(signals) float64) []float64 {
+		var vs []float64
+		for _, s := range all {
+			if v := get(s); v > 0 {
+				vs = append(vs, v)
+			}
+		}
+		return vs
+	}
+	medians := [3]float64{
+		lowerMedian(collect(func(s signals) float64 { return s.fwd })),
+		lowerMedian(collect(func(s signals) float64 { return s.qw })),
+		lowerMedian(collect(func(s signals) float64 { return s.dw })),
+	}
+
+	slowCount := int64(0)
+	for _, s := range all {
+		vals := [3]float64{s.fwd, s.qw, s.dw}
+		latch, clear := false, true
+		for i, v := range vals {
+			m := medians[i]
+			if v <= 0 || m <= 0 {
+				continue
+			}
+			threshold := c.cfg.SlowFactor * m
+			if threshold < slowFloorMs {
+				threshold = slowFloorMs
+			}
+			if v > threshold {
+				latch = true
+			}
+			if v > threshold/2 {
+				clear = false
+			}
+		}
+		switch {
+		case latch && !s.n.Slow:
+			s.n.Slow = true
+			c.obs.slowTransitions.Inc()
+			c.cfg.Logf("fleet: node %s latched slow (fwd %.1fms, queue %.1fms, disk %.1fms)",
+				s.n.Name, s.fwd, s.qw, s.dw)
+			c.log.Log("fleet_slow", "node", s.n.Name, "slow", true)
+		case clear && s.n.Slow:
+			s.n.Slow = false
+			c.obs.slowTransitions.Inc()
+			c.cfg.Logf("fleet: node %s recovered from slow posture", s.n.Name)
+			c.log.Log("fleet_slow", "node", s.n.Name, "slow", false)
+		}
+		if s.n.Slow {
+			slowCount++
+		}
+	}
+	c.obs.slowNodes.Set(slowCount)
+}
+
+// hedgeDelay is how long a job may run before it earns a hedge:
+// the p95 of recent fleet completions once enough samples exist, but
+// never below the configured floor.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	d := c.cfg.Hedge
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.window.Len() >= 8 {
+		if p := time.Duration(c.window.Percentile(0.95) * float64(time.Second)); p > d {
+			d = p
+		}
+	}
+	return d
+}
+
+// hedgeSweep scans for jobs that have outrun the hedge delay and
+// launches at most maxHedgesPerSweep hedge copies.
+func (c *Coordinator) hedgeSweep() {
+	if c.cfg.Hedge <= 0 {
+		return
+	}
+	delay := c.hedgeDelay()
+	now := time.Now()
+
+	type target struct {
+		id       string
+		owner    string
+		key      uint64
+		deadline time.Time
+	}
+	var due []target
+	c.mu.Lock()
+	for id, a := range c.assign {
+		if len(due) >= maxHedgesPerSweep {
+			break
+		}
+		if a.created.IsZero() || now.Sub(a.created) < delay {
+			continue
+		}
+		if _, done := c.results[id]; done {
+			continue
+		}
+		if _, hedged := c.hedges[id]; hedged {
+			continue
+		}
+		if !a.deadline.IsZero() && now.After(a.deadline) {
+			continue // past its deadline; a second copy helps nobody
+		}
+		n, ok := c.nodes[a.node]
+		if !ok || !n.alive() {
+			continue // fencing/failover owns this job's fate
+		}
+		due = append(due, target{id: id, owner: a.node, key: a.key, deadline: a.deadline})
+	}
+	c.mu.Unlock()
+
+	for _, t := range due {
+		c.hedge(t.id, t.owner, t.key)
+	}
+}
+
+// hedge launches one hedge copy of job id: confirm the original is
+// still running, arm the owner's commit claim, read the owner's durable
+// record, and hand a token-2 copy to the best healthy peer. Every
+// bail-out is safe — an armed original without a hedge just claims
+// unopposed and wins.
+func (c *Coordinator) hedge(id, owner string, key uint64) {
+	c.mu.Lock()
+	n, ok := c.nodes[owner]
+	var addr, journal string
+	if ok {
+		addr, journal = n.Addr, n.Journal
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+
+	// The status poll catches jobs that finished since the sweep
+	// snapshot — and captures the result while at it.
+	if st, ok := c.pollStatus(addr, id); ok && st.State.Terminal() {
+		c.noteTerminal(id, st)
+		return
+	}
+
+	// Arm the claim gate on the owner BEFORE the hedge copy exists:
+	// from this moment the original cannot journal a terminal state
+	// without winning the claim, so whatever the journal read below
+	// sees, both copies are gated.
+	st, armed, err := c.armClaim(addr, id, tokenPrimary)
+	if err != nil {
+		c.cfg.Logf("fleet: arming claim for %s on %s: %v", id, owner, err)
+		return
+	}
+	if !armed {
+		if st.Terminal() {
+			if pst, ok := c.pollStatus(addr, id); ok {
+				c.noteTerminal(id, pst)
+			}
+		}
+		return // settled, handed off, or mid-commit: no hedge today
+	}
+
+	rec, err := server.LoadRecord(journal, id)
+	if err != nil {
+		c.cfg.Logf("fleet: reading %s record for hedge: %v", id, err)
+		return
+	}
+	if !rec.State.Live() {
+		return // settled between arm and read; the claim is now unopposed
+	}
+	rec.HedgeToken = tokenHedge
+
+	// Healthiest peer first: non-slow ready nodes, never the owner.
+	for _, cand := range c.candidates(key) {
+		c.mu.Lock()
+		name, slow := cand.Name, cand.Slow
+		c.mu.Unlock()
+		if name == owner || slow {
+			continue
+		}
+		if _, err := c.handoffTo(name, rec); err != nil {
+			c.cfg.Logf("fleet: hedging %s to %s: %v", id, name, err)
+			continue
+		}
+		c.mu.Lock()
+		c.hedges[id] = hedgeState{node: name, token: tokenHedge}
+		c.mu.Unlock()
+		c.obs.hedgeLaunched.Inc()
+		c.cfg.Logf("fleet: hedged %s: original on %s, hedge on %s", id, owner, name)
+		c.log.Log("fleet_hedge", "job", id, "owner", owner, "hedge", name)
+		return
+	}
+	// No taker: the original stays armed and claims unopposed. Harmless.
+}
+
+// Claim arbitrates a commit: the first (node, token) pair to claim a
+// job wins and may journal its terminal state; every later claimant
+// loses and must step aside. An unclaimed unknown job wins by default —
+// fail-open, because refusing would wedge a job whose coordinator
+// restarted and lost its hedge bookkeeping.
+func (c *Coordinator) Claim(id, nodeName string, token uint64) bool {
+	c.mu.Lock()
+	if w, ok := c.claims[id]; ok {
+		win := w.node == nodeName && w.token == token
+		c.mu.Unlock()
+		if win {
+			c.obs.hedgeClaimWins.Inc() // idempotent re-claim by the winner
+		} else {
+			c.obs.hedgeClaimLoss.Inc()
+		}
+		return win
+	}
+	c.claims[id] = claimant{node: nodeName, token: token}
+	// Repoint the assignment at the winner and find the losing copy.
+	a := c.assign[id]
+	loser := ""
+	if h, ok := c.hedges[id]; ok {
+		if h.node == nodeName {
+			loser = a.node
+		} else {
+			loser = h.node
+		}
+	} else if a.node != "" && a.node != nodeName {
+		loser = a.node
+	}
+	a.node = nodeName
+	c.assign[id] = a
+	var loserAddr string
+	if loser != "" {
+		if n, ok := c.nodes[loser]; ok && n.alive() {
+			loserAddr = n.Addr
+		}
+	}
+	c.mu.Unlock()
+
+	c.obs.hedgeClaimWins.Inc()
+	c.log.Log("fleet_claim", "job", id, "winner", nodeName, "token", int(token))
+	if loserAddr != "" {
+		go c.cancelOn(loserAddr, loser, id)
+	}
+	return true
+}
+
+// cancelOn tells the losing copy's node to stop working on the job.
+// Best-effort: a missed cancel costs wasted routing, never correctness
+// — the loser's own commit claim will tell it to step aside.
+func (c *Coordinator) cancelOn(addr, nodeName, id string) {
+	resp, err := c.client.Post(addr+"/jobs/"+id+"/cancel", "application/json", nil)
+	if err != nil {
+		c.cfg.Logf("fleet: cancelling %s on %s: %v", id, nodeName, err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	c.obs.hedgeCancels.Inc()
+	c.log.Log("fleet_hedge_cancel", "job", id, "node", nodeName)
+}
+
+// pollStatus fetches one job's status from a node; ok=false on any
+// transport or decode trouble.
+func (c *Coordinator) pollStatus(addr, id string) (server.Status, bool) {
+	resp, err := c.client.Get(addr + "/jobs/" + id)
+	if err != nil {
+		return server.Status{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.Status{}, false
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return server.Status{}, false
+	}
+	return st, true
+}
+
+// armClaim asks a node to gate a job behind the commit claim.
+func (c *Coordinator) armClaim(addr, id string, token uint64) (server.State, bool, error) {
+	body, _ := json.Marshal(map[string]any{"job": id, "token": token})
+	resp, err := c.client.Post(addr+"/fleet/hedge-arm", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", false, fmt.Errorf("arm: %d %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	var out struct {
+		State server.State `json:"state"`
+		Armed bool         `json:"armed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", false, err
+	}
+	return out.State, out.Armed, nil
+}
+
+// claimRequest is the POST /hedge/claim payload a node sends before
+// journaling a terminal state for a hedge-gated job.
+type claimRequest struct {
+	Job   string `json:"job"`
+	Node  string `json:"node"`
+	Token uint64 `json:"token"`
+}
+
+// ClaimClient builds the server.Config.ClaimCommit implementation for a
+// worker node: it claims (job, token) at the coordinator on behalf of
+// nodeName. A transport failure surfaces as an error — the server
+// retries a few times and, for the done path, falls back to a normal
+// transient retry, so a briefly unreachable coordinator delays a hedged
+// commit rather than corrupting it.
+func ClaimClient(coordinator, nodeName string, client *http.Client) func(string, uint64) (bool, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return func(jobID string, token uint64) (bool, error) {
+		body, err := json.Marshal(claimRequest{Job: jobID, Node: nodeName, Token: token})
+		if err != nil {
+			return false, err
+		}
+		resp, err := client.Post(coordinator+"/hedge/claim", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return false, fmt.Errorf("fleet: claim: %d %s", resp.StatusCode, bytes.TrimSpace(b))
+		}
+		var out struct {
+			Win bool `json:"win"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return false, err
+		}
+		return out.Win, nil
+	}
+}

@@ -38,10 +38,12 @@ import (
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", c.handleSubmit)
+	mux.HandleFunc("POST /jobs/batch", c.handleBatch)
 	mux.HandleFunc("GET /jobs", c.handleList)
 	mux.HandleFunc("GET /jobs/{id}", c.handleStatus)
 	mux.HandleFunc("POST /join", c.handleJoin)
 	mux.HandleFunc("POST /heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /hedge/claim", c.handleClaim)
 	mux.HandleFunc("GET /nodes", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Nodes())
 	})
@@ -125,51 +127,182 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job spec: " + err.Error()})
 		return
 	}
+	p := c.placeJob(spec, body)
+	if p.cacheHit {
+		w.Header().Set("X-Grr-Cache", "hit")
+		writeJSON(w, http.StatusOK, p.st)
+		return
+	}
+	if p.accepted {
+		w.Header().Set("X-Grr-Node", p.node)
+		writeJSON(w, http.StatusAccepted, p.st)
+		return
+	}
+	if p.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(p.retryAfter))
+	}
+	writeJSON(w, p.code, httpError{Error: p.errMsg})
+}
+
+// placement is the result of routing one submission through the cache,
+// candidate ordering and forwarding pipeline.
+type placement struct {
+	st         server.Status
+	node       string
+	cacheHit   bool
+	accepted   bool
+	code       int    // refusal status code when not accepted
+	retryAfter int    // seconds; 0 = no hint
+	errMsg     string // refusal detail
+}
+
+// placeJob runs one submission through the fleet: route-cache lookup,
+// then rendezvous-ordered forwarding with the per-hop deadline
+// decrement of DESIGN §14 — before every forward the job's remaining
+// budget is recomputed, so each node sees only what is actually left,
+// and a budget that dies mid-walk stops the walk with 504. Used by both
+// the single-submit and batch handlers.
+func (c *Coordinator) placeJob(spec server.JobSpec, body []byte) placement {
 	key := specKey(spec)
 	if st, ok := c.cache.get(key); ok {
 		c.obs.cacheHits.Inc()
-		w.Header().Set("X-Grr-Cache", "hit")
-		writeJSON(w, http.StatusOK, st)
-		return
+		return placement{st: st, cacheHit: true}
 	}
 	c.obs.cacheMisses.Inc()
 
+	// Pin the absolute deadline at admission: deadline_ms is relative,
+	// and "now" must not drift while we walk candidates.
+	var deadline time.Time
+	if spec.DeadlineMs != nil {
+		v := *spec.DeadlineMs
+		if v <= 0 || v > server.MaxDeadlineMs {
+			return placement{code: http.StatusBadRequest,
+				errMsg: fmt.Sprintf("fleet: deadline_ms must be in (0, %d], got %d", server.MaxDeadlineMs, v)}
+		}
+		deadline = time.Now().Add(time.Duration(v) * time.Millisecond)
+	}
+
 	cands := c.candidates(key)
-	retryAfter := 0
+	retryAfter, sawDeadline := 0, false
 	for _, n := range cands {
-		st, done, ra := c.forward(n, body)
+		fbody := body
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				sawDeadline = true
+				break // the budget died while we walked; stop burning it
+			}
+			ms := remaining.Milliseconds()
+			if ms < 1 {
+				ms = 1
+			}
+			hop := spec
+			hop.DeadlineMs = &ms
+			fbody, _ = json.Marshal(hop)
+		}
+		st, done, ra, code := c.forward(n, fbody)
 		if done {
 			c.mu.Lock()
-			c.assign[st.ID] = assignment{node: n.Name, key: key}
+			c.assign[st.ID] = assignment{node: n.Name, key: key, created: time.Now(), deadline: deadline}
 			c.mu.Unlock()
 			c.obs.forwarded.Inc()
 			c.log.Log("fleet_forward", "job", st.ID, "node", n.Name)
-			w.Header().Set("X-Grr-Node", n.Name)
-			writeJSON(w, http.StatusAccepted, st)
-			return
+			return placement{st: st, node: n.Name, accepted: true}
+		}
+		if code == http.StatusGatewayTimeout {
+			sawDeadline = true
 		}
 		if ra > retryAfter {
 			retryAfter = ra
 		}
 	}
-	c.obs.rejected.Inc()
 	if retryAfter < 1 {
 		retryAfter = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	msg := "fleet: no node accepted the job"
 	if len(cands) == 0 {
 		msg = "fleet: no schedulable nodes"
 	}
-	writeJSON(w, http.StatusTooManyRequests, httpError{Error: msg})
+	if sawDeadline {
+		// At least one refusal was the deadline itself (or the budget
+		// expired mid-walk): the truthful answer is 504, not 429 — more
+		// capacity would not have saved this job, more time would have.
+		c.obs.deadlineRejects.Inc()
+		return placement{code: http.StatusGatewayTimeout, retryAfter: retryAfter,
+			errMsg: "fleet: deadline cannot be met by any node"}
+	}
+	c.obs.rejected.Inc()
+	return placement{code: http.StatusTooManyRequests, retryAfter: retryAfter, errMsg: msg}
+}
+
+// handleBatch fans a BatchRequest out through the normal placement
+// pipeline, one job at a time — each item inherits the batch envelope
+// deadline unless it carries its own, and reports its own acceptance
+// or refusal. 200 whenever the batch itself was well-formed.
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad batch: " + err.Error()})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad batch: no jobs"})
+		return
+	}
+	if len(req.Jobs) > server.MaxBatchJobs {
+		writeJSON(w, http.StatusBadRequest,
+			httpError{Error: fmt.Sprintf("bad batch: %d jobs exceeds the %d maximum", len(req.Jobs), server.MaxBatchJobs)})
+		return
+	}
+	resp := server.BatchResponse{Jobs: make([]server.BatchResult, len(req.Jobs))}
+	for i, spec := range req.Jobs {
+		if spec.DeadlineMs == nil {
+			spec.DeadlineMs = req.DeadlineMs
+		}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			resp.Jobs[i] = server.BatchResult{Error: err.Error(), Code: http.StatusBadRequest}
+			continue
+		}
+		p := c.placeJob(spec, body)
+		if p.cacheHit || p.accepted {
+			st := p.st
+			resp.Jobs[i] = server.BatchResult{Status: &st}
+			resp.Accepted++
+			continue
+		}
+		resp.Jobs[i] = server.BatchResult{Error: p.errMsg, Code: p.code}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClaim arbitrates a hedge commit claim from a worker node.
+func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad claim: " + err.Error()})
+		return
+	}
+	if req.Job == "" || req.Node == "" || req.Token == 0 {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad claim: job, node and token are required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"win": c.Claim(req.Job, req.Node, req.Token)})
 }
 
 // forward delivers one submission to one node with bounded transport
 // retries. It returns the accepted Status, or done=false with the
-// node's Retry-After hint (seconds; 0 when none was offered).
-func (c *Coordinator) forward(n *node, body []byte) (st server.Status, done bool, retryAfter int) {
+// node's Retry-After hint (seconds; 0 when none was offered) and the
+// refusal status code. Every round-trip — success or failure — trains
+// the node's forward-latency EWMA, the fail-slow signal the node
+// cannot misreport.
+func (c *Coordinator) forward(n *node, body []byte) (st server.Status, done bool, retryAfter, code int) {
 	t0 := time.Now()
-	defer func() { c.obs.forwardSeconds.Observe(time.Since(t0).Seconds()) }()
+	defer func() {
+		d := time.Since(t0)
+		c.obs.forwardSeconds.Observe(d.Seconds())
+		c.noteForward(n.Name, d)
+	}()
 	for attempt := 1; attempt <= c.cfg.ForwardAttempts; attempt++ {
 		resp, err := c.client.Post(n.Addr+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -185,14 +318,15 @@ func (c *Coordinator) forward(n *node, body []byte) (st server.Status, done bool
 		}
 		func() {
 			defer resp.Body.Close()
+			code = resp.StatusCode
 			switch resp.StatusCode {
 			case http.StatusAccepted:
 				done = json.NewDecoder(resp.Body).Decode(&st) == nil
 			case http.StatusTooManyRequests, http.StatusServiceUnavailable,
-				http.StatusInsufficientStorage:
-				// 507 is a disk-degraded node shedding load; like 429/503 it
-				// comes with a Retry-After and means "try the next candidate",
-				// not "the spec is bad".
+				http.StatusInsufficientStorage, http.StatusGatewayTimeout:
+				// Load sheds (429/503/507) and deadline refusals (504) come
+				// with a Retry-After and mean "try the next candidate", not
+				// "the spec is bad".
 				if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
 					retryAfter = s
 				}
@@ -204,9 +338,9 @@ func (c *Coordinator) forward(n *node, body []byte) (st server.Status, done bool
 				c.cfg.Logf("fleet: node %s refused job: %d %s", n.Name, resp.StatusCode, e.Error)
 			}
 		}()
-		return st, done, retryAfter
+		return st, done, retryAfter, code
 	}
-	return server.Status{}, false, 0
+	return server.Status{}, false, 0, 0
 }
 
 // handleStatus serves one job's status: the coordinator's own results
@@ -237,7 +371,6 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 			addr = n.Addr
 		}
 	}
-	key := a.key
 	c.mu.Unlock()
 
 	if !ok {
@@ -267,12 +400,7 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if st.State.Terminal() {
-		c.mu.Lock()
-		c.results[id] = st
-		c.mu.Unlock()
-		if key != 0 {
-			c.cache.put(key, st)
-		}
+		c.noteTerminal(id, st)
 	}
 	writeJSON(w, http.StatusOK, st)
 }

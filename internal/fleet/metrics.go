@@ -31,6 +31,16 @@ type fleetObs struct {
 
 	pendingGauge *obs.Gauge
 	nodesByState map[string]*obs.Gauge
+
+	// Tail-latency contract (DESIGN §14): slow-posture detection,
+	// hedged execution, and deadline-aware admission.
+	slowNodes       *obs.Gauge
+	slowTransitions *obs.Counter
+	hedgeLaunched   *obs.Counter
+	hedgeClaimWins  *obs.Counter
+	hedgeClaimLoss  *obs.Counter
+	hedgeCancels    *obs.Counter
+	deadlineRejects *obs.Counter
 }
 
 func newFleetObs(reg *obs.Registry) *fleetObs {
@@ -57,6 +67,14 @@ func newFleetObs(reg *obs.Registry) *fleetObs {
 
 		pendingGauge: reg.Gauge("grr_fleet_handoffs_pending"),
 		nodesByState: make(map[string]*obs.Gauge, len(nodeStates)),
+
+		slowNodes:       reg.Gauge("grr_fleet_slow_nodes"),
+		slowTransitions: reg.Counter("grr_fleet_slow_transitions_total"),
+		hedgeLaunched:   reg.Counter("grr_hedge_launched_total"),
+		hedgeClaimWins:  reg.Counter(`grr_hedge_claims_total{result="win"}`),
+		hedgeClaimLoss:  reg.Counter(`grr_hedge_claims_total{result="lose"}`),
+		hedgeCancels:    reg.Counter("grr_hedge_cancels_total"),
+		deadlineRejects: reg.Counter("grr_deadline_rejects_total"),
 	}
 	for _, st := range nodeStates {
 		o.nodesByState[st] = reg.Gauge(`grr_fleet_nodes{state="` + st + `"}`)

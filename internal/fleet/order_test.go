@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// TestCandidateOrderDeterministic pins the placement contract: for a
+// fixed fleet and key, candidates() returns one exact order — healthy
+// ready nodes by descending rendezvous score, then slow ready nodes,
+// then saturated ones, with the node name breaking exact score ties —
+// and returns it identically on every call. Two coordinators looking
+// at the same fleet must walk candidates in the same order, or
+// placement (and hedge targeting) diverges between them.
+func TestCandidateOrderDeterministic(t *testing.T) {
+	c := New(Config{HeartbeatEvery: time.Hour, Logf: t.Logf})
+	defer c.Close()
+
+	mk := func(name string, health string, slow, fenced bool) *node {
+		return &node{
+			Name: name, Load: server.Load{Health: health},
+			Slow: slow, Fenced: fenced,
+			lastBeat: time.Now(), fwd: obs.NewEWMA(0.3),
+		}
+	}
+	c.mu.Lock()
+	for _, n := range []*node{
+		mk("alpha", server.HealthReady, false, false),
+		mk("bravo", server.HealthReady, false, false),
+		mk("carol", server.HealthReady, true, false),  // slow: demoted
+		mk("delta", server.HealthSaturated, false, false),
+		mk("echo", server.HealthReady, false, true), // fenced: excluded
+		mk("foxtrot", server.HealthDraining, false, false),
+	} {
+		c.nodes[n.Name] = n
+	}
+	c.mu.Unlock()
+
+	for key := uint64(0); key < 64; key++ {
+		got := c.candidates(key)
+		names := make([]string, len(got))
+		for i, n := range got {
+			names[i] = n.Name
+		}
+		// Exactly the four schedulable nodes, no more, no less.
+		if len(names) != 4 {
+			t.Fatalf("key %d: candidates = %v, want 4 schedulable nodes", key, names)
+		}
+		// Tier walls: both healthy ready nodes before the slow one,
+		// the slow one before the saturated one.
+		if names[2] != "carol" || names[3] != "delta" {
+			t.Fatalf("key %d: tier order violated: %v", key, names)
+		}
+		// Within the healthy tier, descending rendezvous score.
+		if sa, sb := rendezvous(names[0], key), rendezvous(names[1], key); sa < sb {
+			t.Fatalf("key %d: healthy tier not score-descending: %v", key, names)
+		}
+		// Byte-for-byte repeatable.
+		again := c.candidates(key)
+		for i := range again {
+			if again[i].Name != names[i] {
+				t.Fatalf("key %d: order changed between calls: %v then %v", key, names, again)
+			}
+		}
+	}
+
+	// The tie rule itself: equal scores fall back to name order, in
+	// both argument orders (a strict weak ordering, not a coin flip).
+	if !candidateLess("a", "b", 7, 7) || candidateLess("b", "a", 7, 7) {
+		t.Error("equal scores must order by name, ascending")
+	}
+	if !candidateLess("b", "a", 9, 7) || candidateLess("a", "b", 7, 9) {
+		t.Error("unequal scores must order by score, descending")
+	}
+}

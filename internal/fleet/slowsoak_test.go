@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/simfs"
+)
+
+// TestFleetSlowSoak is the fail-slow exam (DESIGN §14): four workers,
+// one of which is not dead but *slow* — every board mutation stalls
+// and every journal write drags — and a stream of deadline-carrying
+// jobs. The test runs the same workload twice in one process:
+//
+//   - baseline: hedging off. Jobs placed on the slow node before the
+//     coordinator latches its slow posture run to completion at the
+//     slow node's pace; the tail is whatever the straggler makes it.
+//   - hedged: Hedge=40ms. The same stragglers get a second copy on a
+//     healthy peer once they outrun the delay, the first durable
+//     result wins the coordinator's claim ledger, and the loser is
+//     superseded.
+//
+// The contract:
+//
+//   - the hedged tail (p99) is strictly below the baseline tail, in
+//     the same process, same seeds, same slow node;
+//   - zero jobs lost, zero duplicated: every job reaches done with the
+//     oracle fingerprint, and is committed done in exactly ONE journal
+//     fleet-wide — a losing hedge that also committed would show up
+//     here as two;
+//   - the coordinator actually latched the slow node's posture, and
+//     actually launched hedges (the win is causal, not luck).
+func TestFleetSlowSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fail-slow soak; run without -short")
+	}
+
+	const (
+		numSeeds = 6
+		numJobs  = 80 // per phase; two phases ≥ 150 total
+	)
+	deadlineMs := int64(60_000)
+
+	specs := make([]server.JobSpec, numSeeds)
+	wantFP := make([]string, numSeeds)
+	for i := range specs {
+		specs[i] = buildSpec(t, int64(700+i))
+		specs[i].DeadlineMs = &deadlineMs
+		wantFP[i] = oracleFP(t, specs[i])
+	}
+
+	base := runSlowPhase(t, "baseline", 0, specs, wantFP, numJobs)
+	hedged := runSlowPhase(t, "hedged", 40*time.Millisecond, specs, wantFP, numJobs)
+
+	if base.hedges != 0 {
+		t.Errorf("baseline phase launched %d hedges with hedging off", base.hedges)
+	}
+	if hedged.hedges == 0 {
+		t.Error("hedged phase launched no hedges — the tail comparison proves nothing")
+	}
+	if !hedged.sawSlow {
+		t.Error("coordinator never latched the slow node's posture in the hedged phase")
+	}
+
+	bp99, hp99 := p99(base.lats), p99(hedged.lats)
+	t.Logf("p99: baseline=%v hedged=%v (hedges launched: %d)", bp99, hp99, hedged.hedges)
+	if hp99 >= bp99 {
+		t.Errorf("hedged p99 %v not below no-hedge baseline p99 %v", hp99, bp99)
+	}
+}
+
+type slowPhase struct {
+	lats    []time.Duration
+	hedges  int64
+	sawSlow bool
+}
+
+// runSlowPhase boots a fresh coordinator and four workers (n4 slow on
+// both CPU and disk), pushes numJobs deadline-carrying jobs through
+// sequentially, and returns the per-job latencies. Before returning it
+// asserts the phase's own zero-loss/zero-dup contract across all four
+// journals.
+func runSlowPhase(t *testing.T, name string, hedge time.Duration,
+	specs []server.JobSpec, wantFP []string, numJobs int) slowPhase {
+	t.Helper()
+	var out slowPhase
+	ok := t.Run(name, func(t *testing.T) {
+		c := New(Config{
+			HeartbeatEvery: 25 * time.Millisecond,
+			HeartbeatMiss:  40, // nobody dies in this test; fencing would hide fail-slow
+			RetryBase:      2 * time.Millisecond,
+			RetryMax:       20 * time.Millisecond,
+			CacheSize:      -1, // every submission must be routed, not remembered
+			Hedge:          hedge,
+			Logf:           t.Logf,
+		})
+		ts := httptest.NewServer(c.Handler())
+		defer func() {
+			ts.Close()
+			c.Close()
+		}()
+
+		agentClient := &http.Client{Timeout: 10 * time.Second}
+		journals := make(map[string]string, 4)
+		for _, nn := range []string{"n1", "n2", "n3", "n4"} {
+			cfg := server.Config{
+				Workers:     2,
+				QueueDepth:  8,
+				MaxAttempts: 12,
+				JournalDir:  t.TempDir(),
+				RetryBase:   time.Millisecond,
+				RetryMax:    20 * time.Millisecond,
+				// Every worker arbitrates token-carrying commits through
+				// the coordinator — exactly the production wiring.
+				ClaimCommit: ClaimClient(ts.URL, nn, nil),
+				Logf:        t.Logf,
+			}
+			if nn == "n4" {
+				// The fail-slow node: every board mutation stalls 2ms and
+				// every journal file operation drags 2ms. It is healthy by
+				// every liveness measure — it heartbeats, it answers, it
+				// finishes jobs — just far too slowly.
+				slow := faultinject.NewSlowNode(2*time.Millisecond, 1)
+				cfg.BoardHook = func(b *board.Board) { b.Interpose(slow) }
+				prev := simfs.Swap(faultinject.NewSlowDisk(simfs.OS(), cfg.JournalDir, 2*time.Millisecond))
+				t.Cleanup(func() { simfs.Swap(prev) })
+			}
+			journals[nn] = cfg.JournalDir
+			startNode(t, nn, ts.URL, cfg, agentClient, nil)
+		}
+		waitFor(t, 10*time.Second, func() bool { return len(c.Nodes()) == 4 },
+			"fleet never assembled")
+
+		ids := make([]string, 0, numJobs)
+		seed := make(map[string]int, numJobs)
+		for i := 0; i < numJobs; i++ {
+			t0 := time.Now()
+			st := submit(t, ts.URL, specs[i%len(specs)])
+			fin := waitJobDone(t, ts.URL, st.ID, 60*time.Second)
+			out.lats = append(out.lats, time.Since(t0))
+			if fin.State != server.StateDone {
+				t.Fatalf("job %s: %+v", st.ID, fin)
+			}
+			if fin.AuditOK == nil || !*fin.AuditOK {
+				t.Errorf("job %s finished without a clean audit: %+v", st.ID, fin)
+			}
+			if want := wantFP[i%len(specs)]; fin.Fingerprint != want {
+				t.Errorf("job %s fingerprint = %s, want %s", st.ID, fin.Fingerprint, want)
+			}
+			ids = append(ids, st.ID)
+			seed[st.ID] = i % len(specs)
+			if !out.sawSlow {
+				for _, n := range c.Nodes() {
+					if n.Name == "n4" && n.Slow {
+						out.sawSlow = true
+					}
+				}
+			}
+		}
+		out.hedges = c.obs.hedgeLaunched.Value()
+
+		// Zero loss, zero duplication: each job committed done in exactly
+		// one journal. A losing hedge that slipped past the claim ledger
+		// would commit a second done here.
+		doneIn := make(map[string][]string)
+		for nn, dir := range journals {
+			recs, err := server.LoadRecords(dir, func(path string, err error) {
+				t.Errorf("%s: corrupt journal record %s: %v", nn, path, err)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rec := range recs {
+				if rec.State == server.StateDone {
+					doneIn[rec.ID] = append(doneIn[rec.ID], nn)
+				}
+			}
+		}
+		for _, id := range ids {
+			switch owners := doneIn[id]; len(owners) {
+			case 1:
+			case 0:
+				t.Errorf("job %s reported done but committed in no journal", id)
+			default:
+				t.Errorf("job %s committed done on %d nodes (%v) — hedge fencing violated",
+					id, len(owners), owners)
+			}
+		}
+	})
+	if !ok {
+		t.Fatalf("%s phase failed", name)
+	}
+	return out
+}
+
+// oracleFP formats the oracle fingerprint the way Status reports it.
+func oracleFP(t *testing.T, spec server.JobSpec) string {
+	t.Helper()
+	return fmt.Sprintf("%016x", oracle(t, spec))
+}
+
+// p99 is the nearest-rank 99th percentile.
+func p99(lats []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	idx := (99*len(s) + 99) / 100
+	if idx > len(s) {
+		idx = len(s)
+	}
+	return s[idx-1]
+}

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/faultinject"
+)
+
+// TestDeadlineValidation: deadline_ms is hardened at the front door —
+// non-positive and absurd values are 400s, not silent adoption.
+func TestDeadlineValidation(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, ms := range []int64{0, -1, MaxDeadlineMs + 1} {
+		spec := testSpec(t, 5, nil)
+		spec.DeadlineMs = &ms
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("deadline_ms=%d accepted by Submit", ms)
+		}
+		resp := postJob(t, ts.URL, spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST deadline_ms=%d = %d, want 400", ms, resp.StatusCode)
+		}
+	}
+
+	ms := int64(60_000)
+	spec := testSpec(t, 5, nil)
+	spec.DeadlineMs = &ms
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("valid deadline refused: %v", err)
+	}
+	waitTerminal(t, s, st.ID)
+}
+
+// TestDeadlineRefusedWhenUnaffordable: a budget that cannot cover the
+// job's estimated cost is refused at admission with 504 + Retry-After,
+// not accepted and doomed.
+func TestDeadlineRefusedWhenUnaffordable(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ConnCost = time.Second // every connection "costs" a second
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ms := int64(50) // a tiny board still has >0 connections: 50ms < 1s·conns
+	spec := testSpec(t, 5, nil)
+	spec.DeadlineMs = &ms
+	if _, err := s.Submit(spec); err == nil {
+		t.Fatal("unaffordable deadline accepted by Submit")
+	}
+	resp := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("POST unaffordable deadline = %d, want 504", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("504 refusal carries no Retry-After")
+	}
+}
+
+// TestDeadlineExceededFailsJob: a deadline that expires mid-route
+// fails the job permanently — no retry loop burns attempts on a corpse
+// — and the failure names the deadline.
+func TestDeadlineExceededFailsJob(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxAttempts = 5
+	slow := faultinject.NewSlowNode(5*time.Millisecond, 1)
+	cfg.BoardHook = func(b *board.Board) { b.Interpose(slow) }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainServer(t, s)
+
+	ms := int64(30) // the slow interposer makes the route outrun this
+	spec := testSpec(t, 5, nil)
+	spec.DeadlineMs = &ms
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, s, st.ID)
+	if fin.State != StateFailed {
+		t.Fatalf("job state = %s, want failed (status %+v)", fin.State, fin)
+	}
+	if !strings.Contains(fin.Error, "deadline") {
+		t.Errorf("failure does not name the deadline: %q", fin.Error)
+	}
+}
+
+// TestMaxBodyRejected: request hardening — a body over MaxBodyBytes is
+// refused with 413 before it is buffered whole.
+func TestMaxBodyRejected(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxBodyBytes = 1024
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big, err := json.Marshal(JobSpec{Design: strings.Repeat("x", 4096)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized POST = %d, want 413", resp.StatusCode)
+	}
+
+	// A normal-sized spec still fits comfortably under the default cap.
+	s2, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainServer(t, s2)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if resp := postJob(t, ts2.URL, testSpec(t, 5, nil)); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("normal POST = %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestJournalDeadlineTokenRoundTrip: the deadline and hedge-token
+// directives survive write→parse exactly, and a record carrying
+// neither serializes without those lines at all — the byte-identical
+// guarantee for the no-hedge, no-deadline path.
+func TestJournalDeadlineTokenRoundTrip(t *testing.T) {
+	cfg := testConfig(t)
+	if err := cfg.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := buildSnapshot(testSpec(t, 5, nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Unix(0, 1754600000123456789)
+	j := &Job{
+		ID: "job-000042", State: StateQueued, snap: snap,
+		Deadline: deadline, HedgeToken: 2,
+	}
+	var buf bytes.Buffer
+	if err := writeJobRecord(&buf, j); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := readJobRecord(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Deadline.Equal(deadline) {
+		t.Errorf("deadline = %v, want %v", rec.Deadline, deadline)
+	}
+	if rec.HedgeToken != 2 {
+		t.Errorf("token = %d, want 2", rec.HedgeToken)
+	}
+
+	plain := &Job{ID: "job-000043", State: StateQueued, snap: snap}
+	buf.Reset()
+	if err := writeJobRecord(&buf, plain); err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{"deadline ", "token "} {
+		if bytes.Contains(buf.Bytes(), []byte("\n"+dir)) {
+			t.Errorf("record without %s carries a %q line:\n%s", strings.TrimSpace(dir), dir, buf.String())
+		}
+	}
+}
+
+// TestBatchSubmit: POST /jobs/batch fans out through the normal
+// admission path — per-item verdicts, envelope deadline inheritance,
+// bounded batch size.
+func TestBatchSubmit(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 8
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	envelope := int64(60_000)
+	req := BatchRequest{
+		Jobs: []JobSpec{
+			testSpec(t, 5, nil),
+			{Design: "not a design"},
+			testSpec(t, 6, nil),
+		},
+		DeadlineMs: &envelope,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d, want 200", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Accepted != 2 || len(br.Jobs) != 3 {
+		t.Fatalf("accepted %d of %d results, want 2 of 3", br.Accepted, len(br.Jobs))
+	}
+	if br.Jobs[1].Status != nil || br.Jobs[1].Code != http.StatusBadRequest {
+		t.Errorf("bad item verdict = %+v, want code 400", br.Jobs[1])
+	}
+	for _, i := range []int{0, 2} {
+		if br.Jobs[i].Status == nil {
+			t.Fatalf("item %d refused: %+v", i, br.Jobs[i])
+		}
+		fin := waitTerminal(t, s, br.Jobs[i].Status.ID)
+		if fin.State != StateDone {
+			t.Errorf("item %d: %+v", i, fin)
+		}
+	}
+
+	// The envelope deadline reached the journal: both accepted jobs
+	// carry a non-zero absolute deadline in their durable records.
+	recs, err := LoadRecords(cfg.JournalDir, func(path string, err error) {
+		t.Errorf("corrupt journal record %s: %v", path, err)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Deadline.IsZero() {
+			t.Errorf("job %s journaled without the envelope deadline", rec.ID)
+		}
+	}
+
+	// An oversized batch is refused whole.
+	huge := BatchRequest{Jobs: make([]JobSpec, MaxBatchJobs+1)}
+	body, err = json.Marshal(huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(ts.URL+"/jobs/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch = %d, want 400", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"fmt"
+	"time"
+)
+
+// Hedged execution and deadline propagation — the node-side half of the
+// fleet's tail-latency contract (DESIGN §14).
+//
+// Hedging gives one job two live copies on two nodes; exactly one may
+// journal a terminal "done". The gate is a commit claim: the fleet
+// coordinator marks both copies with a per-job attempt token (1 for the
+// original, 2 for the hedge), and a token-carrying copy must win
+// Config.ClaimCommit — first claimant wins — before its terminal record
+// is written. The loser flips to handed_off, exactly as if the job had
+// been stolen: locally final, never re-run, the winner's journal
+// authoritative. Jobs that were never hedged carry no token and never
+// claim, so the standalone and no-hedge fleet paths are byte-identical
+// to the pre-hedging server.
+
+// validateDeadline checks a submission's deadline_ms bound and converts
+// it to a duration (0 = no deadline). Violations are client errors: the
+// HTTP layer maps them to 400.
+func validateDeadline(spec JobSpec) (time.Duration, error) {
+	if spec.DeadlineMs == nil {
+		return 0, nil
+	}
+	v := *spec.DeadlineMs
+	if v <= 0 {
+		return 0, fmt.Errorf("server: deadline_ms must be positive, got %d", v)
+	}
+	if v > MaxDeadlineMs {
+		return 0, fmt.Errorf("server: deadline_ms %d exceeds the %d ms maximum", v, MaxDeadlineMs)
+	}
+	return time.Duration(v) * time.Millisecond, nil
+}
+
+// admitDeadline refuses a job whose remaining budget cannot cover its
+// estimated routing cost — the 504-style fast-fail of DESIGN §14. With
+// no usable estimate yet it refuses only already-expired deadlines.
+func (s *Server) admitDeadline(deadline time.Time, conns int) error {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return fmt.Errorf("%w: deadline already expired", ErrDeadline)
+	}
+	if est := s.estimateCost(conns); est > 0 && remaining < est {
+		return fmt.Errorf("%w: %v remaining, estimated cost %v for %d connections",
+			ErrDeadline, remaining.Round(time.Millisecond), est.Round(time.Millisecond), conns)
+	}
+	return nil
+}
+
+// estimateCost predicts how long routing conns connections takes here:
+// Config.ConnCost when pinned, otherwise the EWMA learned from this
+// node's own completed attempts. Zero means "no estimate yet" (fewer
+// than three attempts trained it) — admission then only rejects
+// deadlines that have already expired.
+func (s *Server) estimateCost(conns int) time.Duration {
+	if s.cfg.ConnCost > 0 {
+		return time.Duration(conns) * s.cfg.ConnCost
+	}
+	if s.connCost.Samples() < 3 {
+		return 0
+	}
+	return time.Duration(float64(conns) * s.connCost.Value() * float64(time.Second))
+}
+
+// ArmClaim marks a job as hedge-gated with the given token: from now on
+// this node must win the coordinator's commit claim before journaling a
+// terminal state for it. The coordinator calls it on the current owner
+// immediately before launching a hedge; the returned state lets it skip
+// the hedge when the job already settled. armed=false without error
+// means the job exists but could not be gated — it is terminal, already
+// handed off, or mid-commit (committing): in every case launching a
+// hedge now would be useless or unsafe, so the coordinator backs off.
+func (s *Server) ArmClaim(id string, token uint64) (st State, armed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return "", false, fmt.Errorf("server: unknown job %s", id)
+	}
+	if !j.State.Live() || j.committing {
+		return j.State, false, nil
+	}
+	j.claimRequired = true
+	j.HedgeToken = token
+	return j.State, true, nil
+}
+
+// claimTerminal asks the fleet's commit gate — when this copy is hedge-
+// gated and a gate is configured — whether it may journal a terminal
+// state. It also latches j.committing under the same lock hold that
+// reads claimRequired, so ArmClaim can never slip a hedge in between
+// the decision below and the journal write that follows it.
+func (s *Server) claimTerminal(j *Job) (win bool, err error) {
+	s.mu.Lock()
+	j.committing = true
+	required := j.claimRequired && j.State.Live()
+	id, token := j.ID, j.HedgeToken
+	s.mu.Unlock()
+	if !required || s.cfg.ClaimCommit == nil {
+		return true, nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-s.drainCtx.Done():
+				return false, lastErr
+			case <-time.After(50 * time.Millisecond << (attempt - 1)):
+			}
+		}
+		win, err := s.cfg.ClaimCommit(id, token)
+		if err == nil {
+			s.obs.claim(win)
+			return win, nil
+		}
+		lastErr = err
+	}
+	return false, lastErr
+}
+
+// Supersede cancels this node's copy of a hedged job because a peer's
+// copy won (or is about to win) the commit race. A running attempt is
+// aborted through its context and steps aside when it unwinds; a
+// waiting copy — queued, retrying, parked — flips to handed_off right
+// here, under one lock hold, so a worker cannot start it mid-cancel.
+// Terminal and handed-off copies are left alone. Returns the state the
+// job was in when the cancel landed.
+func (s *Server) Supersede(id string) (State, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return "", fmt.Errorf("server: unknown job %s", id)
+	}
+	st := j.State
+	if !st.Live() {
+		s.mu.Unlock()
+		return st, nil
+	}
+	if st == StateRunning {
+		j.superseded = true
+		cancel := j.cancelRun
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return st, nil
+	}
+	if j.stopRetry != nil {
+		j.stopRetry()
+		j.stopRetry = nil
+	}
+	wasParked := j.parked
+	j.State = StateHandedOff
+	j.parked = false
+	j.superseded = true
+	rec := *j
+	s.mu.Unlock()
+	s.finishSupersede(j, &rec, wasParked, "cancelled by coordinator")
+	return st, nil
+}
+
+// supersedeFromRun steps a losing copy aside from its own settle path:
+// the attempt that just finished (or was cancelled) belongs to this
+// goroutine, so no other flip can race it — Supersede never touches
+// running jobs directly.
+func (s *Server) supersedeFromRun(j *Job, reason string) {
+	s.mu.Lock()
+	if !j.State.Live() {
+		s.mu.Unlock()
+		return
+	}
+	wasParked := j.parked
+	j.State = StateHandedOff
+	j.parked = false
+	j.superseded = true
+	rec := *j
+	s.mu.Unlock()
+	s.finishSupersede(j, &rec, wasParked, reason)
+}
+
+// finishSupersede journals the handed_off record and releases the
+// loser's admission slot — the same bookkeeping as a steal, because a
+// supersede IS a handoff: the job lives on, just not here.
+func (s *Server) finishSupersede(j *Job, rec *Job, wasParked bool, reason string) {
+	rec.Err = ""
+	if err := s.saveJob(rec); err != nil {
+		s.cfg.Logf("grrd: journaling superseded %s: %v", j.ID, err)
+	}
+	if wasParked {
+		s.parkedN.Add(-1)
+	}
+	<-s.slots
+	s.channelGauges()
+	s.obs.superseded.Inc()
+	s.cfg.Logf("grrd: %s superseded: %s", j.ID, reason)
+	s.log.Log("job_superseded", "job", j.ID, "reason", reason)
+}

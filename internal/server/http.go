@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"strconv"
@@ -36,8 +37,11 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("POST /jobs/batch", s.handleBatch)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /fleet/hedge-arm", s.handleHedgeArm)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -142,42 +146,176 @@ type httpError struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job spec: " + err.Error()})
-		return
-	}
-	st, err := s.Submit(spec)
+// submitCode maps a Submit/Adopt refusal to its HTTP status and
+// Retry-After hint ("" = none). One table for single submits, batch
+// items and the coordinator's forward path, so the codes can't drift.
+func (s *Server) submitCode(err error) (code int, retryAfter string) {
 	switch {
-	case err == nil:
-		s.writeJSON(w, http.StatusAccepted, st)
 	case errors.Is(err, ErrQueueFull):
 		// Shed load, don't queue unboundedly: tell the client when to
 		// come back. A slot frees after roughly one backoff interval, so
 		// the hint derives from Config.RetryBase, not a hardcoded guess.
-		w.Header().Set("Retry-After", s.retryAfterFull)
-		s.writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
+		return http.StatusTooManyRequests, s.retryAfterFull
 	case errors.Is(err, ErrDraining):
 		// A draining daemon is gone for good after at most DrainBudget;
 		// steer the client to its replacement on that horizon.
-		w.Header().Set("Retry-After", s.retryAfterDrain)
-		s.writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+		return http.StatusServiceUnavailable, s.retryAfterDrain
 	case errors.Is(err, ErrDiskDegraded):
 		// 507 Insufficient Storage: the truthful code for "this node's
 		// disk cannot take your job". Retry-After points at the next
 		// self-probe; fleet clients treat it like any other shed.
-		w.Header().Set("Retry-After", s.retryAfterDisk)
-		s.writeJSON(w, http.StatusInsufficientStorage, httpError{Error: err.Error()})
+		return http.StatusInsufficientStorage, s.retryAfterDisk
+	case errors.Is(err, ErrDeadline):
+		// 504 Gateway Timeout: the job's deadline budget cannot cover
+		// its estimated cost here. Retry-After hints at the backoff
+		// horizon — a less loaded (or faster) node may still make it.
+		return http.StatusGatewayTimeout, s.retryAfterFull
 	case errors.Is(err, ErrInternal):
-		s.writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		return http.StatusInternalServerError, ""
 	default:
 		// Submit validates the spec before touching the queue, so any
 		// other error is a client-side spec problem.
-		s.writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return http.StatusBadRequest, ""
 	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.writeJSON(w, bodyErrCode(err), httpError{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(spec)
+	if err == nil {
+		s.writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	code, ra := s.submitCode(err)
+	if ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	s.writeJSON(w, code, httpError{Error: err.Error()})
+}
+
+// bodyErrCode distinguishes an oversize body (413, the MaxBodyBytes
+// hardening cap) from a malformed one (400).
+func bodyErrCode(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// BatchRequest is the POST /jobs/batch payload: up to MaxBatchJobs
+// specs submitted in one request. DeadlineMs, when set, is the batch
+// envelope deadline: every job that does not carry its own deadline_ms
+// inherits it. Each job gets the same absolute deadline — the batch
+// routes in parallel across the fleet, so dividing the budget among
+// jobs would punish parallelism the fleet actually delivers.
+type BatchRequest struct {
+	Jobs       []JobSpec `json:"jobs"`
+	DeadlineMs *int64    `json:"deadline_ms,omitempty"`
+}
+
+// BatchResult is one job's outcome within a batch response: its queued
+// Status, or the refusal error plus the HTTP status code a single
+// submit would have answered with.
+type BatchResult struct {
+	Status *Status `json:"status,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Code   int     `json:"code,omitempty"`
+}
+
+// BatchResponse is the POST /jobs/batch response body.
+type BatchResponse struct {
+	Jobs     []BatchResult `json:"jobs"`
+	Accepted int           `json:"accepted"`
+}
+
+// MaxBatchJobs bounds one batch request (request hardening: a batch is
+// a convenience, not a bulk-import channel).
+const MaxBatchJobs = 256
+
+// handleBatch admits N jobs in one request. Admission is per-job:
+// accepted jobs run even when siblings are refused, and each item
+// reports its own status or refusal. The response is 200 whenever the
+// batch itself was well-formed — per-item codes live in the items.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeJSON(w, bodyErrCode(err), httpError{Error: "bad batch: " + err.Error()})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, httpError{Error: "bad batch: no jobs"})
+		return
+	}
+	if len(req.Jobs) > MaxBatchJobs {
+		s.writeJSON(w, http.StatusBadRequest,
+			httpError{Error: fmt.Sprintf("bad batch: %d jobs exceeds the %d maximum", len(req.Jobs), MaxBatchJobs)})
+		return
+	}
+	resp := BatchResponse{Jobs: make([]BatchResult, len(req.Jobs))}
+	for i, spec := range req.Jobs {
+		if spec.DeadlineMs == nil {
+			spec.DeadlineMs = req.DeadlineMs
+		}
+		st, err := s.Submit(spec)
+		if err != nil {
+			code, _ := s.submitCode(err)
+			resp.Jobs[i] = BatchResult{Error: err.Error(), Code: code}
+			continue
+		}
+		resp.Jobs[i] = BatchResult{Status: &st}
+		resp.Accepted++
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCancel is the coordinator's supersede signal: a hedge peer's
+// result won, stop working on this copy. Idempotent — cancelling a
+// settled or already-superseded job reports its state and changes
+// nothing.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Supersede(r.PathValue("id"))
+	if err != nil {
+		s.writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"state": string(st)})
+}
+
+// hedgeArmRequest is the POST /fleet/hedge-arm payload.
+type hedgeArmRequest struct {
+	Job   string `json:"job"`
+	Token uint64 `json:"token"`
+}
+
+// handleHedgeArm gates a job behind the coordinator's commit claim
+// before a hedge is launched. The response reports the job's state and
+// whether the gate actually armed — the coordinator skips the hedge
+// when it didn't (job terminal, handed off, or mid-commit).
+func (s *Server) handleHedgeArm(w http.ResponseWriter, r *http.Request) {
+	var req hedgeArmRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, httpError{Error: "bad arm request: " + err.Error()})
+		return
+	}
+	if req.Job == "" || req.Token == 0 {
+		s.writeJSON(w, http.StatusBadRequest, httpError{Error: "bad arm request: job and token are required"})
+		return
+	}
+	st, armed, err := s.ArmClaim(req.Job, req.Token)
+	if err != nil {
+		s.writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"state": string(st), "armed": armed})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

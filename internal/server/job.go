@@ -23,6 +23,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -87,6 +88,14 @@ type JobSpec struct {
 	Design  string           `json:"design"`
 	Conns   string           `json:"conns,omitempty"`
 	Options map[string]int64 `json:"options,omitempty"`
+	// DeadlineMs, when present, is the end-to-end budget the client
+	// grants this job, in milliseconds from admission. It must be
+	// positive and at most MaxDeadlineMs — a pointer so "absent" (no
+	// deadline, the default) is distinguishable from an explicit zero,
+	// which is rejected. Each forwarding hop decrements it by the time
+	// already spent, and the worker clamps core.Options.TimeBudget to
+	// what is left (DESIGN §14).
+	DeadlineMs *int64 `json:"deadline_ms,omitempty"`
 }
 
 // Job is the server's record of one routing job. All fields are guarded
@@ -110,8 +119,51 @@ type Job struct {
 	AuditOK     bool
 	Metrics     *core.Metrics
 
+	// Deadline is the absolute wall-clock instant the client's
+	// deadline_ms budget expires; zero when the job has none. Journaled
+	// (as unix nanos), so a handed-off or recovered job keeps its
+	// deadline — the budget is end-to-end, not per-owner.
+	Deadline time.Time
+
+	// HedgeToken is the per-job attempt token of the hedged-execution
+	// protocol (DESIGN §14): 0 for a normal job, assigned by the fleet
+	// coordinator the moment a hedge exists for this job. Journaled
+	// when non-zero; a token-carrying record must win the coordinator's
+	// commit claim before journaling a terminal state.
+	HedgeToken uint64
+
 	// stopRetry cancels a pending backoff timer; nil when none is armed.
 	stopRetry func() bool
+
+	// claimRequired marks a job that must win the coordinator's commit
+	// claim before its terminal state may be journaled — set by
+	// ArmClaim (the coordinator is about to hedge) or on adopting /
+	// recovering a record whose HedgeToken is non-zero. Runtime-only:
+	// the journaled token re-derives it.
+	claimRequired bool
+
+	// superseded marks a copy that lost the hedge race (or was
+	// cancelled by the coordinator): its running attempt is aborted and
+	// its record flips to handed_off — the winner's journal is
+	// authoritative. Runtime-only.
+	superseded bool
+
+	// committing marks a terminal commit in flight: set (under the
+	// server mutex) the moment claimTerminal decides whether a claim is
+	// required, cleared when a fresh attempt starts. ArmClaim refuses to
+	// arm a committing job — closing the window where a hedge could be
+	// launched between the claim decision and the terminal journal
+	// write, which would let both copies commit. Runtime-only.
+	committing bool
+
+	// cancelRun aborts the in-flight attempt's context; nil when no
+	// attempt is running. Runtime-only.
+	cancelRun context.CancelFunc
+
+	// enqueuedAt is when the job last entered the run queue; the
+	// queue-wait signal the heartbeat Load reports is measured from it.
+	// Runtime-only.
+	enqueuedAt time.Time
 
 	// parked marks an interrupted job shelved by the disk-degraded
 	// posture (slot retained, requeued when the disk heals). Runtime-
@@ -144,6 +196,10 @@ type Status struct {
 	Fingerprint string        `json:"fingerprint,omitempty"`
 	AuditOK     *bool         `json:"audit_ok,omitempty"`
 	Metrics     *core.Metrics `json:"metrics,omitempty"`
+	// DeadlineMs is the remaining deadline budget in milliseconds
+	// (rounded up, possibly negative once overdue), present only while
+	// a deadline-carrying job is still live.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // Status snapshots a detached job record — one produced by
@@ -177,6 +233,13 @@ func (j *Job) status() Status {
 		st.Fingerprint = fmt.Sprintf("%016x", j.Fingerprint)
 		ok := j.AuditOK
 		st.AuditOK = &ok
+	}
+	if !j.Deadline.IsZero() && j.State.Live() {
+		ms := time.Until(j.Deadline).Milliseconds()
+		if ms == 0 {
+			ms = 1 // still ahead of the deadline by sub-millisecond; 0 would read as "none"
+		}
+		st.DeadlineMs = ms
 	}
 	return st
 }

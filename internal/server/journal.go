@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/boardio"
 	"repro/internal/simfs"
@@ -24,6 +25,8 @@ import (
 //	attempt <n>
 //	error <quoted string>            last failure, "" when none
 //	aborted <quoted string>          abort reason of the last stop, "" when none
+//	deadline <unix nanos>            absolute client deadline; omitted when none
+//	token <n>                        hedge attempt token; omitted when 0
 //	result <16-hex fingerprint> <audit 0/1>   done jobs only
 //	snapshot begin
 //	...WriteSnapshot lines (with their own checksum)...
@@ -66,6 +69,14 @@ func writeJobRecord(w io.Writer, j *Job) error {
 	fmt.Fprintf(&sb, "attempt %d\n", j.Attempt)
 	fmt.Fprintf(&sb, "error %s\n", strconv.Quote(j.Err))
 	fmt.Fprintf(&sb, "aborted %s\n", strconv.Quote(j.Aborted))
+	// Deadline and token lines are emitted only when set: a job with
+	// neither writes the exact bytes the pre-hedging format wrote.
+	if !j.Deadline.IsZero() {
+		fmt.Fprintf(&sb, "deadline %d\n", j.Deadline.UnixNano())
+	}
+	if j.HedgeToken != 0 {
+		fmt.Fprintf(&sb, "token %d\n", j.HedgeToken)
+	}
 	if j.State == StateDone {
 		fmt.Fprintf(&sb, "result %016x %d\n", j.Fingerprint, boolDigit(j.AuditOK))
 	}
@@ -149,6 +160,18 @@ func readJobRecord(r io.Reader) (*Job, error) {
 				return nil, fmt.Errorf("server: job record: bad aborted field %q", rest)
 			}
 			j.Aborted = s
+		case "deadline":
+			ns, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("server: job record: bad deadline %q", rest)
+			}
+			j.Deadline = time.Unix(0, ns)
+		case "token":
+			tok, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("server: job record: bad token %q", rest)
+			}
+			j.HedgeToken = tok
 		case "result":
 			f := strings.Fields(rest)
 			if len(f) != 2 {
@@ -314,6 +337,16 @@ func DecodeRecord(r io.Reader) (*Job, error) { return readJobRecord(r) }
 // server's fence guard — it is the fleet coordinator's write path into
 // a journal it has fenced and now owns.
 func SaveRecord(dir string, j *Job) error { return saveJobRecord(dir, j) }
+
+// LoadRecord reads one job's record from dir — the coordinator's read
+// path when it hedges a still-running job: the copy the healthy peer
+// adopts is the owner's last durable checkpoint, read straight off the
+// shared filesystem. Atomic rename means a concurrent checkpoint write
+// yields either the previous record or the new one, never a torn read
+// the checksum would miss.
+func LoadRecord(dir, id string) (*Job, error) {
+	return readJobPath(journalPath(dir, id))
+}
 
 // LoadRecords reads every job record in dir, sorted by ID, reporting
 // (and quarantining) corrupt files through warn. It is loadJournal

@@ -19,9 +19,10 @@ const (
 	causeConflict   = "conflict"
 	causeAudit      = "audit"
 	causeJournal    = "journal"
+	causeHedge      = "hedge"
 )
 
-var retryCauses = [...]string{causePanic, causeCheckpoint, causeConflict, causeAudit, causeJournal}
+var retryCauses = [...]string{causePanic, causeCheckpoint, causeConflict, causeAudit, causeJournal, causeHedge}
 
 // serverObs bundles the daemon's registry handles. It always exists —
 // New backs it with a private registry when Config.Metrics is nil — so
@@ -68,6 +69,16 @@ type serverObs struct {
 	diskParked         *obs.Counter
 	diskTmpCleaned     *obs.Counter
 	journalQuarantined *obs.Counter
+
+	// Tail-latency contract (DESIGN §14): deadline admission/expiry,
+	// queue-wait (the node's own fail-slow signal), and the hedge commit
+	// claim outcomes seen from this node's side of the protocol.
+	deadlineRefused  *obs.Counter
+	deadlineExceeded *obs.Counter
+	queueWaitSeconds *obs.Histogram
+	claimWins        *obs.Counter
+	claimLosses      *obs.Counter
+	superseded       *obs.Counter
 }
 
 func newServerObs(reg *obs.Registry) *serverObs {
@@ -114,6 +125,13 @@ func newServerObs(reg *obs.Registry) *serverObs {
 		diskParked:         reg.Counter("grr_disk_jobs_parked_total"),
 		diskTmpCleaned:     reg.Counter("grr_disk_tmp_cleaned_total"),
 		journalQuarantined: reg.Counter("grr_journal_records_quarantined_total"),
+
+		deadlineRefused:  reg.Counter("grr_deadline_refused_total"),
+		deadlineExceeded: reg.Counter("grr_deadline_exceeded_total"),
+		queueWaitSeconds: reg.Histogram("grr_queue_wait_seconds", obs.DurationBuckets()),
+		claimWins:        reg.Counter(`grr_hedge_claim_attempts_total{result="win"}`),
+		claimLosses:      reg.Counter(`grr_hedge_claim_attempts_total{result="lose"}`),
+		superseded:       reg.Counter("grr_hedge_superseded_total"),
 	}
 	for _, cause := range retryCauses {
 		o.retried[cause] = reg.Counter(`grr_jobs_retried_total{cause="` + cause + `"}`)
@@ -130,6 +148,15 @@ func (o *serverObs) retry(cause string) {
 		c = o.retried[causePanic]
 	}
 	c.Inc()
+}
+
+// claim counts one resolved commit-claim by outcome.
+func (o *serverObs) claim(win bool) {
+	if win {
+		o.claimWins.Inc()
+	} else {
+		o.claimLosses.Inc()
+	}
 }
 
 // channels publishes the current queue/slot occupancy. Called after
@@ -159,13 +186,19 @@ func (s *Server) saveJob(rec *Job) error {
 		s.noteDiskError(err)
 		return err
 	}
+	t0 := time.Now()
 	err := saveJobRecord(s.cfg.JournalDir, rec)
 	s.obs.journalWrites.Inc()
 	if err != nil {
 		s.obs.journalWriteErrs.Inc()
 		s.noteDiskError(err)
+		return err
 	}
-	return err
+	// Journal-write latency is the disk half of the node's fail-slow
+	// signal; only successful writes train it (failures latch the
+	// degraded posture instead — a different failure mode).
+	s.diskLat.Observe(float64(time.Since(t0).Microseconds()) / 1000)
+	return nil
 }
 
 // entropySeed derives a non-zero RNG seed from the OS entropy pool,

@@ -37,6 +37,21 @@ var (
 	// ErrDuplicate: Adopt was offered a job ID this node already owns in
 	// a live or terminal state (not handed_off, which re-adopts cleanly).
 	ErrDuplicate = errors.New("server: job already present")
+	// ErrDeadline: the job's remaining deadline budget cannot cover its
+	// estimated routing cost. The HTTP layer maps it to 504 Gateway
+	// Timeout + Retry-After — a fast-fail at admission beats burning a
+	// worker on an answer the client will have stopped waiting for.
+	ErrDeadline = errors.New("server: deadline cannot be met")
+)
+
+// Submission bounds enforced with 400s (request hardening): deadline_ms
+// must be in (0, MaxDeadlineMs] and an explicit "workers" option in
+// [1, MaxWorkersOption]. Both are generous — the point is rejecting
+// nonsense (negative, zero, or absurd values from buggy or hostile
+// clients) before it reaches the queue, not constraining real use.
+const (
+	MaxDeadlineMs    = int64(24 * 60 * 60 * 1000) // 24h
+	MaxWorkersOption = int64(4096)
 )
 
 // Config parameterizes a Server. The zero value of every field gets a
@@ -119,6 +134,25 @@ type Config struct {
 	// posture latched until restart). It also derives the Retry-After
 	// header on 507 disk-degraded responses.
 	DiskProbeEvery time.Duration
+	// MaxBodyBytes caps the HTTP request body of job submissions,
+	// single and batch (default 16 MiB). Oversize requests are refused
+	// with 413 before any parsing happens.
+	MaxBodyBytes int64
+	// ConnCost, when positive, fixes the per-connection routing-cost
+	// estimate the deadline admission check uses (remaining budget <
+	// conns × estimate → ErrDeadline). Zero (the default) learns the
+	// estimate from this node's own completed attempts — an EWMA of
+	// attempt seconds per connection — and refuses nothing until at
+	// least three attempts have trained it.
+	ConnCost time.Duration
+	// ClaimCommit, when set, is the fleet's hedged-execution commit
+	// gate: before journaling a terminal state for a job whose record
+	// carries a hedge token, the node asks the coordinator whether this
+	// copy won the first-durable-result race. false means a peer's copy
+	// won — the local copy flips to handed_off instead of committing.
+	// Nil (standalone, or a fleet without hedging) commits immediately,
+	// byte-identically to the pre-hedging paths.
+	ClaimCommit func(jobID string, token uint64) (win bool, err error)
 }
 
 func (c *Config) setDefaults() error {
@@ -154,6 +188,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 8
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -199,6 +236,15 @@ type Server struct {
 	// they are waiting work a peer could steal — but live outside the
 	// queue channel, so the channel length alone undercounts them.
 	parkedN atomic.Int64
+
+	// Fail-slow signals (DESIGN §14). queueWait and diskLat feed the
+	// heartbeat Load report (milliseconds) so the coordinator can spot
+	// a node whose jobs wait too long or whose journal writes drag;
+	// connCost learns attempt-seconds-per-connection for the deadline
+	// admission estimate.
+	queueWait *obs.EWMA
+	diskLat   *obs.EWMA
+	connCost  *obs.EWMA
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -288,6 +334,9 @@ func New(cfg Config) (*Server, error) {
 		rng:             rand.New(rand.NewSource(cfg.RetrySeed)),
 		queue:           make(chan *Job, depth),
 		slots:           make(chan struct{}, depth),
+		queueWait:       obs.NewEWMA(0.3),
+		diskLat:         obs.NewEWMA(0.3),
+		connCost:        obs.NewEWMA(0.2),
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 
@@ -308,6 +357,10 @@ func New(cfg Config) (*Server, error) {
 		prev := j.State
 		j.State = StateQueued
 		j.created = time.Now()
+		j.enqueuedAt = j.created
+		// A recovered record carrying a hedge token is one copy of a
+		// hedged job: it must still win the commit claim before settling.
+		j.claimRequired = j.HedgeToken != 0
 		if err := s.saveJob(j); err != nil {
 			return nil, err
 		}
@@ -376,10 +429,23 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 		s.obs.rejectDisk.Inc()
 		return Status{}, ErrDiskDegraded
 	}
+	budget, err := validateDeadline(spec)
+	if err != nil {
+		s.obs.rejectSpec.Inc()
+		return Status{}, err
+	}
 	snap, err := buildSnapshot(spec, s.cfg)
 	if err != nil {
 		s.obs.rejectSpec.Inc()
 		return Status{}, err
+	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+		if err := s.admitDeadline(deadline, len(snap.Conns)); err != nil {
+			s.obs.deadlineRefused.Inc()
+			return Status{}, err
+		}
 	}
 
 	select {
@@ -392,7 +458,8 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 	s.mu.Lock()
 	id := s.newID()
 	s.mu.Unlock()
-	j := &Job{ID: id, State: StateQueued, snap: snap, created: time.Now()}
+	now := time.Now()
+	j := &Job{ID: id, State: StateQueued, snap: snap, created: now, Deadline: deadline, enqueuedAt: now}
 	rec := *j
 
 	// Journal BEFORE publishing the job in s.jobs: the instant a queued
@@ -436,6 +503,13 @@ func buildSnapshot(spec JobSpec, cfg Config) (*boardio.Snapshot, error) {
 			return nil, fmt.Errorf("server: stringing nets: %w", err)
 		}
 		conns = strung.Conns
+	}
+
+	// Request hardening: an explicit "workers" option must be sane
+	// before the clamp below quietly adjusts it — zero, negative and
+	// absurd values are client bugs, and a 400 tells the client so.
+	if w, ok := spec.Options["workers"]; ok && (w <= 0 || w > MaxWorkersOption) {
+		return nil, fmt.Errorf("server: workers option must be in [1, %d], got %d", MaxWorkersOption, w)
 	}
 
 	opts := core.DefaultOptions()
@@ -556,6 +630,14 @@ type Load struct {
 	// because Health is a priority collapse: a draining node's disk
 	// state would otherwise be invisible to the coordinator.
 	Disk string `json:"disk,omitempty"`
+	// QueueWaitMs and DiskWriteMs are the node's fail-slow signals
+	// (DESIGN §14): EWMAs of how long jobs sit queued before a worker
+	// picks them up, and of journal-write latency. The coordinator
+	// compares them across the fleet to latch a slow posture — a node
+	// can be "ready" by every health check above and still be the one
+	// dragging the tail. Omitted until there is at least one sample.
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	DiskWriteMs float64 `json:"disk_write_ms,omitempty"`
 }
 
 // Load snapshots the node's occupancy for heartbeats and scheduling.
@@ -571,6 +653,12 @@ func (s *Server) Load() Load {
 	}
 	if s.diskDegraded.Load() {
 		l.Disk = "degraded"
+	}
+	if s.queueWait.Samples() > 0 {
+		l.QueueWaitMs = s.queueWait.Value()
+	}
+	if s.diskLat.Samples() > 0 {
+		l.DiskWriteMs = s.diskLat.Value()
 	}
 	return l
 }
@@ -701,6 +789,14 @@ func (s *Server) Adopt(rec *Job) (Status, error) {
 	j.Aborted = rec.Aborted
 	j.snap = rec.snap
 	j.created = time.Now()
+	j.enqueuedAt = j.created
+	// The deadline and hedge token travel with the record: the budget is
+	// end-to-end and a hedge copy must claim its commit wherever it runs.
+	j.Deadline = rec.Deadline
+	j.HedgeToken = rec.HedgeToken
+	j.claimRequired = rec.HedgeToken != 0
+	j.superseded = false
+	j.committing = false
 	if n := jobSeq(rec.ID); n >= s.seq {
 		s.seq = n + 1 // insurance against ID reuse if names ever collide
 	}
@@ -819,7 +915,12 @@ func (s *Server) runJob(j *Job) {
 	j.State = StateRunning
 	j.Attempt++
 	j.stopRetry = nil
+	j.committing = false // a fresh attempt begins; no terminal commit in flight
 	attempt := j.Attempt
+	var waited time.Duration
+	if !j.enqueuedAt.IsZero() {
+		waited = time.Since(j.enqueuedAt)
+	}
 	rec := *j
 	s.mu.Unlock()
 	s.obs.attempts.Inc()
@@ -829,7 +930,20 @@ func (s *Server) runJob(j *Job) {
 		s.obs.running.Add(-1)
 		s.runningN.Add(-1)
 	}()
+	if waited > 0 {
+		s.queueWait.Observe(waited.Seconds() * 1000)
+		s.obs.queueWaitSeconds.Observe(waited.Seconds())
+	}
 	s.log.Log("job_running", "job", j.ID, "attempt", attempt)
+	if !rec.Deadline.IsZero() && time.Now().After(rec.Deadline) {
+		// The deadline expired while the job sat queued: fail fast
+		// instead of burning a worker on an answer nobody is waiting for.
+		s.obs.deadlineExceeded.Inc()
+		s.settle(j, attempt, outcome{permanent: fmt.Errorf(
+			"deadline exceeded %v before attempt %d started",
+			time.Since(rec.Deadline).Round(time.Millisecond), attempt)})
+		return
+	}
 	if err := s.saveJob(&rec); err != nil {
 		// Can't record that the job is running — journal trouble. Treat
 		// like any transient fault.
@@ -839,7 +953,13 @@ func (s *Server) runJob(j *Job) {
 
 	t0 := time.Now()
 	out := s.execute(j)
-	s.obs.attemptSeconds.Observe(time.Since(t0).Seconds())
+	dur := time.Since(t0)
+	s.obs.attemptSeconds.Observe(dur.Seconds())
+	if out.res != nil && out.res.Metrics.Connections > 0 {
+		// Train the deadline-admission estimate on completed attempts:
+		// seconds of routing per connection, smoothed.
+		s.connCost.Observe(dur.Seconds() / float64(out.res.Metrics.Connections))
+	}
 	s.settle(j, attempt, out)
 }
 
@@ -875,7 +995,29 @@ func (s *Server) execute(j *Job) (out outcome) {
 
 	s.mu.Lock()
 	snap := j.snap
+	deadline := j.Deadline
 	s.mu.Unlock()
+
+	// Per-attempt context: the drain context, narrowed by the job's
+	// deadline when it has one, and cancellable by Supersede when a
+	// hedge peer's result wins the commit race. core.RouteContext merges
+	// the context deadline into the abort machinery — sooner wins.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if deadline.IsZero() {
+		ctx, cancel = context.WithCancel(s.drainCtx)
+	} else {
+		ctx, cancel = context.WithDeadline(s.drainCtx, deadline)
+	}
+	defer cancel()
+	s.mu.Lock()
+	j.cancelRun = cancel
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		j.cancelRun = nil
+		s.mu.Unlock()
+	}()
 
 	// Run from a shallow copy: the sink, cadence and registry are
 	// runtime-only and must not leak into the journaled snapshot.
@@ -895,6 +1037,14 @@ func (s *Server) execute(j *Job) (out outcome) {
 		return s.saveJob(&rec)
 	}
 
+	if !deadline.IsZero() {
+		// The last hop of deadline propagation: the remaining end-to-end
+		// budget clamps the router's own time budget (before Restore hands
+		// the options to the router), so the abort fires at the deadline
+		// even if the client asked for more routing time.
+		run.Opts.ClampTimeBudget(time.Until(deadline))
+	}
+
 	b, r, err := run.Restore()
 	if err != nil {
 		// The journaled checkpoint does not fit its own design: nothing a
@@ -905,13 +1055,20 @@ func (s *Server) execute(j *Job) (out outcome) {
 		s.cfg.BoardHook(b)
 	}
 
-	res := r.RouteContext(s.drainCtx)
+	res := r.RouteContext(ctx)
 	switch res.Aborted {
 	case core.AbortNone:
 		return outcome{res: &res, fingerprint: b.Fingerprint(), auditErr: b.Audit()}
 	case core.AbortCancelled:
 		return outcome{interrupted: &res}
 	case core.AbortTime:
+		// Within 10ms of the deadline the two time aborts are the same
+		// event (the clamp above set the budget from the deadline); report
+		// it as the deadline so clients and metrics see the right cause.
+		if !deadline.IsZero() && time.Now().After(deadline.Add(-10*time.Millisecond)) {
+			s.obs.deadlineExceeded.Inc()
+			return outcome{permanent: fmt.Errorf("deadline exceeded after %d/%d routed", res.Metrics.Routed, res.Metrics.Connections)}
+		}
 		return outcome{permanent: fmt.Errorf("time budget exhausted after %d/%d routed", res.Metrics.Routed, res.Metrics.Connections)}
 	case core.AbortCheckpoint:
 		return outcome{transient: fmt.Errorf("checkpoint write: %w", res.Invariant), cause: causeCheckpoint}
@@ -933,6 +1090,19 @@ func (s *Server) settle(j *Job, attempt int, out outcome) {
 			// A board that fails its final audit is corrupt state, not an
 			// answer; retry from the last good checkpoint.
 			s.retryOrFail(j, attempt, fmt.Errorf("final audit: %w", out.auditErr), causeAudit)
+			return
+		}
+		// Hedge commit gate (DESIGN §14): a job carrying a hedge token
+		// must win the coordinator's first-durable-result claim before
+		// its done record may be journaled. Losing means a peer's copy
+		// already committed — this copy steps aside as handed_off.
+		win, err := s.claimTerminal(j)
+		if err != nil {
+			s.retryOrFail(j, attempt, fmt.Errorf("hedge commit claim: %w", err), causeHedge)
+			return
+		}
+		if !win {
+			s.supersedeFromRun(j, "lost the hedge commit race")
 			return
 		}
 		m := out.res.Metrics
@@ -976,6 +1146,16 @@ func (s *Server) settle(j *Job, attempt int, out outcome) {
 			"fingerprint", fmt.Sprintf("%016x", rec.Fingerprint))
 
 	case out.interrupted != nil:
+		s.mu.Lock()
+		superseded := j.superseded
+		s.mu.Unlock()
+		if superseded {
+			// Not a drain: the coordinator cancelled this copy because a
+			// hedge peer's result won. Step aside — the winner's journal
+			// is the authoritative record.
+			s.supersedeFromRun(j, "cancelled: a hedge peer's result won")
+			return
+		}
 		s.mu.Lock()
 		j.State = StateInterrupted
 		j.Aborted = core.AbortCancelled.String()
@@ -1120,6 +1300,7 @@ func (s *Server) requeue(j *Job) {
 	}
 	j.State = StateQueued
 	j.stopRetry = nil
+	j.enqueuedAt = time.Now()
 	s.mu.Unlock()
 	s.queue <- j
 	s.channelGauges()
@@ -1130,6 +1311,16 @@ func (s *Server) requeue(j *Job) {
 // the slot, then publish, so anyone who observes the job as failed can
 // rely on the journal agreeing and on its capacity being available.
 func (s *Server) fail(j *Job, cause error) {
+	if win, err := s.claimTerminal(j); err != nil {
+		// The claim arbiter is unreachable from the giving-up path.
+		// Commit the failure locally anyway: a failed record can never
+		// violate done-in-exactly-one — only done commits race — and if a
+		// peer's copy later wins, its journal is authoritative (§14).
+		s.cfg.Logf("grrd: %s failing without a commit claim: %v", j.ID, err)
+	} else if !win {
+		s.supersedeFromRun(j, "lost the hedge commit race")
+		return
+	}
 	s.mu.Lock()
 	rec := *j
 	s.mu.Unlock()

@@ -603,7 +603,6 @@ func TestJobWorkersClampedToCPUSlots(t *testing.T) {
 		{4, 4},  // exactly at the bound
 		{3, 3},  // within the bound: passes through
 		{1, 1},
-		{-5, 0}, // nonsense normalizes to sequential
 	}
 	for _, c := range cases {
 		snap, err := buildSnapshot(testSpec(t, 1, map[string]int64{"workers": c.ask}), cfg)
@@ -612,6 +611,13 @@ func TestJobWorkersClampedToCPUSlots(t *testing.T) {
 		}
 		if got := int64(snap.Opts.Workers); got != c.want {
 			t.Errorf("workers=%d admitted as %d, want %d", c.ask, got, c.want)
+		}
+	}
+	// Nonsense values are client errors, rejected outright (request
+	// hardening), not silently normalized.
+	for _, bad := range []int64{0, -5, MaxWorkersOption + 1} {
+		if _, err := buildSnapshot(testSpec(t, 1, map[string]int64{"workers": bad}), cfg); err == nil {
+			t.Errorf("workers=%d admitted, want rejection", bad)
 		}
 	}
 

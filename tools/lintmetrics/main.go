@@ -36,6 +36,14 @@ var labelled = regexp.MustCompile(`grr_[a-z0-9_]*[a-z0-9]\{[^}` + "`" + `]*\}?`)
 // lint covers them statically too.
 var wellFormedLabels = regexp.MustCompile(`^\{[a-z][a-z0-9_]*="[^"{}]*"(, ?[a-z][a-z0-9_]*="[^"{}]*")*\}$`)
 
+// requiredPrefixes are metric families a subsystem contract depends
+// on: the tail-latency contract (DESIGN §14) is only observable if at
+// least one slow-posture, one hedge and one deadline series exist in
+// code and in the §10 catalog. A refactor that renames a family away
+// entirely fails here even though name-by-name cross-checking would
+// stay green.
+var requiredPrefixes = []string{"grr_fleet_slow_", "grr_hedge_", "grr_deadline_"}
+
 func main() {
 	root := "."
 	if len(os.Args) > 1 {
@@ -66,6 +74,20 @@ func main() {
 	for name := range inDocs {
 		if !inCode[name] {
 			bad = append(bad, fmt.Sprintf("%s: documented in DESIGN.md but registered nowhere in code", name))
+		}
+	}
+	for _, prefix := range requiredPrefixes {
+		for where, set := range map[string]map[string]bool{"code": inCode, "the DESIGN.md §10 catalog": inDocs} {
+			found := false
+			for name := range set {
+				if strings.HasPrefix(name, prefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				bad = append(bad, fmt.Sprintf("%s*: required metric family has no series in %s", prefix, where))
+			}
 		}
 	}
 	if len(bad) > 0 {
