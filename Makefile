@@ -74,7 +74,9 @@ soak-disk:
 # The Table 1 sweep at jc=1 and jc=4, written to BENCH_<gitsha>.json —
 # one comparable artifact per commit. BENCH_SCALE > 1 shrinks the boards
 # for quick runs; the sequential/concurrent bit-identity assertion runs
-# either way. `make microbench` is the old go-test microbenchmark pass.
+# either way, as does the engine comparison: routed-metric parity per
+# board and (at full scale) >= 20% fewer expanded nodes for the goal
+# engine. `make microbench` is the old go-test microbenchmark pass.
 BENCH_SCALE ?= 1
 BENCH_JC ?= 1,4
 

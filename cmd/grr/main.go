@@ -37,9 +37,16 @@
 //
 // -resume replays the remainder of the route with the snapshot's own
 // algorithmic options; explicitly passing a conflicting -radius, -sort,
-// -cost, -bidirectional or -node-budget is an error (exit 1), because
-// mixed options would silently produce a board neither run would have
-// built.
+// -cost, -bidirectional, -engine or -node-budget is an error (exit 1),
+// because mixed options would silently produce a board neither run would
+// have built.
+//
+// -edits applies a design-delta script (block / remove-net / add-conn
+// lines) after the base route; with -incremental only the connections
+// the edits disturb are re-searched, yet the edited board is identical
+// to routing the edited design from scratch:
+//
+//	grr -design coproc.brd -edits rev2.edits -incremental
 package main
 
 import (
@@ -105,6 +112,10 @@ func run() int {
 		sort   = flag.Bool("sort", true, "sort connections before routing (Section 6)")
 		cost   = flag.String("cost", "dist*hops", "Lee cost function: dist*hops, plus-one, distance")
 		bidi   = flag.Bool("bidirectional", true, "spread Lee wavefronts from both ends")
+		engine = flag.String("engine", "classic", "Lee search engine: classic, goal (goal-oriented lower-bound priorities)")
+
+		editsF      = flag.String("edits", "", "after routing, apply this edit script (block/remove-net/add-conn lines) and route the edited design")
+		incremental = flag.Bool("incremental", false, "with -edits: re-route only the connections the edits disturb instead of routing the edited design from scratch")
 
 		timeBudget = flag.Duration("time-budget", 0, "stop routing after this much wall-clock time (0 = none); partial results exit 3")
 		nodeBudget = flag.Int("node-budget", 0, "fail any connection whose search expands more than this many nodes (0 = none)")
@@ -187,6 +198,19 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "grr: unknown cost function %q\n", *cost)
 		return exitUsage
 	}
+	switch *engine {
+	case "classic":
+		opts.Engine = core.EngineClassic
+	case "goal":
+		opts.Engine = core.EngineGoal
+	default:
+		fmt.Fprintf(os.Stderr, "grr: unknown engine %q\n", *engine)
+		return exitUsage
+	}
+	if *incremental && *editsF == "" {
+		fmt.Fprintln(os.Stderr, "grr: -incremental requires -edits")
+		return exitUsage
+	}
 
 	cfg := singleConfig{
 		design: *design, connsF: *connsF, routes: *routes, svgDir: *svgDir,
@@ -194,6 +218,11 @@ func run() int {
 		runDRC: *runDRC, congst: *congst,
 		checkpoint: *checkpoint, ckEvery: *ckEvery,
 		hangAt: *hangAt,
+		edits:  *editsF, incremental: *incremental,
+	}
+	if *editsF != "" && (*checkpoint != "" || *resume != "") {
+		fmt.Fprintln(os.Stderr, "grr: -edits excludes -checkpoint and -resume")
+		return exitUsage
 	}
 	if *resume != "" {
 		if *table1 || *design != "" {
@@ -248,6 +277,8 @@ type singleConfig struct {
 	checkpoint                             string
 	ckEvery                                int
 	hangAt                                 int
+	edits                                  string
+	incremental                            bool
 }
 
 // attachCheckpointSink wires a periodic snapshot writer into opts. The
@@ -305,6 +336,9 @@ func runSingle(ctx context.Context, cfg singleConfig, opts core.Options) int {
 		conns = sr.Conns
 	}
 
+	if cfg.edits != "" {
+		return runWithEdits(ctx, cfg, d, b, conns, opts)
+	}
 	if cfg.checkpoint != "" {
 		attachCheckpointSink(&opts, cfg.checkpoint, cfg.ckEvery, d, conns)
 	}
@@ -319,6 +353,74 @@ func runSingle(ctx context.Context, cfg singleConfig, opts core.Options) int {
 		return fail(err)
 	}
 	return routeAndReport(ctx, cfg, d, b, conns, r)
+}
+
+// runWithEdits routes the base design, applies the -edits script and
+// routes the edited design — incrementally (adopting every recorded
+// route the edits did not disturb) with -incremental, from scratch
+// otherwise. The two modes produce the identical edited board; the
+// incremental one just gets there without re-searching. Reports and
+// artifacts describe the edited board.
+func runWithEdits(ctx context.Context, cfg singleConfig, d *netlist.Design, b *board.Board, conns []core.Connection, opts core.Options) int {
+	ef, err := os.Open(cfg.edits)
+	if err != nil {
+		return fail(err)
+	}
+	edits, err := boardio.ReadEdits(ef)
+	ef.Close()
+	if err != nil {
+		return fail(err)
+	}
+
+	opts.RecordRegions = opts.RecordRegions || cfg.incremental
+	r, err := core.New(b, conns, opts)
+	if err != nil {
+		return fail(err)
+	}
+	start := time.Now()
+	res := r.RouteContext(ctx)
+	fmt.Println("base route:")
+	fmt.Println(stats.Header())
+	fmt.Println(stats.NewRow(d, b, conns, res, time.Since(start)).Format())
+	if res.Aborted != core.AbortNone {
+		fmt.Fprintf(os.Stderr, "grr: base route aborted (%s); not applying edits\n", res.Aborted)
+		if res.Invariant != nil {
+			fmt.Fprintln(os.Stderr, "grr:", res.Invariant)
+		}
+		return exitInternal
+	}
+
+	b2, err := board.New(d.GridConfig())
+	if err != nil {
+		return fail(err)
+	}
+	if err := d.PlacePins(b2); err != nil {
+		return fail(err)
+	}
+	for _, e := range edits {
+		if e.Op == core.EditBlock {
+			if err := b2.PlaceKeepout(e.Rect); err != nil {
+				return fail(fmt.Errorf("edit block %v: %w", e.Rect, err))
+			}
+		}
+	}
+
+	var r2 *core.Router
+	if cfg.incremental {
+		r2, err = r.Reroute(b2, edits, nil)
+	} else {
+		r2, err = core.New(b2, core.EditConns(conns, edits), opts)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Println("\nedited route:")
+	code := routeAndReport(ctx, cfg, d, b2, r2.Conns, r2)
+	if cfg.incremental {
+		adopted, rerouted := r2.IncStats()
+		fmt.Printf("incremental: %d route(s) adopted, %d re-routed\n", adopted, rerouted)
+	}
+	return code
 }
 
 // runResume reloads a -checkpoint snapshot and routes the rest of the
@@ -452,6 +554,7 @@ func resumeConflicts(flagOpts, snapOpts core.Options, explicit map[string]bool) 
 		{"sort", flagOpts.Sort, snapOpts.Sort},
 		{"cost", flagOpts.Cost, snapOpts.Cost},
 		{"bidirectional", flagOpts.Bidirectional, snapOpts.Bidirectional},
+		{"engine", flagOpts.Engine, snapOpts.Engine},
 		{"node-budget", flagOpts.NodeBudget, snapOpts.NodeBudget},
 	}
 	for _, c := range checks {

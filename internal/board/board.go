@@ -48,6 +48,10 @@ type Board struct {
 	// (see OnMutate) — the concurrent router's commit-log feed, kept
 	// separate from the Interpose seam so both can be active at once.
 	onMutate func(Record)
+	// hooks are further mutation listeners (AddMutateHook): the goal
+	// engine's lower-bound index and the incremental router's turn
+	// tracking both listen without displacing onMutate or the observer.
+	hooks []func(Record)
 
 	// seq counts applied mutations; openTxs counts transactions holding
 	// unresolved journal entries (see OpenTxs); commitEpoch counts
@@ -98,6 +102,25 @@ func (b *Board) mutated(rec Record) {
 	}
 	if b.onMutate != nil {
 		b.onMutate(rec)
+	}
+	for _, h := range b.hooks {
+		if h != nil {
+			h(rec)
+		}
+	}
+}
+
+// AddMutateHook registers f to be called after every applied mutation,
+// alongside the observer and OnMutate listeners. It returns a function
+// removing the hook again. Hooks may not mutate the board.
+func (b *Board) AddMutateHook(f func(Record)) (remove func()) {
+	b.hooks = append(b.hooks, f)
+	idx := len(b.hooks) - 1
+	return func() {
+		b.hooks[idx] = nil
+		for n := len(b.hooks); n > 0 && b.hooks[n-1] == nil; n-- {
+			b.hooks = b.hooks[:n-1]
+		}
 	}
 }
 
@@ -284,6 +307,29 @@ func (b *Board) PlacePinOffGrid(p geom.Point) error {
 		return fmt.Errorf("board: pin site %v already occupied", p)
 	}
 	b.OffGridHoles = append(b.OffGridHoles, p)
+	return nil
+}
+
+// PlaceKeepout blocks every grid cell of rectangle r (inclusive, grid
+// coordinates) on every signal layer with KeepoutOwner-owned segments —
+// mounting holes, board cutouts, or a region blocked by a design edit.
+// The rectangle is clipped to the board; a keepout colliding with
+// existing metal (a pin, a routed trace) is an error, and the board is
+// left with the partial keepout placed — callers treat it as a rejected
+// design, not a recoverable state.
+func (b *Board) PlaceKeepout(r geom.Rect) error {
+	r = r.Intersect(b.Cfg.Bounds())
+	if r.Empty() {
+		return fmt.Errorf("board: keepout %v lies outside the board", r)
+	}
+	for li, l := range b.Layers {
+		chans, pos := b.Cfg.ChanSpan(l.Orient, r)
+		for ch := chans.Lo; ch <= chans.Hi; ch++ {
+			if b.AddSegment(li, ch, pos.Lo, pos.Hi, layer.KeepoutOwner) == nil {
+				return fmt.Errorf("board: keepout %v collides with existing metal on layer %d channel %d", r, li, ch)
+			}
+		}
+	}
 	return nil
 }
 

@@ -22,9 +22,12 @@ import (
 // WriteDesign serializes a design:
 //
 //	board <name> <viaCols> <viaRows> <layers> <pitch>
+//	keepout <minx> <miny> <maxx> <maxy>
 //	package <name> <terminator 0|1> <x,y> <x,y> ...
 //	part <name> <package> <x> <y> <tech>
 //	net <name> <tech> <delayps> <part.pin/func> ...
+//
+// keepout rectangles are in routing-grid units (netlist.Design.Keepouts).
 func WriteDesign(w io.Writer, d *netlist.Design) error {
 	bw := bufio.NewWriter(w)
 	pitch := d.Pitch
@@ -32,6 +35,9 @@ func WriteDesign(w io.Writer, d *netlist.Design) error {
 		pitch = 3
 	}
 	fmt.Fprintf(bw, "board %s %d %d %d %d\n", nameOr(d.Name, "unnamed"), d.ViaCols, d.ViaRows, d.Layers, pitch)
+	for _, r := range d.Keepouts {
+		fmt.Fprintf(bw, "keepout %d %d %d %d\n", r.MinX, r.MinY, r.MaxX, r.MaxY)
+	}
 
 	pkgs := map[*netlist.Package]bool{}
 	for _, p := range d.Parts {
@@ -105,6 +111,15 @@ func ReadDesign(r io.Reader) (*netlist.Design, error) {
 			if d.ViaCols < 1 || d.ViaRows < 1 || d.Layers < 1 || d.Pitch < 1 {
 				return nil, fail("board dimensions must be positive")
 			}
+		case "keepout":
+			if len(f) != 5 {
+				return nil, fail("keepout needs minx miny maxx maxy")
+			}
+			vals, err := atois(f[1:])
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			d.Keepouts = append(d.Keepouts, geom.R(vals[0], vals[1], vals[2], vals[3]))
 		case "package":
 			if len(f) < 4 {
 				return nil, fail("package needs name terminator offsets...")

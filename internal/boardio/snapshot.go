@@ -136,6 +136,12 @@ var optionFields = []optionField{
 	{"paranoid", func(o *core.Options) int64 { return boolInt(o.Paranoid) }, func(o *core.Options, v int64) { o.Paranoid = v != 0 }},
 	{"checkpointevery", func(o *core.Options) int64 { return int64(o.CheckpointEvery) }, func(o *core.Options, v int64) { o.CheckpointEvery = int(v) }},
 	{"workers", func(o *core.Options) int64 { return int64(o.Workers) }, func(o *core.Options, v int64) { o.Workers = int(v) }},
+	// engine and recordregions postdate the fields above; snapshots
+	// written before them simply omit the lines, and the zero values they
+	// decode to (EngineClassic, regions off) are exactly what those runs
+	// used. engine is algorithmic — resume refuses a conflicting -engine.
+	{"engine", func(o *core.Options) int64 { return int64(o.Engine) }, func(o *core.Options, v int64) { o.Engine = core.Engine(v) }},
+	{"recordregions", func(o *core.Options) int64 { return boolInt(o.RecordRegions) }, func(o *core.Options, v int64) { o.RecordRegions = v != 0 }},
 }
 
 // OptionNames lists the router options the snapshot codec — and the
@@ -147,6 +153,20 @@ func OptionNames() []string {
 		names[i] = f.name
 	}
 	return names
+}
+
+// OptionInts returns every recognized option's integer serialization
+// from o, in OptionNames order — the resolved option vector. The
+// fleet's route-cache key hashes this vector rather than the raw
+// submission map, so a spec that spells out a default keys identically
+// to one that omits it, and an algorithmic option (engine, cost
+// weights) is structurally guaranteed a slot in the key.
+func OptionInts(o *core.Options) []int64 {
+	vals := make([]int64, len(optionFields))
+	for i, f := range optionFields {
+		vals[i] = f.get(o)
+	}
+	return vals
 }
 
 // ApplyOption sets the named router option on o from its integer

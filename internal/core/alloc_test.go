@@ -43,14 +43,17 @@ func wallOff(tb testing.TB, b *board.Board, c geom.Point) {
 // The "tracked" variant floods with read-region tracking armed, exactly
 // as a concurrent worker's speculative attempt runs: tracking is pure
 // interval arithmetic into preallocated fields, so it must fit the same
-// budget.
+// budget. The "goal" variant floods under EngineGoal: the lower-bound
+// index is consulted on every via candidate, so its query path — ensure,
+// the prefix counts, the radius window — must be allocation-free too.
 func TestLeeSteadyStateAllocs(t *testing.T) {
-	t.Run("bare", func(t *testing.T) { leeSteadyStateAllocs(t, nil, false) })
-	t.Run("instrumented", func(t *testing.T) { leeSteadyStateAllocs(t, obs.NewRegistry(), false) })
-	t.Run("tracked", func(t *testing.T) { leeSteadyStateAllocs(t, nil, true) })
+	t.Run("bare", func(t *testing.T) { leeSteadyStateAllocs(t, nil, false, EngineClassic) })
+	t.Run("instrumented", func(t *testing.T) { leeSteadyStateAllocs(t, obs.NewRegistry(), false, EngineClassic) })
+	t.Run("tracked", func(t *testing.T) { leeSteadyStateAllocs(t, nil, true, EngineClassic) })
+	t.Run("goal", func(t *testing.T) { leeSteadyStateAllocs(t, nil, false, EngineGoal) })
 }
 
-func leeSteadyStateAllocs(t *testing.T, reg *obs.Registry, tracked bool) {
+func leeSteadyStateAllocs(t *testing.T, reg *obs.Registry, tracked bool, engine Engine) {
 	b := emptyBoard(t, 40, 40, 2)
 	a := pinAt(t, b, geom.Pt(2, 2))
 	c := pinAt(t, b, geom.Pt(35, 35))
@@ -60,6 +63,7 @@ func leeSteadyStateAllocs(t *testing.T, reg *obs.Registry, tracked bool) {
 	opts.CostCapFactor = 0     // never abandon early
 	opts.Escalate = false
 	opts.Metrics = reg
+	opts.Engine = engine
 	r := mustRouter(t, b, []Connection{{A: a, B: c}}, opts)
 	id := r.connID(0)
 	var region readRegion

@@ -448,8 +448,9 @@ func (r *Router) adopt(i int, res *workerRes) bool {
 
 // mergeOne routes connection i at its merge turn: adopt the clean
 // speculative result, or fall back to the full sequential routeOne
-// (rip-up rights included) on the master board.
-func (r *Router) mergeOne(i int, res *workerRes) {
+// (rip-up rights included) on the master board. It reports whether the
+// speculative result was adopted as-is.
+func (r *Router) mergeOne(i int, res *workerRes) bool {
 	switch {
 	case res == nil:
 		r.routeOne(i)
@@ -470,7 +471,45 @@ func (r *Router) mergeOne(i int, res *workerRes) {
 		if r.obs != nil {
 			r.obs.specAdopted.Add(1)
 		}
+		return true
 	}
+	return false
+}
+
+// mergeTurn is mergeOne bracketed by the RecordRegions bookkeeping of
+// incremental.go — the concurrent counterpart of routeTurn. On a
+// replay router the memo is tried before the speculative result is
+// even consumed (an adopted memo makes the speculation moot; the
+// unconsumed result is discarded at the next beginPass). take defers
+// consuming the worker result so that short-circuit stays cheap.
+func (r *Router) mergeTurn(i int, take func() *workerRes) {
+	if !r.Opts.RecordRegions {
+		r.mergeOne(i, take())
+		return
+	}
+	if c := &r.Conns[i]; c.A == c.B {
+		r.mergeOne(i, take())
+		return
+	}
+	if r.replay != nil {
+		if m := r.memos[i]; m != nil && m.pass == r.curPass && r.memoAdopt(i, m) {
+			return
+		}
+	}
+	res := take()
+	r.beginTurn()
+	ripBase := r.metrics.RipUps
+	specAdopted := r.mergeOne(i, res)
+	region, rect := r.endTurn()
+	if specAdopted {
+		// An adopted speculation replayed journal records rather than
+		// searching on the master; the worker's tracked extents are the
+		// turn's true read region.
+		region = readRegion{cells: res.cells, vias: res.vias}
+	}
+	ok := r.routes[i].Method != NotRouted
+	clean := ok && r.metrics.RipUps == ripBase && r.abortReason == AbortNone
+	r.recordTurn(i, ok, clean, region, rect)
 }
 
 // runConcurrent is run() with the inner loop split between speculation
@@ -496,6 +535,7 @@ passes:
 			passT0 = time.Now()
 		}
 		c.beginPass(startPos)
+		r.curPass = pass
 		for pi := startPos; pi < len(r.order); pi++ {
 			i := r.order[pi]
 			r.ckPass, r.ckPos, r.ckPrev = pass, pi, prevUnrouted
@@ -504,9 +544,8 @@ passes:
 			}
 			full := false
 			if r.routes[i].Method == NotRouted {
-				res := c.take(pi)
 				ripBase := r.metrics.RipUps + r.metrics.ReRouted
-				r.mergeOne(i, res)
+				r.mergeTurn(i, func() *workerRes { return c.take(pi) })
 				full = r.metrics.RipUps+r.metrics.ReRouted != ripBase
 				r.ckPos = pi + 1
 				r.obsFlush()

@@ -101,6 +101,30 @@ func (c CostFn) String() string {
 	}
 }
 
+// Engine selects the search engine driving the Lee flood.
+type Engine uint8
+
+const (
+	// EngineClassic is the paper's wavefront, ordered by CostFn. The
+	// default, bit-identical to every prior release.
+	EngineClassic Engine = iota
+	// EngineGoal orders the wavefront goal-oriented: accumulated path
+	// cost plus an admissible, congestion-aware lower bound on the
+	// remaining cost, read from the preprocessed per-layer structure of
+	// lowerbound.go (DESIGN §15). It expands strictly fewer nodes than
+	// classic on the Table 1 sweep; individual paths may differ, so it
+	// is opt-in and algorithmic (resume refuses a snapshot taken under
+	// the other engine).
+	EngineGoal
+)
+
+func (e Engine) String() string {
+	if e == EngineGoal {
+		return "goal"
+	}
+	return "classic"
+}
+
 // Options tune the router. The zero value is not valid; use
 // DefaultOptions.
 type Options struct {
@@ -116,6 +140,20 @@ type Options struct {
 	// Bidirectional spreads wavefronts from both ends (Section 8.2,
 	// modification 2). Disabling it exists for the E-BIDIR ablation.
 	Bidirectional bool
+	// Engine selects the search engine ordering the Lee wavefront:
+	// EngineClassic (the CostFn figure of merit, the default) or
+	// EngineGoal (goal-oriented lower-bound priorities, DESIGN §15).
+	// Algorithmic: it changes routed output, so resume refuses a
+	// snapshot taken under a different engine.
+	Engine Engine
+	// RecordRegions makes the router remember, per connection, the
+	// board region its successful search read and the mutation extents
+	// of every turn — the state an incremental Reroute (incremental.go)
+	// consumes after a design edit. Purely additive bookkeeping: routed
+	// output is bit-identical with it on or off, at the cost of
+	// read-extent tracking and one retained rectangle set per
+	// connection.
+	RecordRegions bool
 	// MaxRipupRounds bounds how many rip-up/retry rounds a single
 	// connection may trigger before it is declared failed for this pass.
 	MaxRipupRounds int

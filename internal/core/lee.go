@@ -93,6 +93,13 @@ type leeSearch struct {
 	seq      int
 	costCap  int64 // abandon threshold; 0 = unlimited
 
+	// Goal-oriented mode (Options.Engine == EngineGoal): the wavefront
+	// is ordered by accumulated path cost plus the admissible lower
+	// bound of lowerbound.go. The per-point accumulated costs reuse the
+	// scratch's delay slots (zeroed by setMark, so sources read 0).
+	goal   bool
+	viaPen int64
+
 	// Delay-targeting mode for the rejected cost-function tuner
 	// (tunedlee.go). The per-point path delays live in the scratch's
 	// mark store, in fixed-point picoseconds.
@@ -178,12 +185,21 @@ func (r *Router) leeRun(a, b geom.Point, id layer.ConnID) (Route, geom.Point, bo
 func (r *Router) leeOnce(a, b geom.Point, id layer.ConnID, banned banSet) (Route, *hop, geom.Point, bool) {
 	s := r.scratch.beginSearch(r, a, b)
 	s.banned = banned
+	if r.Opts.Engine == EngineGoal {
+		s.goal = true
+		s.viaPen = r.goalViaPen()
+	}
 	if f := int64(r.Opts.CostCapFactor); f > 0 {
 		d0 := int64(a.ManhattanDist(b))
-		if r.Opts.Cost == CostPlusOne {
+		if r.Opts.Cost == CostPlusOne && !s.goal {
 			// Hop counts, not distances: cap the path length in vias.
 			d0 = 4
 		}
+		// The cap formula is shared with the goal engine deliberately:
+		// goal estimates dominate classic ones pointwise (the via term
+		// only adds), so under the same cap a provably-blocked flood is
+		// abandoned no later — and usually much sooner — than classic
+		// would abandon it.
 		s.costCap = f * (d0 + 8*int64(r.B.Cfg.Pitch))
 	}
 
@@ -311,6 +327,20 @@ func (s *leeSearch) expand(p geom.Point, side int) (bool, []hop) {
 					est = -est
 				}
 				cost = est
+			} else if s.goal {
+				// The classic figure of merit sharpened with the
+				// preprocessed bound: the remaining-cost estimate is the
+				// Manhattan distance plus one via penalty when the
+				// lower-bound index proves the hop n sits on cannot reach
+				// the target — every remaining path then provably spends
+				// at least one more via, so the wavefront defers such
+				// points and floods provably-blocked corridors last (or,
+				// under the cost cap, not at all).
+				h := int64(n.ManhattanDist(target))
+				if r.lb.needsVia(n, target, r.Opts.Radius) {
+					h += s.viaPen
+				}
+				cost = h * int64(hops)
 			} else {
 				cost = r.cost(n, target, hops)
 			}

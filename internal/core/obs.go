@@ -72,6 +72,20 @@ type routerObs struct {
 	specConflicts *obs.Counter
 	specMisses    *obs.Counter
 	commitWait    *obs.Histogram
+
+	// Goal-engine lower-bound series (DESIGN §15), delta-flushed from
+	// the lbIndex's plain counters so the search loop never touches an
+	// atomic: builds, needsVia queries, and queries that proved a via
+	// mandatory. flushedLB is the already-published baseline.
+	lbBuilds  *obs.Counter
+	lbQueries *obs.Counter
+	lbHits    *obs.Counter
+	flushedLB [3]int
+
+	// Incremental replay outcomes (DESIGN §15), updated directly at
+	// replay turns like the speculation counters above.
+	incAdopted  *obs.Counter
+	incRerouted *obs.Counter
 }
 
 // newRouterObs registers (or re-resolves — registration is idempotent,
@@ -99,6 +113,13 @@ func newRouterObs(reg *obs.Registry) *routerObs {
 		specConflicts: reg.Counter("grr_router_spec_conflicts_total"),
 		specMisses:    reg.Counter("grr_router_spec_misses_total"),
 		commitWait:    reg.Histogram("grr_router_commit_wait_seconds", obs.DurationBuckets()),
+
+		lbBuilds:  reg.Counter("grr_lb_builds_total"),
+		lbQueries: reg.Counter("grr_lb_queries_total"),
+		lbHits:    reg.Counter("grr_lb_via_bound_hits_total"),
+
+		incAdopted:  reg.Counter("grr_incremental_adopted_total"),
+		incRerouted: reg.Counter("grr_incremental_rerouted_total"),
 	}
 	for i, cause := range [...]string{"no_victims", "rounds", "node_budget"} {
 		o.fail[i] = reg.Counter(`grr_router_route_failures_total{cause="` + cause + `"}`)
@@ -153,6 +174,12 @@ func (r *Router) obsFlush() {
 	}
 	if d := cur.ViasAdded - prev.ViasAdded; d != 0 {
 		o.vias.Add(int64(d))
+	}
+	if r.lb != nil {
+		addC(o.lbBuilds, r.lb.builds-o.flushedLB[0])
+		addC(o.lbQueries, r.lb.queries-o.flushedLB[1])
+		addC(o.lbHits, r.lb.hits-o.flushedLB[2])
+		o.flushedLB = [3]int{r.lb.builds, r.lb.queries, r.lb.hits}
 	}
 }
 

@@ -53,10 +53,37 @@ type Router struct {
 	invariant   error
 
 	// track, when non-nil, accumulates the read/write region of the
-	// connection attempt in flight. Only the concurrent engine's worker
-	// routers set it (concurrent.go); on a sequential router the cost is
-	// one nil check per placement.
+	// connection attempt in flight. The concurrent engine's worker
+	// routers set it (concurrent.go), as does routeTurn under
+	// Options.RecordRegions (incremental.go); on a plain sequential
+	// router the cost is one nil check per placement.
 	track *readRegion
+
+	// lb is the goal-oriented engine's preprocessed lower-bound index
+	// (lowerbound.go), nil under EngineClassic.
+	lb *lbIndex
+
+	// Incremental re-routing state (incremental.go), live only under
+	// Options.RecordRegions. memos holds, per connection index, the
+	// last clean (zero-rip-up) routing turn: its metal, read region and
+	// pass. churn accumulates the mutation extents of every turn that
+	// was not clean. turnRegion/turnRect are the per-turn accumulators
+	// routeTurn resets; the board mutation hook installed by New feeds
+	// turnRect. replay is non-nil on a router built by Reroute; curPass
+	// and inEscalate locate the turn in flight for memo bookkeeping.
+	memos      map[int]*connMemo
+	churn      map[int]geom.Rect
+	turnRegion readRegion
+	turnRect   geom.Rect
+	replay     *replayState
+	curPass    int
+	inEscalate bool
+
+	// Incremental outcome counters (incremental metric series): turns
+	// adopted straight from a memo, and turns an edit forced through
+	// the full ladder on a replay router.
+	incAdopted  int
+	incRerouted int
 
 	// Speculation outcome counters (concurrent runs only): attempts
 	// adopted as-is, speculative successes discarded because a prior
@@ -128,6 +155,18 @@ func New(b *board.Board, conns []Connection, opts Options) (*Router, error) {
 	r.order = SortOrder(b, r.Conns, opts.Sort)
 	r.scratch.init(b.Cfg)
 	r.viaFree = b.ViaFree
+	if opts.Engine == EngineGoal {
+		r.lb = newLBIndex(b)
+	}
+	if opts.RecordRegions {
+		r.memos = make(map[int]*connMemo)
+		r.churn = make(map[int]geom.Rect)
+		r.turnRect = emptyRect()
+		b.AddMutateHook(func(rec board.Record) {
+			r.turnRect = r.turnRect.Union(b.RecordRect(rec))
+		})
+		r.search.TrackReads(true)
+	}
 	if opts.Metrics != nil {
 		r.obs = newRouterObs(opts.Metrics)
 	}
@@ -278,6 +317,7 @@ passes:
 		if r.obs != nil {
 			passT0 = time.Now()
 		}
+		r.curPass = pass
 		for pi := startPos; pi < len(r.order); pi++ {
 			i := r.order[pi]
 			r.ckPass, r.ckPos, r.ckPrev = pass, pi, prevUnrouted
@@ -285,7 +325,7 @@ passes:
 				break passes
 			}
 			if r.routes[i].Method == NotRouted {
-				r.routeOne(i)
+				r.routeTurn(i)
 				r.ckPos = pi + 1
 				r.obsFlush()
 				r.maybeCheckpoint(pass, pi+1, prevUnrouted)
@@ -428,6 +468,11 @@ func (r *Router) escalate() {
 	defer func() { r.Opts = saved }()
 	r.Opts.CostCapFactor = 0
 	r.Opts.MaxRipupRounds *= 2
+	// Escalation turns run under tweaked options, so their results are
+	// never memoized for incremental adoption (recordTurn files them
+	// under churn); the flag also blocks memo adoption while set.
+	r.inEscalate = true
+	defer func() { r.inEscalate = false }()
 
 	for stage := 1; stage <= 2; stage++ {
 		r.Opts.Radius = saved.Radius + stage
@@ -439,7 +484,7 @@ func (r *Router) escalate() {
 					return
 				}
 				if r.routes[i].Method == NotRouted {
-					r.routeOne(i)
+					r.routeTurn(i)
 					r.obsFlush()
 				}
 			}

@@ -6,26 +6,49 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/boardio"
+	"repro/internal/core"
 	"repro/internal/server"
 )
 
 // specKey fingerprints a job spec: FNV-64a over the design text, the
-// connection list, and the options in sorted order. Two submissions
-// with the same key describe the same routing problem — and the router
-// being deterministic, the same problem has the same answer, which is
-// what makes the route cache sound.
+// connection list, and the RESOLVED router-option vector — the spec's
+// options applied over core.DefaultOptions, every recognized name in
+// codec order, exactly as the node's buildSnapshot resolves them. Two
+// submissions with the same key describe the same routing problem —
+// and the router being deterministic, the same problem has the same
+// answer, which is what makes the route cache sound.
+//
+// Hashing the resolved vector instead of the raw submission map does
+// two things: a spec that spells out a default keys identically to one
+// that omits it, and — the part that is a correctness guarantee, not a
+// hit-rate nicety — every algorithmic option the codec knows (engine,
+// cost function, radius, …) is structurally present in the key, so a
+// classic-engine result can never be served for a goal-engine request
+// no matter how either spec happened to spell its options. Unrecognized
+// option names (the node will reject the spec with a 400 anyway) are
+// hashed raw so a bad spec at least never aliases a good one.
 func specKey(spec server.JobSpec) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(spec.Design))
 	h.Write([]byte{0})
 	h.Write([]byte(spec.Conns))
 	h.Write([]byte{0})
-	names := make([]string, 0, len(spec.Options))
-	for k := range spec.Options {
-		names = append(names, k)
+	opts := core.DefaultOptions()
+	var unknown []string
+	for k, v := range spec.Options {
+		if err := boardio.ApplyOption(&opts, k, v); err != nil {
+			unknown = append(unknown, k)
+		}
 	}
-	sort.Strings(names)
-	for _, k := range names {
+	for i, v := range boardio.OptionInts(&opts) {
+		h.Write([]byte(strconv.Itoa(i)))
+		h.Write([]byte{'='})
+		h.Write([]byte(strconv.FormatInt(v, 10)))
+		h.Write([]byte{0})
+	}
+	sort.Strings(unknown)
+	for _, k := range unknown {
 		h.Write([]byte(k))
 		h.Write([]byte{'='})
 		h.Write([]byte(strconv.FormatInt(spec.Options[k], 10)))

@@ -94,6 +94,43 @@ func TestSpecKey(t *testing.T) {
 	}
 }
 
+// TestSpecKeyEngine is the regression test for the cache-keying bug:
+// the search engine (and every other algorithmic option) must be part
+// of the route-cache key, or a cached classic-engine result would be
+// served for a goal-engine request — a silent answer swap, since the
+// two engines may route the same board differently.
+func TestSpecKeyEngine(t *testing.T) {
+	classic := buildSpec(t, 1)
+	goal := buildSpec(t, 1)
+	goal.Options["engine"] = int64(core.EngineGoal)
+	if specKey(classic) == specKey(goal) {
+		t.Fatal("classic and goal engine requests share a cache key")
+	}
+
+	// Cost options are algorithmic too.
+	cost := buildSpec(t, 1)
+	cost.Options["cost"] = 1
+	if specKey(classic) == specKey(cost) {
+		t.Error("different cost functions share a cache key")
+	}
+
+	// The key hashes the RESOLVED vector: spelling out a default is the
+	// same problem as omitting it, and must hit the same cache entry.
+	explicit := buildSpec(t, 1)
+	explicit.Options["engine"] = int64(core.EngineClassic)
+	if specKey(classic) != specKey(explicit) {
+		t.Error("explicit default engine keys differently from an absent one")
+	}
+
+	// Unknown option names (the node rejects them with a 400) must not
+	// alias a valid spec.
+	bogus := buildSpec(t, 1)
+	bogus.Options["engin"] = int64(core.EngineGoal) // misspelled
+	if specKey(bogus) == specKey(classic) || specKey(bogus) == specKey(goal) {
+		t.Error("unknown option name aliases a valid spec")
+	}
+}
+
 func TestRouteCacheFIFO(t *testing.T) {
 	rc := newRouteCache(2)
 	done := func(id string) server.Status { return server.Status{ID: id, State: server.StateDone} }

@@ -171,6 +171,11 @@ type Design struct {
 	Parts    []*Part
 	Nets     []*Net
 	PinPitch float64 // inches between via sites, for pins/in² reporting (0.1 in the paper)
+	// Keepouts are board rectangles, in routing-grid units, forbidden to
+	// every signal layer: connector zones, mounting hardware, regions
+	// reserved for a later edit. PlacePins realizes them as permanent
+	// keepout metal, so routing never enters them.
+	Keepouts []geom.Rect
 }
 
 // GridConfig derives the routing-grid configuration for the design.
@@ -228,6 +233,15 @@ func (d *Design) Validate() error {
 			used[pos] = ref
 		}
 	}
+	gridBounds := d.GridConfig().Bounds()
+	for i, r := range d.Keepouts {
+		if r.Empty() {
+			return fmt.Errorf("netlist: keepout %d is empty", i)
+		}
+		if !gridBounds.Contains(r) {
+			return fmt.Errorf("netlist: keepout %d (%v) lies outside the %v routing grid", i, r, gridBounds)
+		}
+	}
 	for _, net := range d.Nets {
 		if len(net.Pins) < 2 {
 			return fmt.Errorf("netlist: net %s has %d pins; need at least 2", net.Name, len(net.Pins))
@@ -246,7 +260,8 @@ func (d *Design) Validate() error {
 }
 
 // PlacePins drills every part pin into the routing board as a permanent
-// plated-through hole. Call once before routing.
+// plated-through hole and realizes the design's keepouts. Call once
+// before routing.
 func (d *Design) PlacePins(b *board.Board) error {
 	for _, part := range d.Parts {
 		for pin := 1; pin <= part.Pkg.Pins(); pin++ {
@@ -254,6 +269,11 @@ func (d *Design) PlacePins(b *board.Board) error {
 			if err := b.PlacePin(p); err != nil {
 				return fmt.Errorf("netlist: %s pin %d: %w", part.Name, pin, err)
 			}
+		}
+	}
+	for i, r := range d.Keepouts {
+		if err := b.PlaceKeepout(r); err != nil {
+			return fmt.Errorf("netlist: keepout %d: %w", i, err)
 		}
 	}
 	return nil

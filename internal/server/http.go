@@ -7,7 +7,10 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
+
+	"repro/internal/boardio"
 )
 
 // Handler exposes the daemon over HTTP:
@@ -16,6 +19,10 @@ import (
 //	                Retry-After when shedding load or draining
 //	GET  /jobs      list all jobs
 //	GET  /jobs/{id} one job's Status (404 if unknown)
+//	POST /jobs/{id}/edit  derive a new job from a finished one by
+//	                applying an edit script (the boardio edits format);
+//	                202 + the derived job's Status, 404 unknown parent,
+//	                409 parent not done, else the usual submit codes
 //	GET  /healthz   liveness: 200 while the process serves at all
 //	GET  /readyz    readiness: 200 ready, 503 with a body naming WHY
 //	                not — "draining", "saturated" or "fenced" — so a
@@ -41,6 +48,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /jobs/{id}/edit", s.handleEdit)
 	mux.HandleFunc("POST /fleet/hedge-arm", s.handleHedgeArm)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -275,6 +283,48 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Accepted++
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// editRequest is the POST /jobs/{id}/edit payload: the edit script in
+// the boardio edits text format, plus an optional deadline for the
+// derived job.
+type editRequest struct {
+	Edits      string `json:"edits"`
+	DeadlineMs *int64 `json:"deadline_ms,omitempty"`
+}
+
+// handleEdit derives a new job from a finished one (DESIGN §15). The
+// derived job is an ordinary submission — journaled, retried, pollable
+// at GET /jobs/{id} — whose first attempt re-routes incrementally when
+// the parent's run is still retained.
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	var req editRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeJSON(w, bodyErrCode(err), httpError{Error: "bad edit request: " + err.Error()})
+		return
+	}
+	edits, err := boardio.ReadEdits(strings.NewReader(req.Edits))
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	st, err := s.SubmitEdit(r.PathValue("id"), edits, req.DeadlineMs)
+	switch {
+	case err == nil:
+		s.writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrUnknownJob):
+		s.writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+	case errors.Is(err, ErrNotDone):
+		s.writeJSON(w, http.StatusConflict, httpError{Error: err.Error()})
+	default:
+		code, ra := s.submitCode(err)
+		if ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		s.writeJSON(w, code, httpError{Error: err.Error()})
+	}
 }
 
 // handleCancel is the coordinator's supersede signal: a hedge peer's

@@ -179,6 +179,20 @@ type Job struct {
 	// runtime-only, for the grr_job_seconds latency histogram. Not
 	// journaled: a restarted daemon measures from recovery.
 	created time.Time
+
+	// editParent and edits mark a job derived via POST /jobs/{id}/edit:
+	// the finished job it edits and the design deltas applied. Runtime-
+	// only — the snapshot already IS the edited problem, so recovery and
+	// handoff route it from scratch; these fields merely enable the
+	// incremental fast path while the parent's router is retained.
+	editParent string
+	edits      []core.Edit
+
+	// incAdopted/incRerouted are the winning attempt's incremental
+	// replay stats (both zero when the job routed from scratch).
+	// Runtime-only — diagnostics, not part of the result.
+	incAdopted  int
+	incRerouted int
 }
 
 // Status is the JSON shape served by GET /jobs/{id}.

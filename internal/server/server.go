@@ -250,6 +250,10 @@ type Server struct {
 	jobs map[string]*Job
 	seq  int
 	rng  *rand.Rand
+	// retained caches completed runs' routers for incremental edits
+	// (edit.go); retainedOrder is its FIFO eviction order.
+	retained      map[string]*retainedRun
+	retainedOrder []string
 	// adopting marks job IDs whose adopted record is mid-write, so a
 	// second concurrent handoff of the same ID is refused instead of
 	// racing the first one's journal write.
@@ -331,6 +335,7 @@ func New(cfg Config) (*Server, error) {
 		retryAfterDisk:  retryAfterSeconds(cfg.DiskProbeEvery),
 		jobs:            make(map[string]*Job),
 		adopting:        make(map[string]bool),
+		retained:        make(map[string]*retainedRun),
 		rng:             rand.New(rand.NewSource(cfg.RetrySeed)),
 		queue:           make(chan *Job, depth),
 		slots:           make(chan struct{}, depth),
@@ -969,6 +974,12 @@ type outcome struct {
 	res         *core.Result // finished (possibly incomplete) run
 	fingerprint uint64
 	auditErr    error
+	// retain carries the run's router to the retention cache when the
+	// job routed with recordregions; incAdopted/incRerouted are the
+	// replay stats of an incremental edit attempt (both zero otherwise).
+	retain      *retainedRun
+	incAdopted  int
+	incRerouted int
 
 	interrupted *core.Result // drain abort; checkpoint already flushed
 	transient   error        // retryable failure
@@ -1045,11 +1056,15 @@ func (s *Server) execute(j *Job) (out outcome) {
 		run.Opts.ClampTimeBudget(time.Until(deadline))
 	}
 
-	b, r, err := run.Restore()
-	if err != nil {
-		// The journaled checkpoint does not fit its own design: nothing a
-		// retry can fix.
-		return outcome{permanent: fmt.Errorf("restore: %w", err)}
+	b, r, incremental := s.rerouteIncremental(&run, j)
+	if !incremental {
+		var err error
+		b, r, err = run.Restore()
+		if err != nil {
+			// The journaled checkpoint does not fit its own design: nothing a
+			// retry can fix.
+			return outcome{permanent: fmt.Errorf("restore: %w", err)}
+		}
 	}
 	if s.cfg.BoardHook != nil {
 		s.cfg.BoardHook(b)
@@ -1058,7 +1073,14 @@ func (s *Server) execute(j *Job) (out outcome) {
 	res := r.RouteContext(ctx)
 	switch res.Aborted {
 	case core.AbortNone:
-		return outcome{res: &res, fingerprint: b.Fingerprint(), auditErr: b.Audit()}
+		out := outcome{res: &res, fingerprint: b.Fingerprint(), auditErr: b.Audit()}
+		if incremental {
+			out.incAdopted, out.incRerouted = r.IncStats()
+		}
+		if run.Opts.RecordRegions && out.auditErr == nil {
+			out.retain = &retainedRun{router: r}
+		}
+		return out
 	case core.AbortCancelled:
 		return outcome{interrupted: &res}
 	case core.AbortTime:
@@ -1136,10 +1158,20 @@ func (s *Server) settle(j *Job, attempt int, out outcome) {
 		j.Fingerprint = rec.Fingerprint
 		j.AuditOK = rec.AuditOK
 		j.Metrics = rec.Metrics
+		j.incAdopted, j.incRerouted = out.incAdopted, out.incRerouted
 		created := j.created
 		s.mu.Unlock()
 		s.obs.done.Inc()
 		s.observeJobDone(created)
+		if out.retain != nil {
+			// The run recorded regions: keep its router so POST
+			// /jobs/{id}/edit can re-route edits incrementally.
+			s.retain(j.ID, out.retain)
+		}
+		if out.incAdopted+out.incRerouted > 0 {
+			s.log.Log("job_incremental", "job", j.ID,
+				"adopted", out.incAdopted, "rerouted", out.incRerouted)
+		}
 		s.cfg.Logf("grrd: %s done: %v", j.ID, out.res)
 		s.log.Log("job_done", "job", j.ID, "attempt", attempt,
 			"routed", m.Routed, "conns", m.Connections,

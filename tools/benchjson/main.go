@@ -37,17 +37,29 @@ import (
 )
 
 type runResult struct {
-	Workers   int     `json:"workers"`
-	Seconds   float64 `json:"seconds"`
-	Allocs    uint64  `json:"allocs"`
-	Bytes     uint64  `json:"bytes"`
-	Routed    int     `json:"routed"`
-	Failed    int     `json:"failed"`
-	Vias      int     `json:"vias"`
-	RipUps    int     `json:"rip_ups"`
-	Adopted   int     `json:"spec_adopted"`
-	Conflicts int     `json:"spec_conflicts"`
-	Misses    int     `json:"spec_misses"`
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	Allocs     uint64  `json:"allocs"`
+	Bytes      uint64  `json:"bytes"`
+	Routed     int     `json:"routed"`
+	Failed     int     `json:"failed"`
+	Vias       int     `json:"vias"`
+	RipUps     int     `json:"rip_ups"`
+	Expansions int     `json:"lee_expansions"`
+	Adopted    int     `json:"spec_adopted"`
+	Conflicts  int     `json:"spec_conflicts"`
+	Misses     int     `json:"spec_misses"`
+}
+
+// engineRun is one search-engine comparison row: the same board routed
+// sequentially under the named engine. The classic row duplicates the
+// jc=1 sweep numbers so the engines block reads standalone.
+type engineRun struct {
+	Engine     string  `json:"engine"`
+	Seconds    float64 `json:"seconds"`
+	Expansions int     `json:"lee_expansions"`
+	Routed     int     `json:"routed"`
+	Failed     int     `json:"failed"`
 }
 
 type boardResult struct {
@@ -55,6 +67,11 @@ type boardResult struct {
 	Conns       int         `json:"conns"`
 	Fingerprint string      `json:"fingerprint"`
 	Runs        []runResult `json:"runs"`
+	// Engines compares the classic and goal-oriented engines on this
+	// board (both sequential). main asserts the comparison: the goal
+	// engine must expand meaningfully fewer nodes in aggregate while
+	// routing the same number of connections per board.
+	Engines []engineRun `json:"engines"`
 	// Speedup is sequential seconds / fastest concurrent seconds (1.0
 	// when only jc=1 ran).
 	Speedup float64 `json:"speedup"`
@@ -112,7 +129,12 @@ func main() {
 		for _, r := range br.Runs {
 			fmt.Printf("  jc=%d %.3fs", r.Workers, r.Seconds)
 		}
-		fmt.Printf("  speedup %.2fx\n", br.Speedup)
+		fmt.Printf("  speedup %.2fx  expansions classic=%d goal=%d\n",
+			br.Speedup, br.Engines[0].Expansions, br.Engines[1].Expansions)
+	}
+
+	if err := assertEngines(out.Boards); err != nil {
+		fatal(err)
 	}
 
 	path := filepath.Join(*outDir, "BENCH_"+out.GitSHA+".json")
@@ -170,17 +192,18 @@ func benchBoard(spec workload.Spec, jcs []int) (boardResult, error) {
 		}
 		adopted, conflicts, misses := run.Router.SpecStats()
 		br.Runs = append(br.Runs, runResult{
-			Workers:   jc,
-			Seconds:   run.Elapsed.Seconds(),
-			Allocs:    after.Mallocs - before.Mallocs,
-			Bytes:     after.TotalAlloc - before.TotalAlloc,
-			Routed:    m.Routed,
-			Failed:    m.Failed,
-			Vias:      m.ViasAdded,
-			RipUps:    m.RipUps,
-			Adopted:   adopted,
-			Conflicts: conflicts,
-			Misses:    misses,
+			Workers:    jc,
+			Seconds:    run.Elapsed.Seconds(),
+			Allocs:     after.Mallocs - before.Mallocs,
+			Bytes:      after.TotalAlloc - before.TotalAlloc,
+			Routed:     m.Routed,
+			Failed:     m.Failed,
+			Vias:       m.ViasAdded,
+			RipUps:     m.RipUps,
+			Expansions: m.LeeExpansions,
+			Adopted:    adopted,
+			Conflicts:  conflicts,
+			Misses:     misses,
 		})
 	}
 	br.Speedup = 1
@@ -189,7 +212,94 @@ func benchBoard(spec workload.Spec, jcs []int) (boardResult, error) {
 			br.Speedup = s
 		}
 	}
+
+	// Engine comparison: one sequential goal-engine run against the
+	// sequential classic numbers already measured.
+	br.Engines = append(br.Engines, engineRun{
+		Engine:     "classic",
+		Seconds:    br.Runs[0].Seconds,
+		Expansions: br.Runs[0].Expansions,
+		Routed:     br.Runs[0].Routed,
+		Failed:     br.Runs[0].Failed,
+	})
+	gopts := core.DefaultOptions()
+	gopts.Engine = core.EngineGoal
+	grun, err := experiment.RouteSpec(spec, gopts)
+	if err != nil {
+		return br, err
+	}
+	if err := grun.Board.Audit(); err != nil {
+		return br, fmt.Errorf("goal engine audit: %w", err)
+	}
+	gm := grun.Result.Metrics
+	br.Engines = append(br.Engines, engineRun{
+		Engine:     "goal",
+		Seconds:    grun.Elapsed.Seconds(),
+		Expansions: gm.LeeExpansions,
+		Routed:     gm.Routed,
+		Failed:     gm.Failed,
+	})
 	return br, nil
+}
+
+// assertEngines enforces the goal-engine contract across the sweep
+// (DESIGN §15): per board, routed-metric parity and no expansion
+// regression beyond noise; in aggregate, at least 20% fewer expanded
+// nodes. A violation is a hard error — the bench artifact must not be
+// written from a build whose heuristic stopped paying for itself.
+func assertEngines(boards []boardResult) error {
+	// Rows with real Lee traffic must improve strictly; tiny rows (the
+	// optimal zero/one-via strategies route almost everything) only get
+	// a noise guard, since a handful of floods can tie-break either way.
+	const bigRow = 10000
+	var classicTotal, goalTotal int
+	for _, br := range boards {
+		var cl, gl *engineRun
+		for i := range br.Engines {
+			switch br.Engines[i].Engine {
+			case "classic":
+				cl = &br.Engines[i]
+			case "goal":
+				gl = &br.Engines[i]
+			}
+		}
+		if cl == nil || gl == nil {
+			return fmt.Errorf("%s: engine comparison rows missing", br.Board)
+		}
+		classicTotal += cl.Expansions
+		goalTotal += gl.Expansions
+		// Routed-metric parity: the heuristic may only change the ORDER
+		// of exploration, not meaningfully what gets routed. On feasible
+		// boards both engines route everything and parity is exact; on
+		// over-congested boards (kdj11-2L fails ~18% of its connections
+		// under either engine) different tie-breaks cascade into slightly
+		// different rip-up histories, so each row gets a 2%-of-connections
+		// allowance in either direction.
+		skew := br.Conns / 50
+		if skew < 1 {
+			skew = 1
+		}
+		if gl.Routed < cl.Routed-skew || gl.Routed > cl.Routed+skew {
+			return fmt.Errorf("%s: goal engine routed %d of %d, classic %d — beyond the 2%% parity allowance",
+				br.Board, gl.Routed, br.Conns, cl.Routed)
+		}
+		if cl.Expansions >= bigRow && gl.Expansions >= cl.Expansions {
+			return fmt.Errorf("%s: goal engine expanded %d nodes, classic %d — no improvement on a Lee-heavy row",
+				br.Board, gl.Expansions, cl.Expansions)
+		}
+		if cl.Expansions < bigRow && gl.Expansions > cl.Expansions+cl.Expansions/6 {
+			return fmt.Errorf("%s: goal engine expanded %d nodes, classic %d — beyond the small-row noise allowance",
+				br.Board, gl.Expansions, cl.Expansions)
+		}
+	}
+	// The aggregate 20% target only means something when the sweep had
+	// real Lee traffic; a shrunken -scale run routes almost everything
+	// with the optimal strategies and would compare noise against noise.
+	if classicTotal >= bigRow && goalTotal*10 > classicTotal*8 {
+		return fmt.Errorf("goal engine expanded %d nodes across the sweep, classic %d — less than the required 20%% reduction",
+			goalTotal, classicTotal)
+	}
+	return nil
 }
 
 func parseJCs(s string) ([]int, error) {
